@@ -1,0 +1,74 @@
+// Ablation — burst sending (what the paper observes Zoom doing) vs paced
+// sending on the slotted 5G uplink.
+//
+// §3.1's delay spread exists because a whole frame burst hits the RLC
+// buffer at once and then trickles out grant by grant. A pacer spaces the
+// packets at 2.5× the media rate instead: each packet tends to catch its
+// own proactive grant, but the later packets of a frame leave the *sender*
+// later. This bench quantifies the trade on frame-level delay — exactly
+// the kind of sender-side mitigation the paper's §5.3 asks applications to
+// reason about.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace athena;
+using namespace std::chrono_literals;
+
+struct Outcome {
+  stats::Cdf frame_delay_ms;
+  stats::Cdf core_spread_ms;
+  double bitrate_kbps = 0.0;
+};
+
+Outcome Run(bool paced, double rate_factor = 2.5) {
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(77);
+  config.channel.bad_state_bler = 0.0;  // isolate scheduling
+  config.sender.pacing_enabled = paced;
+  config.sender.pacer.rate_factor = rate_factor;
+  app::Session session{sim, config};
+  session.Run(60s);
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  Outcome out;
+  out.frame_delay_ms = core::Analyzer::FrameDelayCdf(data);
+  out.core_spread_ms = core::Analyzer::DelaySpreadCdf(data, core::Analyzer::SpreadAt::kCore,
+                                                      /*include_audio=*/false);
+  out.bitrate_kbps = session.qoe().ReceiveBitrateKbps().Median();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto burst = Run(false);
+  const auto paced25 = Run(true, 2.5);
+  const auto paced10 = Run(true, 10.0);
+
+  stats::PrintBanner(std::cout,
+                     "Ablation — burst vs paced sending on the slotted 5G uplink (idle cell)");
+  stats::Table table{{"sender", "frame delay p50 ms", "p95 ms", "RAN spread p50 ms",
+                      "spread p95 ms", "bitrate kbps"}};
+  auto row = [&](const char* name, const Outcome& o) {
+    table.AddRow({name, stats::Fmt(o.frame_delay_ms.Median(), 2),
+                  stats::Fmt(o.frame_delay_ms.P(95), 2),
+                  stats::Fmt(o.core_spread_ms.Median(), 2),
+                  stats::Fmt(o.core_spread_ms.P(95), 2), stats::Fmt(o.bitrate_kbps, 0)});
+  };
+  row("burst (Zoom-like)", burst);
+  row("paced ×2.5 (WebRTC-like)", paced25);
+  row("paced ×10 (nearly burst)", paced10);
+  table.Print(std::cout);
+
+  std::cout << "\nReading (a negative result worth having): on a proactive-grant TDD\n"
+               "uplink, pacing does NOT help — the grant machinery already drains a\n"
+               "burst within one BSR cycle (~12.5 ms), so WebRTC-style ×2.5 pacing just\n"
+               "adds sender-side holding time on top of the slot alignment, *increasing*\n"
+               "frame delay and the core-side spread. Burst-sending VCAs like Zoom are\n"
+               "accidentally well-matched to this scheduler; pacing decisions should be\n"
+               "RAN-aware (§5.3) rather than universal.\n";
+  return 0;
+}

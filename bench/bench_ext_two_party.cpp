@@ -1,0 +1,59 @@
+// Extension bench — a bidirectional call with the mobile party behind full
+// radio machinery in both directions. Same cell, same fading radio, same
+// HARQ on both paths; only the scheduling differs (uplink grant cycle vs
+// downlink self-scheduling). The paper's takeaway (c) — "the 5G RAN
+// downlink provides low and stable delay" — emerges as a property of the
+// grant mechanism, not of the radio.
+#include <chrono>
+#include <iostream>
+
+#include "app/two_party.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator sim;
+  app::TwoPartyConfig config;
+  config.seed = 99;
+  config.channel = ran::ChannelModel::FadingRadio();
+  config.cell.cell_ul_capacity_bps = 25e6;
+  app::TwoPartySession session{sim, config};
+  session.Run(3min);
+
+  const auto up = core::Correlator::Correlate(session.BuildUplinkCorrelatorInput());
+  const auto down = core::Correlator::Correlate(session.BuildDownlinkCorrelatorInput());
+
+  stats::Cdf up_owd{core::Analyzer::UplinkOwdSeries(up).Values()};
+  stats::Cdf down_owd{core::Analyzer::UplinkOwdSeries(down).Values()};
+  bench::PrintCdfPanel("two-party call — RAN one-way delay by direction (ms)",
+                       {{"uplink_A_to_core", &up_owd}, {"downlink_core_to_A", &down_owd}});
+
+  stats::PrintBanner(std::cout, "direction comparison (same radio, different scheduler)");
+  stats::Table table{{"metric", "uplink (grant cycle)", "downlink (self-scheduled)"}};
+  auto row = [&](const char* name, double a, double b, int precision = 2) {
+    table.AddRow({name, stats::Fmt(a, precision), stats::Fmt(b, precision)});
+  };
+  row("delay p50 ms", up_owd.Median(), down_owd.Median());
+  row("delay p95 ms", up_owd.P(95), down_owd.P(95));
+  row("jitter p95−p5 ms", up_owd.P(95) - up_owd.P(5), down_owd.P(95) - down_owd.P(5));
+  row("grant utilization %", 100.0 * session.uplink().counters().GrantUtilization(),
+      100.0 * session.downlink().counters().GrantUtilization(), 1);
+  row("frame spread p95 ms",
+      core::Analyzer::DelaySpreadCdf(up, core::Analyzer::SpreadAt::kCore).P(95),
+      core::Analyzer::DelaySpreadCdf(down, core::Analyzer::SpreadAt::kCore).P(95));
+  table.Print(std::cout);
+
+  std::cout << "\nQoE at each end: B sees " << stats::Fmt(session.qoe_at_b().FrameRateFps().Median(), 1)
+            << " fps / SSIM " << stats::Fmt(session.qoe_at_b().Ssim().Median(), 3)
+            << "; A sees " << stats::Fmt(session.qoe_at_a().FrameRateFps().Median(), 1)
+            << " fps / SSIM " << stats::Fmt(session.qoe_at_a().Ssim().Median(), 3) << '\n';
+  std::cout << "paper takeaway (c): downlink low and stable while the uplink jitters → "
+            << ((down_owd.P(95) - down_owd.P(5)) < (up_owd.P(95) - up_owd.P(5)) &&
+                        down_owd.Median() < up_owd.Median()
+                    ? "REPRODUCED"
+                    : "NOT met")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 5 — "Delay spread introduced in the RAN uplink."
+//
+// Per media unit (video frame / audio sample), the time between its first
+// and last packet, measured at the sender and at the 5G core, over a
+// five-minute period without cross traffic. Expected shape: ~0 at the
+// sender (frames leave as bursts), smeared out at the core *in increments
+// of 2.5 ms* (the TDD UL slot period).
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "stats/histogram.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(5);
+  app::Session session{sim, config};
+  session.Run(5min);
+
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  const auto at_sender = core::Analyzer::DelaySpreadCdf(data, core::Analyzer::SpreadAt::kSender);
+  const auto at_core = core::Analyzer::DelaySpreadCdf(data, core::Analyzer::SpreadAt::kCore);
+
+  bench::PrintCdfPanel("Fig. 5 — per-frame delay spread CDF (ms)",
+                       {{"sender", &at_sender}, {"5G_core", &at_core}}, 24);
+
+  // The quantization evidence: histogram of core-side spreads and the
+  // fraction sitting on the 2.5 ms grid.
+  stats::Histogram hist{0.0, 30.0, 120};
+  for (const auto& f : data.frames) {
+    if (f.complete_at_core) hist.Add(sim::ToMs(f.CoreSpread()));
+  }
+  std::cout << "\ncore-side spread histogram (note the 2.5 ms comb):\n" << hist.Render(40);
+
+  const double on_grid = core::Analyzer::SpreadGridFraction(data, 2500us, 100us);
+  std::cout << "fraction of spreads on the 2.5 ms slot grid: " << stats::Fmt(on_grid, 4)
+            << "  → " << (on_grid > 0.95 ? "REPRODUCED" : "NOT met") << '\n';
+  std::cout << "sender p95 " << stats::Fmt(at_sender.P(95), 3) << " ms vs core p95 "
+            << stats::Fmt(at_core.P(95), 3) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Fig. 8 — "Zoom adaptation: Zoom reacts to both high absolute delay and
+// high jitter primarily by adapting the frame rate."
+//
+// A 900 s call with two impairment episodes:
+//   t ∈ [300, 318) s: the cell is fully occupied by cross traffic → the
+//       smoothed delay exceeds one second → the sender locks the 14 fps
+//       SVC ladder (base 7 fps + low-FPS enhancement) and recovers later.
+//   t ∈ [600, 660) s: on/off contention → high jitter → transient
+//       enhancement-frame skipping (effective rate ≈ 20 fps), no ladder
+//       change.
+//
+// Output: per-10 s-window bitrate by SVC layer + audio, rendered frame
+// rate, and the smoothed relative delay — the three panels of Fig. 8.
+#include <chrono>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+  using sim::kEpoch;
+
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(8);
+
+  net::CapacityTrace cross;
+  cross.Append(kEpoch, 0.0);
+  cross.Append(kEpoch + 300s, 26e6);  // full outage episode
+  cross.Append(kEpoch + 318s, 0.0);
+  for (int i = 0; i < 200; ++i) {     // jitter episode: 300 ms on/off blocks
+    cross.Append(kEpoch + 600s + sim::Duration{i * 300'000},
+                 (i % 2 != 0) ? 0.0 : 25.5e6);
+  }
+  cross.Append(kEpoch + 660s, 0.0);
+  config.cross_traffic = cross;
+  config.cross_burstiness = 0.0;
+
+  app::Session session{sim, config};
+  session.Run(900s);
+
+  // --- panel 1: receive bitrate per SVC layer (from the receiver pcap) ---
+  std::map<net::SvcLayer, stats::TimeSeries> by_layer;
+  stats::TimeSeries audio_bytes;
+  for (const auto& rec : session.receiver_capture().records()) {
+    if (rec.kind == net::PacketKind::kRtpAudio) {
+      audio_bytes.Add(rec.true_ts, rec.size_bytes);
+    } else if (rec.kind == net::PacketKind::kRtpVideo && rec.rtp) {
+      by_layer[rec.rtp->layer].Add(rec.true_ts, rec.size_bytes);
+    }
+  }
+  auto kbps = [](const stats::TimeSeries& ts, sim::TimePoint at) {
+    for (const auto& w : ts.WindowedRatePerSecond(std::chrono::seconds{10})) {
+      if (w.window_start <= at && at < w.window_start + std::chrono::seconds{10}) {
+        return w.mean * 8.0 / 1e3;
+      }
+    }
+    return 0.0;
+  };
+
+  // --- panel 2: rendered frame rate; panel 3: smoothed delay ---
+  stats::TimeSeries fps_series;
+  {
+    stats::TimeSeries rendered;
+    // Reconstruct rendered-frame instants from the screen observations.
+    for (const auto& obs : session.receiver().screen().observations()) {
+      rendered.Add(obs.first_seen, 1.0);
+    }
+    for (const auto& w : rendered.WindowedRatePerSecond(std::chrono::seconds{10})) {
+      fps_series.Add(w.window_start, w.mean);
+    }
+  }
+  const auto& delay_log = session.sender().adaptation().delay_log();
+
+  stats::PrintBanner(std::cout,
+                     "Fig. 8 — adaptation time series (10 s windows): bitrate by layer, "
+                     "frame rate, smoothed delay");
+  stats::Table table{{"t_s", "base_kbps", "low_enh_kbps", "high_enh_kbps", "audio_kbps",
+                      "render_fps", "delay_ms"}};
+  const auto delay_windows = delay_log.WindowedMean(std::chrono::seconds{10});
+  auto delay_at = [&](sim::TimePoint at) {
+    for (const auto& w : delay_windows) {
+      if (w.window_start <= at && at < w.window_start + std::chrono::seconds{10}) return w.mean;
+    }
+    return 0.0;
+  };
+  auto fps_at = [&](sim::TimePoint at) {
+    for (const auto& s : fps_series.samples()) {
+      if (s.t <= at && at < s.t + std::chrono::seconds{10}) return s.value;
+    }
+    return 0.0;
+  };
+  for (int t = 0; t < 900; t += 10) {
+    const sim::TimePoint at = kEpoch + std::chrono::seconds{t};
+    table.AddNumericRow({static_cast<double>(t),
+                         kbps(by_layer[net::SvcLayer::kBase], at),
+                         kbps(by_layer[net::SvcLayer::kLowFpsEnhancement], at),
+                         kbps(by_layer[net::SvcLayer::kHighFpsEnhancement], at),
+                         kbps(audio_bytes, at), fps_at(at), delay_at(at)});
+  }
+  table.Print(std::cout);
+
+  auto& adaptation = session.sender().adaptation();
+  auto& encoder = session.sender().video_encoder();
+  std::cout << "\nmode downgrades (→14 fps ladder): " << adaptation.mode_downgrades()
+            << ", recoveries (→28 fps): " << adaptation.mode_recoveries() << '\n';
+  std::cout << "enhancement frames skipped (jitter episodes): " << encoder.frames_skipped()
+            << '\n';
+  std::cout << "paper shape: >1 s delay → persistent 14 fps via the low-FPS-enhancement "
+               "ladder; jitter → transient skipping to ~20 fps → "
+            << (adaptation.mode_downgrades() >= 1 && adaptation.mode_recoveries() >= 1 &&
+                        encoder.frames_skipped() > 0
+                    ? "REPRODUCED"
+                    : "NOT met")
+            << '\n';
+  return 0;
+}

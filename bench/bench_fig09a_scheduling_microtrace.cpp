@@ -1,0 +1,121 @@
+// Fig. 9a — "The link-layer scheduling introduces delay spreads at frame
+// level, in increments of 2.5 ms."
+//
+// A micro-trace zoom: one video frame burst's packets (horizontal lines
+// from send to core arrival) together with the transport blocks that
+// carried them (proactive trickle every 2.5 ms, then the BSR-requested TB
+// ~10 ms later, typically over-granted and partly wasted).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace athena;
+
+/// One text row per packet: '.' idle, '=' in flight, send/arrive markers.
+void DrawPacketLine(std::ostream& os, double t0_ms, double t1_ms, double origin_ms,
+                    double span_ms, const char* label) {
+  const int width = 100;
+  std::string line(width, ' ');
+  auto col = [&](double t) {
+    return std::clamp(static_cast<int>((t - origin_ms) / span_ms * width), 0, width - 1);
+  };
+  const int a = col(t0_ms);
+  const int b = col(t1_ms);
+  for (int i = a; i <= b; ++i) line[i] = '=';
+  line[a] = '|';
+  line[b] = '>';
+  os << line << "  " << label << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace std::chrono_literals;
+
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(9);
+  config.channel.base_bler = 0.0;  // isolate scheduling (Fig. 9b covers HARQ)
+  config.channel.bad_state_bler = 0.0;
+  app::Session session{sim, config};
+  session.Run(20s);
+
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  // Pick a frame whose burst spans a full BSR cycle (several packets and a
+  // spread beyond the proactive trickle), after the call has warmed up.
+  const core::FrameRecord* frame = nullptr;
+  for (const auto& f : data.frames) {
+    if (!f.is_audio && f.complete_at_core && f.packets >= 4 &&
+        f.CoreSpread() >= 7'500us && f.first_sent > sim::kEpoch + 5s) {
+      frame = &f;
+      break;
+    }
+  }
+  if (frame == nullptr) {  // fall back to any multi-packet frame
+    for (const auto& f : data.frames) {
+      if (!f.is_audio && f.complete_at_core && f.packets >= 4 &&
+          f.first_sent > sim::kEpoch + 5s) {
+        frame = &f;
+        break;
+      }
+    }
+  }
+  if (frame == nullptr) {
+    std::cout << "no multi-packet frame found (bitrate too low?)\n";
+    return 1;
+  }
+
+  const double origin = (frame->first_sent - 5ms).ms();
+  const double span = sim::ToMs(frame->last_core - frame->first_sent) + 15.0;
+
+  stats::PrintBanner(std::cout, "Fig. 9a — scheduling micro-trace (window " +
+                                    stats::Fmt(origin, 1) + " ms + " + stats::Fmt(span, 1) +
+                                    " ms)");
+  std::cout << "packets (| send, > arrival at core; 1 column ≈ " << stats::Fmt(span / 100, 2)
+            << " ms):\n\n";
+
+  stats::Table packet_table{{"pkt", "kind", "send_ms", "core_ms", "owd_ms", "tb_chains"}};
+  for (const auto& p : data.packets) {
+    if (!p.reached_core) continue;
+    const double send_ms = p.sent_at.ms();
+    if (send_ms < origin || send_ms > origin + span) continue;
+    std::string chains;
+    for (const auto id : p.tb_chains) chains += std::to_string(id) + " ";
+    DrawPacketLine(std::cout, send_ms, p.core_at.ms(), origin, span,
+                   p.kind == net::PacketKind::kRtpAudio ? "audio" : "video");
+    packet_table.AddRow({std::to_string(p.packet_id),
+                         p.kind == net::PacketKind::kRtpAudio ? "audio" : "video",
+                         stats::Fmt(send_ms, 3), stats::Fmt(p.core_at.ms(), 3),
+                         stats::Fmt(sim::ToMs(p.uplink_owd), 3), chains});
+  }
+  std::cout << '\n';
+  packet_table.Print(std::cout);
+
+  std::cout << "\ntransport blocks in the window:\n";
+  stats::Table tb_table{{"slot_ms", "grant", "tbs_kbit", "used_kbit", "utilized"}};
+  for (const auto& tb : session.ran_uplink()->telemetry()) {
+    const double slot_ms = tb.slot_time.ms();
+    if (slot_ms < origin || slot_ms > origin + span) continue;
+    tb_table.AddRow({stats::Fmt(slot_ms, 1), ran::ToString(tb.grant),
+                     stats::Fmt(tb.tbs_bytes * 8.0 / 1e3, 1),
+                     stats::Fmt(tb.used_bytes * 8.0 / 1e3, 1),
+                     tb.used_bytes == 0 ? "UNUSED" : (tb.used_bytes < tb.tbs_bytes ? "partial"
+                                                                                   : "full")});
+  }
+  tb_table.Print(std::cout);
+
+  const double spread = sim::ToMs(frame->CoreSpread());
+  std::cout << "\nframe delay spread at the core: " << stats::Fmt(spread, 3)
+            << " ms — a multiple of 2.5 ms: "
+            << (std::abs(spread / 2.5 - std::round(spread / 2.5)) < 0.05 ? "REPRODUCED"
+                                                                         : "NOT met")
+            << '\n';
+  std::cout << "over-granting waste this session: "
+            << session.ran_uplink()->counters().wasted_requested_bytes
+            << " requested bytes unused\n";
+  return 0;
+}

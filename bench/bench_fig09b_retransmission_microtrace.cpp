@@ -1,0 +1,100 @@
+// Fig. 9b — "The link-layer retransmissions inflate the packet delay by
+// 10 ms" (and by multiples of 10 ms on repeated failures; the base station
+// also mandates retransmission of empty TBs).
+//
+// A micro-trace around a HARQ event: packets whose TB chain failed CRC and
+// was retransmitted one rtx_delay later, with the failed / retransmitted
+// TB schedule below.
+#include <chrono>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(10);
+  config.channel.base_bler = 0.25;  // elevated interference
+  config.channel.rtx_bler_factor = 0.5;
+  app::Session session{sim, config};
+  session.Run(20s);
+
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  // Find a retransmitted packet after warmup.
+  const core::CrossLayerRecord* victim = nullptr;
+  for (const auto& p : data.packets) {
+    if (p.reached_core && p.rtx_inflation >= 10ms && p.sent_at > sim::kEpoch + 5s) {
+      victim = &p;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    std::cout << "no retransmitted packet found\n";
+    return 1;
+  }
+
+  const double origin = (victim->sent_at - 5ms).ms();
+  const double span = 40.0;
+
+  stats::PrintBanner(std::cout, "Fig. 9b — retransmission micro-trace (window " +
+                                    stats::Fmt(origin, 1) + " ms + " + stats::Fmt(span, 1) +
+                                    " ms)");
+  stats::Table packet_table{
+      {"pkt", "kind", "send_ms", "core_ms", "owd_ms", "rtx_rounds", "rtx_inflation_ms"}};
+  for (const auto& p : data.packets) {
+    if (!p.reached_core) continue;
+    const double send_ms = p.sent_at.ms();
+    if (send_ms < origin || send_ms > origin + span) continue;
+    packet_table.AddRow({std::to_string(p.packet_id),
+                         p.kind == net::PacketKind::kRtpAudio ? "audio" : "video",
+                         stats::Fmt(send_ms, 3), stats::Fmt(p.core_at.ms(), 3),
+                         stats::Fmt(sim::ToMs(p.uplink_owd), 3),
+                         std::to_string(p.max_harq_rounds),
+                         stats::Fmt(sim::ToMs(p.rtx_inflation), 1)});
+  }
+  packet_table.Print(std::cout);
+
+  std::cout << "\ntransport blocks in the window (chains link rounds):\n";
+  stats::Table tb_table{{"slot_ms", "chain", "round", "grant", "used_kbit", "crc"}};
+  for (const auto& tb : session.ran_uplink()->telemetry()) {
+    const double slot_ms = tb.slot_time.ms();
+    if (slot_ms < origin || slot_ms > origin + span) continue;
+    tb_table.AddRow({stats::Fmt(slot_ms, 1), std::to_string(tb.chain_id),
+                     std::to_string(tb.harq_round), ran::ToString(tb.grant),
+                     stats::Fmt(tb.used_bytes * 8.0 / 1e3, 1), tb.crc_ok ? "ok" : "FAIL"});
+  }
+  tb_table.Print(std::cout);
+
+  // Aggregate checks over the whole session. The paper's 10 ms arithmetic
+  // is a per-TB-chain property: each chain decodes rounds × 10 ms after
+  // its first transmission. (A packet spanning several chains composes
+  // those offsets on the 2.5 ms slot grid.)
+  std::size_t rtx_chains = 0;
+  std::size_t chain_multiples_ok = 0;
+  std::map<ran::TbId, sim::TimePoint> first_tx;
+  for (const auto& tb : session.ran_uplink()->telemetry()) {
+    if (tb.harq_round == 0) first_tx[tb.chain_id] = tb.slot_time;
+    if (tb.crc_ok && tb.harq_round > 0) {
+      ++rtx_chains;
+      const double r = sim::ToMs(tb.slot_time - first_tx.at(tb.chain_id)) / 10.0;
+      if (std::abs(r - std::round(r)) < 0.01) ++chain_multiples_ok;
+    }
+  }
+  std::size_t rtx_packets = 0;
+  for (const auto& p : data.packets) {
+    if (p.reached_core && p.rtx_inflation.count() > 0) ++rtx_packets;
+  }
+  const auto& counters = session.ran_uplink()->counters();
+  std::cout << "\nretransmitted chains: " << rtx_chains
+            << ", decode offset ≡ 0 (mod 10 ms): " << chain_multiples_ok << " → "
+            << (rtx_chains > 0 && chain_multiples_ok == rtx_chains ? "REPRODUCED" : "NOT met")
+            << '\n';
+  std::cout << "packets with HARQ-inflated delay: " << rtx_packets << '\n';
+  std::cout << "empty-TB retransmissions (pure waste, §3.2): " << counters.empty_tb_rtx
+            << " of " << counters.tb_rtx << " total retransmissions\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 10 — "GCC running at a mobile connected via a private 5G network
+// detects frequent network overuse based on its filtered packet one-way
+// delay gradient estimate."
+//
+// One video-conference session over an *idle* 5G cell (our mobile is the
+// only user; the radio still fades). The bench prints the trendline
+// filter's state per detector update — filtered gradient, adaptive
+// threshold, detector verdict — and counts phantom overuse/underuse
+// detections that GCC reports while the network is in fact idle.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/overuse_audit.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(11);
+  app::Session session{sim, config};
+  session.Run(5min);
+
+  auto& gcc = dynamic_cast<app::GccController&>(session.sender().controller()).gcc();
+  const auto& history = gcc.history();
+
+  stats::PrintBanner(std::cout,
+                     "Fig. 10 — GCC filtered delay gradient vs adaptive threshold "
+                     "(idle 5G cell; every 20th detector update shown)");
+  stats::Table table{{"group", "t_s", "raw_gradient_ms", "filtered_trend", "modified_ms",
+                      "threshold_ms", "state"}};
+  for (std::size_t i = 0; i < history.size(); i += 20) {
+    const auto& s = history[i];
+    table.AddRow({std::to_string(s.group_index), stats::Fmt(s.t.seconds(), 2),
+                  stats::Fmt(s.raw_gradient_ms, 3), stats::Fmt(s.trend, 5),
+                  stats::Fmt(s.modified_trend_ms, 3), stats::Fmt(s.threshold_ms, 3),
+                  cc::ToString(s.state)});
+  }
+  table.Print(std::cout);
+
+  std::size_t over = 0;
+  std::size_t under = 0;
+  stats::Cdf gradient;
+  stats::Cdf raw;
+  for (const auto& s : history) {
+    gradient.Add(s.modified_trend_ms);
+    raw.Add(s.raw_gradient_ms);
+    if (s.state == cc::BandwidthUsage::kOverusing) ++over;
+    if (s.state == cc::BandwidthUsage::kUnderusing) ++under;
+  }
+
+  std::cout << "\ndetector updates: " << history.size() << " over "
+            << stats::Fmt(sim.Now().seconds(), 0) << " s\n";
+  std::cout << "raw per-group delay gradient (ms): " << raw.Summary() << '\n';
+  std::cout << "modified (filtered) trend (ms):    " << gradient.Summary() << '\n';
+  std::cout << "phantom detections on an IDLE cell: overuse states " << over
+            << ", underuse states " << under << ", distinct overuse events "
+            << gcc.overuse_events() << '\n';
+  std::cout << "final target bitrate: " << stats::Fmt(gcc.target_bps() / 1e3, 0) << " kbps\n";
+  std::cout << "paper shape: significant gradient fluctuation + repeated overuse "
+               "misidentification while idle → "
+            << (gcc.overuse_events() > 0 ? "REPRODUCED" : "NOT met") << '\n';
+
+  // --- the Athena twist: audit every overuse event across the layers ---
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  const auto audit = core::OveruseAudit::Audit(history, data);
+  std::cout << "\ncross-layer overuse audit (what the RAN was doing in each "
+               "detector window):\n";
+  for (const auto& e : audit.events) {
+    std::cout << "  t=" << stats::Fmt(e.at.seconds(), 2) << "s  dominant cause: "
+              << core::ToString(e.dominant_cause) << "  ("
+              << (e.phantom ? "PHANTOM" : "genuine") << ", " << e.window_packets
+              << " packets in window)\n";
+  }
+  std::cout << "phantom fraction: " << stats::Fmt(100.0 * audit.PhantomFraction(), 1)
+            << "% of " << audit.events.size()
+            << " events — on an idle cell, every overuse should be phantom\n";
+  return 0;
+}

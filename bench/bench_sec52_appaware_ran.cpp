@@ -1,0 +1,121 @@
+// §5.2 — "A more application-aware RAN?"
+//
+// Compares frame-level delay (first packet sent → last packet at the core;
+// "extremely relevant as a frame cannot be rendered until all of its
+// packets have been received") across three uplink schedulers:
+//   1. baseline   — proactive + BSR-requested grants (§3.1)
+//   2. app-aware  — RTP-extension media metadata drives right-sized grants
+//                   at frame-generation times (§5.2, first flavor)
+//   3. predictor  — the RAN learns the periodic traffic pattern itself
+//                   (§5.2, second flavor; RIC-style)
+//
+// Paper claim: "Either approach has the potential to cut the delay
+// inflation experienced by frames in half."
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "mitigation/app_aware_policy.hpp"
+#include "mitigation/traffic_predictor.hpp"
+
+namespace {
+
+using namespace athena;
+using namespace std::chrono_literals;
+
+struct Outcome {
+  stats::Cdf frame_delay_ms;
+  double utilization = 0.0;
+  std::uint64_t wasted_requested = 0;
+};
+
+Outcome RunScheduler(const std::string& kind) {
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(52);
+
+  mitigation::AppAwareGrantPolicy* aware = nullptr;
+  if (kind == "app-aware") {
+    config.grant_policy = [&aware](const ran::RanConfig& cell) {
+      auto p = std::make_unique<mitigation::AppAwareGrantPolicy>(cell);
+      aware = p.get();
+      return p;
+    };
+  } else if (kind == "predictor") {
+    config.grant_policy = [](const ran::RanConfig& cell) {
+      return std::make_unique<mitigation::TrafficPredictorPolicy>(cell);
+    };
+  }
+
+  app::Session session{sim, config};
+
+  // The application refreshes its media-metadata announcements every
+  // 100 ms (frame cadence, current frame-size estimate) — §5.2's
+  // "periodically updated estimate".
+  std::unique_ptr<sim::PeriodicTimer> announcer;
+  if (kind == "app-aware") {
+    announcer = std::make_unique<sim::PeriodicTimer>(sim, 100ms, [&] {
+      auto& enc = session.sender().video_encoder();
+      const double fps = media::NominalFps(enc.mode());
+      aware->Announce(mitigation::StreamAnnouncement{
+          .stream_id = 1,
+          .next_unit_at = sim.Now(),
+          .unit_interval = enc.frame_interval(),
+          .unit_bytes = static_cast<std::uint32_t>(enc.target_bitrate() / fps / 8.0) +
+                        3 * net::kRtpHeaderOverheadBytes,
+      });
+      aware->Announce(mitigation::StreamAnnouncement{
+          .stream_id = 2,
+          .next_unit_at = sim.Now(),
+          .unit_interval = 20ms,
+          .unit_bytes = 160 + net::kRtpHeaderOverheadBytes,
+      });
+    });
+    announcer->Start(sim::Duration{0});
+  }
+
+  session.Run(2min);
+  announcer.reset();
+
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  Outcome out;
+  out.frame_delay_ms = core::Analyzer::FrameDelayCdf(data);
+  out.utilization = session.ran_uplink()->counters().GrantUtilization();
+  out.wasted_requested = session.ran_uplink()->counters().wasted_requested_bytes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto baseline = RunScheduler("baseline");
+  const auto aware = RunScheduler("app-aware");
+  const auto predictor = RunScheduler("predictor");
+
+  bench::PrintCdfPanel("§5.2 — video frame-level delay CDF (ms), by uplink scheduler",
+                       {{"baseline", &baseline.frame_delay_ms},
+                        {"app_aware", &aware.frame_delay_ms},
+                        {"predictor", &predictor.frame_delay_ms}});
+
+  stats::PrintBanner(std::cout, "§5.2 verdict");
+  stats::Table table{{"scheduler", "frame delay p50 ms", "p95 ms", "grant util %",
+                      "wasted req. bytes"}};
+  auto row = [&](const char* name, const Outcome& o) {
+    table.AddRow({name, stats::Fmt(o.frame_delay_ms.Median(), 2),
+                  stats::Fmt(o.frame_delay_ms.P(95), 2),
+                  stats::Fmt(100.0 * o.utilization, 1), std::to_string(o.wasted_requested)});
+  };
+  row("baseline (BSR)", baseline);
+  row("app-aware (RTP metadata)", aware);
+  row("predictor (RIC learning)", predictor);
+  table.Print(std::cout);
+
+  const double aware_factor = baseline.frame_delay_ms.Median() / aware.frame_delay_ms.Median();
+  const double pred_factor =
+      baseline.frame_delay_ms.Median() / predictor.frame_delay_ms.Median();
+  std::cout << "\nmedian frame-delay reduction: app-aware " << stats::Fmt(aware_factor, 2)
+            << "x, predictor " << stats::Fmt(pred_factor, 2) << "x\n";
+  std::cout << "paper claim (\"cut the delay inflation in half\"): "
+            << (aware_factor >= 1.5 ? "REPRODUCED (app-aware)" : "NOT met") << '\n';
+  return 0;
+}

@@ -1,0 +1,104 @@
+// §5.3 — "More RAN-aware applications?"
+//
+// Plain GCC vs the PHY-informed variant that masks RAN-induced per-packet
+// delay (scheduling waits, slot trickle, HARQ rounds) out of the TWCC
+// feedback before the trendline filter sees it. Both run the same idle
+// 5G cell with a fading radio — the Fig. 10 condition.
+//
+// Reported: phantom overuse events, detector state distribution, target-
+// bitrate stability, and delivered QoE.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "mitigation/phy_informed.hpp"
+#include "stats/running_stats.hpp"
+
+namespace {
+
+using namespace athena;
+using namespace std::chrono_literals;
+
+struct Outcome {
+  std::uint64_t overuse_events = 0;
+  std::size_t overuse_states = 0;
+  std::size_t underuse_states = 0;
+  std::size_t updates = 0;
+  double final_target_kbps = 0.0;
+  double target_stddev_kbps = 0.0;
+  double median_bitrate_kbps = 0.0;
+  double median_fps = 0.0;
+};
+
+Outcome Summarize(const cc::GoogCc& gcc, app::Session& session) {
+  Outcome out;
+  out.overuse_events = gcc.overuse_events();
+  stats::RunningStats target;
+  for (const auto& s : gcc.history()) {
+    ++out.updates;
+    if (s.state == cc::BandwidthUsage::kOverusing) ++out.overuse_states;
+    if (s.state == cc::BandwidthUsage::kUnderusing) ++out.underuse_states;
+    target.Add(s.target_bps / 1e3);
+  }
+  out.final_target_kbps = gcc.target_bps() / 1e3;
+  out.target_stddev_kbps = target.stddev();
+  out.median_bitrate_kbps = session.qoe().ReceiveBitrateKbps().Median();
+  out.median_fps = session.qoe().FrameRateFps().Median();
+  return out;
+}
+
+Outcome Run(bool phy_informed) {
+  sim::Simulator sim;
+  auto config = bench::IdleCellWorkload(53);
+
+  mitigation::PhyInformedController* phy = nullptr;
+  if (phy_informed) {
+    config.controller_factory = [&phy]() {
+      auto c = std::make_unique<mitigation::PhyInformedController>();
+      phy = c.get();
+      return c;
+    };
+  }
+  app::Session session{sim, config};
+  if (phy_informed) {
+    session.ran_uplink()->set_telemetry_listener(
+        [&](const ran::TbRecord& tb) { phy->OnTbRecord(tb); });
+  }
+  session.Run(5min);
+
+  const auto& gcc = phy_informed
+                        ? phy->gcc()
+                        : dynamic_cast<app::GccController&>(session.sender().controller()).gcc();
+  return Summarize(gcc, session);
+}
+
+}  // namespace
+
+int main() {
+  const auto plain = Run(false);
+  const auto masked = Run(true);
+
+  stats::PrintBanner(std::cout,
+                     "§5.3 — plain GCC vs PHY-informed GCC on an idle 5G cell (5 min)");
+  stats::Table table{{"metric", "plain GCC", "PHY-informed"}};
+  auto row = [&](const char* name, double a, double b, int precision = 1) {
+    table.AddRow({name, stats::Fmt(a, precision), stats::Fmt(b, precision)});
+  };
+  row("overuse events (phantom)", static_cast<double>(plain.overuse_events),
+      static_cast<double>(masked.overuse_events), 0);
+  row("overuse detector states", static_cast<double>(plain.overuse_states),
+      static_cast<double>(masked.overuse_states), 0);
+  row("underuse detector states", static_cast<double>(plain.underuse_states),
+      static_cast<double>(masked.underuse_states), 0);
+  row("target stddev (kbps)", plain.target_stddev_kbps, masked.target_stddev_kbps);
+  row("final target (kbps)", plain.final_target_kbps, masked.final_target_kbps);
+  row("receive bitrate p50 (kbps)", plain.median_bitrate_kbps, masked.median_bitrate_kbps);
+  row("frame rate p50 (fps)", plain.median_fps, masked.median_fps);
+  table.Print(std::cout);
+
+  std::cout << "\npaper direction: PHY information fed to the application removes the "
+               "phantom overuse reactions → "
+            << (masked.overuse_events < plain.overuse_events ? "REPRODUCED" : "NOT met")
+            << '\n';
+  return 0;
+}

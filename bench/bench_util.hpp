@@ -1,0 +1,101 @@
+// Shared plumbing for the figure-reproduction benches: consistent CDF /
+// time-series printing and the paper's standard session configurations.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/session.hpp"
+#include "core/analyzer.hpp"
+#include "core/correlator.hpp"
+#include "stats/cdf.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace athena::bench {
+
+/// Prints a CDF as (x, F(x)) rows plus a summary line.
+inline void PrintCdf(const std::string& name, const stats::Cdf& cdf,
+                     std::size_t points = 20) {
+  std::cout << "\n-- " << name << " --\n";
+  if (cdf.empty()) {
+    std::cout << "(no samples)\n";
+    return;
+  }
+  stats::Table table{{"x", "F(x)"}};
+  for (const auto& p : cdf.Evaluate(points)) table.AddNumericRow({p.x, p.f});
+  table.Print(std::cout);
+  std::cout << "summary: " << cdf.Summary() << '\n';
+}
+
+/// Prints several CDFs on a shared grid, one column per series — the shape
+/// of the paper's multi-line CDF panels.
+inline void PrintCdfPanel(const std::string& title,
+                          const std::vector<std::pair<std::string, const stats::Cdf*>>& series,
+                          std::size_t points = 20) {
+  stats::PrintBanner(std::cout, title);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& [name, cdf] : series) {
+    if (cdf->empty()) continue;
+    lo = std::min(lo, cdf->Min());
+    hi = std::max(hi, cdf->Max());
+  }
+  if (lo > hi) {
+    std::cout << "(no samples)\n";
+    return;
+  }
+  std::vector<std::string> header{"x"};
+  for (const auto& [name, cdf] : series) header.push_back("F_" + name);
+  stats::Table table{header};
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::vector<double> row{x};
+    for (const auto& [name, cdf] : series) row.push_back(cdf->FractionAtOrBelow(x));
+    table.AddNumericRow(row);
+  }
+  table.Print(std::cout);
+  for (const auto& [name, cdf] : series) {
+    std::cout << name << ": " << cdf->Summary() << '\n';
+  }
+}
+
+/// Prints a windowed time series as rows of (t_seconds, value).
+inline void PrintSeries(const std::string& name, const stats::TimeSeries& series,
+                        sim::Duration window) {
+  std::cout << "\n-- " << name << " --\n";
+  stats::Table table{{"t_s", "value"}};
+  for (const auto& w : series.WindowedMean(window)) {
+    table.AddNumericRow({w.window_start.seconds(), w.mean});
+  }
+  table.Print(std::cout);
+}
+
+/// The paper's §2 workload: 20-minute call, cross traffic stepping through
+/// 0 / 14 / 16 / 18 Mbps in 5-minute phases, fading radio, and occasional
+/// handovers (§3.2 mobility — the source of the Fig. 4 seconds-scale tail).
+inline app::SessionConfig PaperWorkload(std::uint64_t seed = 42) {
+  using namespace std::chrono_literals;
+  app::SessionConfig config;
+  config.seed = seed;
+  config.channel = ran::ChannelModel::FadingRadio();
+  config.channel.handover_interval = 90s;
+  config.channel.handover_duration = 650ms;
+  config.cell.cell_ul_capacity_bps = 25e6;
+  config.cross_traffic = net::CapacityTrace::PaperCrossTrafficSchedule(5min);
+  config.cross_burstiness = 0.35;
+  config.cross_modulation_sigma = 0.5;  // competing flows wander slowly
+  return config;
+}
+
+/// An idle cell with a realistic radio (the Fig. 5 / Fig. 10 condition).
+inline app::SessionConfig IdleCellWorkload(std::uint64_t seed = 42) {
+  app::SessionConfig config;
+  config.seed = seed;
+  config.channel = ran::ChannelModel::FadingRadio();
+  config.cell.cell_ul_capacity_bps = 25e6;
+  return config;
+}
+
+}  // namespace athena::bench

@@ -1,0 +1,159 @@
+// athena_cli — scenario runner with CSV export.
+//
+// Run any session configuration from the command line and dump the full
+// cross-layer dataset for offline analysis (pandas/R/gnuplot):
+//
+//   athena_cli [options]
+//     --access=5g|emulated|wifi|leo     access network      (default 5g)
+//     --controller=gcc|nada|scream|l4s  congestion control  (default gcc)
+//     --duration=SECONDS                call length         (default 60)
+//     --seed=N                          RNG seed            (default 42)
+//     --cross-mbps=X                    cross-traffic load  (default 0)
+//     --fading                          enable the fading radio
+//     --out=DIR                         write packets/frames/telemetry/
+//                                       capture CSVs into DIR
+//
+// Example:
+//   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
+//       --out=/tmp/athena_run
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "athena.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace athena;
+
+struct Options {
+  std::string access = "5g";
+  std::string controller = "gcc";
+  int duration_s = 60;
+  std::uint64_t seed = 42;
+  double cross_mbps = 0.0;
+  bool fading = false;
+  std::string out_dir;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "access", &value)) {
+      opt.access = value;
+    } else if (ParseFlag(arg, "controller", &value)) {
+      opt.controller = value;
+    } else if (ParseFlag(arg, "duration", &value)) {
+      opt.duration_s = std::stoi(value);
+    } else if (ParseFlag(arg, "seed", &value)) {
+      opt.seed = std::stoull(value);
+    } else if (ParseFlag(arg, "cross-mbps", &value)) {
+      opt.cross_mbps = std::stod(value);
+    } else if (ParseFlag(arg, "out", &value)) {
+      opt.out_dir = value;
+    } else if (arg == "--fading") {
+      opt.fading = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: athena_cli [--access=5g|emulated|wifi|leo] "
+                   "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
+                   "[--cross-mbps=X] [--fading] [--out=DIR]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Parse(argc, argv);
+
+  app::SessionConfig config;
+  config.seed = opt.seed;
+  if (opt.access == "emulated") {
+    config.access = app::SessionConfig::Access::kEmulated;
+  } else if (opt.access == "wifi") {
+    config.access = app::SessionConfig::Access::kWifiLike;
+  } else if (opt.access == "leo") {
+    config.access = app::SessionConfig::Access::kLeoSat;
+  } else if (opt.access != "5g") {
+    std::cerr << "unknown access network: " << opt.access << '\n';
+    return 2;
+  }
+  if (opt.controller == "nada") {
+    config.controller = app::SessionConfig::Controller::kNada;
+  } else if (opt.controller == "scream") {
+    config.controller = app::SessionConfig::Controller::kScream;
+  } else if (opt.controller == "l4s") {
+    config.controller = app::SessionConfig::Controller::kL4s;
+  } else if (opt.controller != "gcc") {
+    std::cerr << "unknown controller: " << opt.controller << '\n';
+    return 2;
+  }
+  if (opt.fading) config.channel = ran::ChannelModel::FadingRadio();
+  if (opt.cross_mbps > 0.0) {
+    config.cross_traffic = net::CapacityTrace{opt.cross_mbps * 1e6};
+    config.cross_burstiness = 0.35;
+    config.cross_modulation_sigma = 0.5;
+    config.cell.cell_ul_capacity_bps = 25e6;
+  }
+
+  sim::Simulator simulator;
+  app::Session session{simulator, config};
+  std::cout << "running " << opt.duration_s << " s over " << opt.access << " with "
+            << opt.controller << " (seed " << opt.seed << ")...\n";
+  session.Run(std::chrono::seconds{opt.duration_s});
+
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  // --- the cross-layer report ---
+  core::Report::Render(
+      std::cout,
+      core::Report::Inputs{
+          .dataset = &data,
+          .qoe = &session.qoe(),
+          .ran_counters =
+              session.ran_uplink() ? &session.ran_uplink()->counters() : nullptr,
+          .controller_target_bps = session.sender().controller().target_bps(),
+      });
+
+  // --- CSV export ---
+  if (!opt.out_dir.empty()) {
+    auto write = [&](const std::string& name, auto&& writer) {
+      const std::string path = opt.out_dir + "/" + name;
+      std::ofstream os{path};
+      if (!os) {
+        std::cerr << "cannot write " << path << " (does the directory exist?)\n";
+        std::exit(1);
+      }
+      writer(os);
+      std::cout << "wrote " << path << '\n';
+    };
+    write("packets.csv", [&](std::ostream& os) { core::CsvExport::Packets(os, data); });
+    write("frames.csv", [&](std::ostream& os) { core::CsvExport::Frames(os, data); });
+    if (session.ran_uplink() != nullptr) {
+      write("telemetry.csv", [&](std::ostream& os) {
+        core::CsvExport::Telemetry(os, session.ran_uplink()->telemetry());
+      });
+    }
+    write("capture_sender.csv", [&](std::ostream& os) {
+      core::CsvExport::Capture(os, session.sender_capture().records());
+    });
+  }
+  return 0;
+}

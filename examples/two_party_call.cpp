@@ -1,0 +1,53 @@
+// A bidirectional two-party call with the mobile endpoint behind full
+// radio machinery both ways: A's media and feedback climb the 5G uplink
+// (sharing one RLC queue), B's media rides the downlink. Prints the
+// per-direction cross-layer report — the clearest demonstration that the
+// uplink's grant cycle, not the radio, is what jitters.
+#include <chrono>
+#include <iostream>
+
+#include "app/two_party.hpp"
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator simulator;
+  app::TwoPartyConfig config;
+  config.seed = 123;
+  config.channel = ran::ChannelModel::FadingRadio();
+  config.cell.cell_ul_capacity_bps = 25e6;
+  app::TwoPartySession session{simulator, config};
+
+  std::cout << "Running a 60 s two-party call (A on 5G, B wired)...\n";
+  session.Run(60s);
+
+  const auto up = core::Correlator::Correlate(session.BuildUplinkCorrelatorInput());
+  const auto down = core::Correlator::Correlate(session.BuildDownlinkCorrelatorInput());
+
+  std::cout << "\n########## direction A → B (5G uplink) ##########\n";
+  core::Report::Render(std::cout, core::Report::Inputs{
+                                      .dataset = &up,
+                                      .qoe = &session.qoe_at_b(),
+                                      .ran_counters = &session.uplink().counters(),
+                                      .controller_target_bps = std::nullopt,
+                                  });
+
+  std::cout << "\n########## direction B → A (5G downlink) ##########\n";
+  core::Report::Render(std::cout, core::Report::Inputs{
+                                      .dataset = &down,
+                                      .qoe = &session.qoe_at_a(),
+                                      .ran_counters = &session.downlink().counters(),
+                                      .controller_target_bps = std::nullopt,
+                                  });
+
+  stats::Cdf up_owd{core::Analyzer::UplinkOwdSeries(up).Values()};
+  stats::Cdf down_owd{core::Analyzer::UplinkOwdSeries(down).Values()};
+  std::cout << "\nsame radio, different scheduler: uplink p50 "
+            << stats::Fmt(up_owd.Median(), 2) << " ms vs downlink p50 "
+            << stats::Fmt(down_owd.Median(), 2) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Athena's pitch in one example: for the worst-delayed packets of a call,
+// print the full cross-layer story — which video frame the packet belonged
+// to, which transport blocks carried it, how long it waited for a grant,
+// how long it trickled across uplink slots, and how much HARQ added — the
+// per-packet root cause that no single layer can see on its own (Fig. 1).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "app/session.hpp"
+#include "core/analyzer.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace athena;
+  using namespace std::chrono_literals;
+
+  sim::Simulator simulator;
+  app::SessionConfig config;
+  config.seed = 77;
+  config.channel = ran::ChannelModel::FadingRadio();
+  config.cross_traffic = net::CapacityTrace{16e6};
+  config.cell.cell_ul_capacity_bps = 25e6;
+  app::Session session{simulator, config};
+  session.Run(60s);
+
+  auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  // Rank delivered media packets by uplink one-way delay.
+  std::vector<const core::CrossLayerRecord*> worst;
+  for (const auto& p : data.packets) {
+    if (p.reached_core && p.is_media()) worst.push_back(&p);
+  }
+  std::sort(worst.begin(), worst.end(),
+            [](const auto* a, const auto* b) { return a->uplink_owd > b->uplink_owd; });
+
+  stats::PrintBanner(std::cout, "the 10 worst-delayed packets, explained");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, worst.size()); ++i) {
+    const auto& p = *worst[i];
+    std::cout << "\n#" << i + 1 << "  packet " << p.packet_id << " ("
+              << net::ToString(p.kind) << ", " << p.size_bytes << " B)";
+    if (p.is_media()) {
+      std::cout << " — frame " << p.frame_id << " [" << net::ToString(p.layer) << "]";
+    }
+    std::cout << '\n';
+    std::cout << "   sent " << stats::Fmt(p.sent_at.ms(), 3) << " ms, reached core "
+              << stats::Fmt(p.core_at.ms(), 3) << " ms → one-way delay "
+              << stats::Fmt(sim::ToMs(p.uplink_owd), 3) << " ms\n";
+    std::cout << "   carried by " << p.tb_chains.size() << " TB chain(s)";
+    if (p.max_harq_rounds > 0) {
+      std::cout << ", worst chain retransmitted " << int{p.max_harq_rounds} << "×";
+    }
+    std::cout << " — last grant " << ran::ToString(p.last_grant) << '\n';
+    std::cout << "   breakdown: waited " << stats::Fmt(sim::ToMs(p.sched_wait), 2)
+              << " ms for a grant/slot, trickled "
+              << stats::Fmt(sim::ToMs(p.transmission_spread), 2)
+              << " ms across slots, HARQ added " << stats::Fmt(sim::ToMs(p.rtx_inflation), 2)
+              << " ms\n";
+    std::cout << "   verdict: " << core::ToString(p.primary_cause) << '\n';
+  }
+
+  stats::PrintBanner(std::cout, "root causes across all " +
+                                    std::to_string(data.packets.size()) + " packets");
+  for (const auto& [cause, count] : core::Analyzer::RootCauseBreakdown(data)) {
+    std::cout << "  " << core::ToString(cause) << ": " << count << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "app/adaptation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::app {
+
+void ZoomAdaptation::OnFeedback(std::span<const rtp::PacketReport> reports,
+                                sim::TimePoint now) {
+  if (reports.empty()) return;
+
+  for (const auto& r : reports) {
+    const double owd_us = static_cast<double>((r.recv_ts - r.send_ts).count());
+    if (!have_min_ || owd_us < min_owd_us_) {
+      have_min_ = true;
+      min_owd_us_ = owd_us;
+    }
+    const double rel = owd_us - min_owd_us_;
+    if (!have_ewma_) {
+      have_ewma_ = true;
+      delay_ewma_us_ = rel;
+    } else {
+      delay_ewma_us_ += config_.delay_ewma_alpha * (rel - delay_ewma_us_);
+    }
+    if (have_prev_owd_) {
+      const double dev = std::abs(owd_us - prev_owd_us_);
+      jitter_ewma_us_ += config_.jitter_ewma_alpha * (dev - jitter_ewma_us_);
+    }
+    have_prev_owd_ = true;
+    prev_owd_us_ = owd_us;
+  }
+
+  Apply(now);
+
+  delay_log_.Add(now, delay_ewma_us_ / 1e3);
+  const double base_fps = media::NominalFps(encoder_.mode());
+  const double effective =
+      base_fps - (skipping_ ? config_.skip_fraction_when_jittery * base_fps / 2.0 : 0.0);
+  fps_log_.Add(now, effective);
+}
+
+void ZoomAdaptation::Apply(sim::TimePoint now) {
+  const auto delay = smoothed_delay();
+  const auto jitter = smoothed_jitter();
+
+  // --- sticky frame-rate ladder (high absolute delay) ---
+  if (!low_fps_locked_ && delay > config_.high_delay_threshold) {
+    low_fps_locked_ = true;
+    recovery_pending_ = false;
+    encoder_.set_mode(media::SvcMode::kLowFps14);
+    ++downgrades_;
+  } else if (low_fps_locked_) {
+    if (delay < config_.recover_delay_threshold) {
+      if (!recovery_pending_) {
+        recovery_pending_ = true;
+        recovery_start_ = now;
+      } else if (now - recovery_start_ >= config_.recover_hold) {
+        low_fps_locked_ = false;
+        recovery_pending_ = false;
+        encoder_.set_mode(media::SvcMode::kHighFps28);
+        ++recoveries_;
+      }
+    } else {
+      recovery_pending_ = false;
+    }
+  }
+
+  // --- transient frame skipping (high jitter) with hysteresis ---
+  if (!skipping_ && jitter > config_.high_jitter_threshold) {
+    skipping_ = true;
+  } else if (skipping_ && jitter < config_.low_jitter_threshold) {
+    skipping_ = false;
+  }
+  encoder_.set_enhancement_skip_fraction(
+      skipping_ ? config_.skip_fraction_when_jittery : 0.0);
+}
+
+}  // namespace athena::app

@@ -1,0 +1,96 @@
+// Zoom's frame-rate adaptation, as reverse-engineered in §2 ("How Zoom
+// Adapts", Fig. 8) and confirmed by Zoom engineers:
+//
+//   - Very high absolute delay (above ~1 s): switch the SVC ladder to the
+//     14 fps mode (base 7 + low-FPS enhancement) and stay there for a
+//     while — the "more permanent" frame-rate reduction.
+//   - High jitter: transiently skip enhancement frames, dropping the
+//     effective rate to around 20 fps without changing the ladder.
+//
+// The FSM observes delay/jitter through the congestion feedback reports
+// (relative one-way delay against the running minimum, so clock offsets
+// cancel) and drives the VideoEncoder's mode and skip fraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "media/encoder.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace athena::app {
+
+class ZoomAdaptation {
+ public:
+  struct Config {
+    double delay_ewma_alpha = 0.1;
+    double jitter_ewma_alpha = 0.1;
+    /// Relative OWD above this switches to the 14 fps ladder (§2: "reacts
+    /// to very high absolute delay (above one second)").
+    sim::Duration high_delay_threshold{std::chrono::seconds{1}};
+    /// Smoothed delay must stay below this to recover the 28 fps ladder...
+    sim::Duration recover_delay_threshold{std::chrono::milliseconds{150}};
+    /// ...for at least this long (the "more permanently" part).
+    sim::Duration recover_hold{std::chrono::seconds{30}};
+    /// Jitter (EWMA of |ΔOWD|) above this triggers transient skipping.
+    sim::Duration high_jitter_threshold{std::chrono::milliseconds{12}};
+    sim::Duration low_jitter_threshold{std::chrono::milliseconds{6}};
+    /// Skip fraction while jittery: 28 fps → ~20 fps effective.
+    double skip_fraction_when_jittery = 0.55;
+  };
+
+  explicit ZoomAdaptation(media::VideoEncoder& encoder);  // default config
+  ZoomAdaptation(media::VideoEncoder& encoder, Config config)
+      : encoder_(encoder), config_(config) {}
+
+  /// Feed every resolved feedback batch.
+  void OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now);
+
+  [[nodiscard]] media::SvcMode mode() const { return encoder_.mode(); }
+  [[nodiscard]] sim::Duration smoothed_delay() const {
+    return sim::Duration{static_cast<std::int64_t>(delay_ewma_us_)};
+  }
+  [[nodiscard]] sim::Duration smoothed_jitter() const {
+    return sim::Duration{static_cast<std::int64_t>(jitter_ewma_us_)};
+  }
+  [[nodiscard]] bool skipping() const { return skipping_; }
+  [[nodiscard]] std::uint64_t mode_downgrades() const { return downgrades_; }
+  [[nodiscard]] std::uint64_t mode_recoveries() const { return recoveries_; }
+
+  /// Time series of the FSM's view, for Fig. 8: (t, smoothed delay ms) and
+  /// (t, effective target fps).
+  [[nodiscard]] const stats::TimeSeries& delay_log() const { return delay_log_; }
+  [[nodiscard]] const stats::TimeSeries& fps_log() const { return fps_log_; }
+
+ private:
+  void Apply(sim::TimePoint now);
+
+  media::VideoEncoder& encoder_;
+  Config config_;
+
+  bool have_min_ = false;
+  double min_owd_us_ = 0.0;
+  bool have_ewma_ = false;
+  double delay_ewma_us_ = 0.0;
+  double jitter_ewma_us_ = 0.0;
+  double prev_owd_us_ = 0.0;
+  bool have_prev_owd_ = false;
+
+  bool skipping_ = false;
+  bool low_fps_locked_ = false;
+  bool recovery_pending_ = false;
+  sim::TimePoint recovery_start_;
+  std::uint64_t downgrades_ = 0;
+  std::uint64_t recoveries_ = 0;
+
+  stats::TimeSeries delay_log_;
+  stats::TimeSeries fps_log_;
+};
+
+inline ZoomAdaptation::ZoomAdaptation(media::VideoEncoder& encoder)
+    : ZoomAdaptation(encoder, Config{}) {}
+
+}  // namespace athena::app

@@ -1,0 +1,101 @@
+// The sender's congestion-controller seam. The VCA sender programs against
+// this small interface so that GCC, NADA, or the §5.3 PHY-informed
+// controller can be swapped without touching the media pipeline.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "cc/gcc.hpp"
+#include "cc/l4s.hpp"
+#include "cc/nada.hpp"
+#include "cc/scream.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+
+namespace athena::app {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Feeds a resolved feedback batch; returns the updated target bitrate.
+  virtual double OnFeedback(std::span<const rtp::PacketReport> reports,
+                            sim::TimePoint now) = 0;
+
+  /// Called for every outgoing media packet (controllers that track the
+  /// send side — e.g. the §5.3 PHY-informed controller — override this).
+  virtual void OnPacketSent(const net::Packet& /*p*/, sim::TimePoint /*now*/) {}
+
+  [[nodiscard]] virtual double target_bps() const = 0;
+};
+
+/// Google Congestion Control behind the seam.
+class GccController final : public RateController {
+ public:
+  explicit GccController(cc::GoogCc::Config config = {}) : gcc_(config) {}
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) override {
+    return gcc_.OnFeedback(reports, now);
+  }
+  [[nodiscard]] double target_bps() const override { return gcc_.target_bps(); }
+
+  [[nodiscard]] cc::GoogCc& gcc() { return gcc_; }
+  [[nodiscard]] const cc::GoogCc& gcc() const { return gcc_; }
+
+ private:
+  cc::GoogCc gcc_;
+};
+
+/// NADA behind the seam (loss fed from GCC-style batch accounting).
+class NadaRateController final : public RateController {
+ public:
+  explicit NadaRateController(cc::NadaController::Config config = {}) : nada_(config) {}
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) override {
+    loss_.OnBatch(reports.empty() ? 0 : reports.front().transport_seq,
+                  reports.empty() ? 0 : reports.back().transport_seq, reports.size());
+    return nada_.OnFeedback(reports, loss_.LossFraction(), now);
+  }
+  [[nodiscard]] double target_bps() const override { return nada_.target_bps(); }
+
+  [[nodiscard]] const cc::NadaController& nada() const { return nada_; }
+
+ private:
+  cc::NadaController nada_;
+  cc::LossEstimator loss_;
+};
+
+/// SCReAM behind the seam.
+class ScreamRateController final : public RateController {
+ public:
+  explicit ScreamRateController(cc::ScreamController::Config config = {}) : scream_(config) {}
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) override {
+    return scream_.OnFeedback(reports, now);
+  }
+  [[nodiscard]] double target_bps() const override { return scream_.target_bps(); }
+
+  [[nodiscard]] const cc::ScreamController& scream() const { return scream_; }
+
+ private:
+  cc::ScreamController scream_;
+};
+
+/// L4S/ECN behind the seam (requires the RAN's marking to be enabled).
+class L4sRateController final : public RateController {
+ public:
+  explicit L4sRateController(cc::L4sController::Config config = {}) : l4s_(config) {}
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) override {
+    return l4s_.OnFeedback(reports, now);
+  }
+  [[nodiscard]] double target_bps() const override { return l4s_.target_bps(); }
+
+  [[nodiscard]] const cc::L4sController& l4s() const { return l4s_; }
+
+ private:
+  cc::L4sController l4s_;
+};
+
+}  // namespace athena::app

@@ -1,0 +1,44 @@
+#include "app/pacer.hpp"
+
+#include <algorithm>
+
+namespace athena::app {
+
+Pacer::Pacer(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(config), pacing_rate_bps_(config.min_rate_bps) {}
+
+void Pacer::set_target_bitrate(double bps) {
+  pacing_rate_bps_ = std::max(config_.min_rate_bps, bps * config_.rate_factor);
+}
+
+void Pacer::Send(const net::Packet& p) {
+  if (queue_.size() >= config_.max_queue_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(p);
+  MaybeSchedule();
+}
+
+void Pacer::MaybeSchedule() {
+  if (armed_ || queue_.empty()) return;
+  armed_ = true;
+  const sim::TimePoint at = std::max(next_send_, sim_.Now());
+  sim_.ScheduleAt(at, [this] { SendHead(); });
+}
+
+void Pacer::SendHead() {
+  armed_ = false;
+  if (queue_.empty()) return;
+  const net::Packet p = queue_.front();
+  queue_.pop_front();
+  ++sent_;
+  // The bucket drains at the pacing rate: the next packet may leave after
+  // this one's serialization budget elapses.
+  const double interval_s = static_cast<double>(p.size_bytes) * 8.0 / pacing_rate_bps_;
+  next_send_ = sim_.Now() + sim::FromSeconds(interval_s);
+  if (sink_) sink_(p);
+  MaybeSchedule();
+}
+
+}  // namespace athena::app

@@ -1,0 +1,55 @@
+#include "app/receiver.hpp"
+
+namespace athena::app {
+
+VcaReceiver::Config VcaReceiver::DefaultConfig() {
+  Config c;
+  c.audio_jb.media_clock_hz = 48'000;
+  c.audio_jb.min_playout_delay = sim::Duration{std::chrono::milliseconds{20}};
+  return c;
+}
+
+VcaReceiver::VcaReceiver(sim::Simulator& sim, Config config, net::PacketIdGenerator& ids,
+                         media::QoeCollector& qoe)
+    : sim_(sim),
+      qoe_(qoe),
+      video_jb_(sim, config.video_jb),
+      audio_jb_(sim, config.audio_jb),
+      twcc_(sim, config.twcc, ids),
+      nack_(sim, config.nack, ids),
+      screen_(sim, config.screen) {
+  nack_enabled_ = config.nack_enabled;
+  video_jb_.set_render_callback([this](const media::RenderedFrame& f) {
+    screen_.OnFrameRendered(f);
+    qoe_.OnFrameRendered(f);
+  });
+  audio_jb_.set_render_callback(
+      [this](const media::RenderedFrame& f) { qoe_.OnFrameRendered(f); });
+}
+
+void VcaReceiver::Start() {
+  twcc_.Start();
+  if (nack_enabled_) nack_.Start();
+  screen_.Start();
+}
+
+void VcaReceiver::Stop() {
+  twcc_.Stop();
+  nack_.Stop();
+  screen_.Stop();
+}
+
+void VcaReceiver::OnPacket(const net::Packet& p) {
+  if (!p.is_media()) return;
+  ++packets_received_;
+  qoe_.OnPacketReceived(p, sim_.Now());
+  twcc_.OnMediaPacket(p);
+  if (nack_enabled_) nack_.OnMediaPacket(p);
+  if (p.is_video()) {
+    video_jb_.OnPacket(p);
+  } else {
+    audio_jb_.OnPacket(p);
+  }
+}
+
+}  // namespace athena::app

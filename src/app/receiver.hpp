@@ -1,0 +1,69 @@
+// The receiving VCA endpoint: jitter buffers (separate for video and
+// audio, as real VCAs keep independent playout clocks), TWCC feedback
+// generation, the virtual screen + 70 fps capture, and QoE collection.
+#pragma once
+
+#include <cstdint>
+
+#include "media/jitter_buffer.hpp"
+#include "media/qoe.hpp"
+#include "media/screen_capture.hpp"
+#include "net/packet.hpp"
+#include "rtp/nack.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::app {
+
+class VcaReceiver {
+ public:
+  struct Config {
+    media::JitterBuffer::Config video_jb;
+    media::JitterBuffer::Config audio_jb;
+    rtp::TwccReceiver::Config twcc;
+    media::ScreenCapture::Config screen;
+    rtp::NackGenerator::Config nack;
+    bool nack_enabled = true;
+  };
+
+  VcaReceiver(sim::Simulator& sim, Config config, net::PacketIdGenerator& ids,
+              media::QoeCollector& qoe);
+
+  void Start();
+  void Stop();
+
+  /// Feed every packet that arrives at the receiver host.
+  void OnPacket(const net::Packet& p);
+  [[nodiscard]] net::PacketHandler AsHandler() {
+    return [this](const net::Packet& p) { OnPacket(p); };
+  }
+
+  /// RTCP feedback (TWCC reports and NACKs) goes back through this path.
+  void set_feedback_path(net::PacketHandler h) {
+    twcc_.set_feedback_path(h);
+    nack_.set_feedback_path(std::move(h));
+  }
+
+  [[nodiscard]] media::JitterBuffer& video_jitter_buffer() { return video_jb_; }
+  [[nodiscard]] media::JitterBuffer& audio_jitter_buffer() { return audio_jb_; }
+  [[nodiscard]] media::ScreenCapture& screen() { return screen_; }
+  [[nodiscard]] media::QoeCollector& qoe() { return qoe_; }
+  [[nodiscard]] rtp::NackGenerator& nack_generator() { return nack_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+
+  /// Default configuration with the audio jitter buffer on the 48 kHz clock.
+  [[nodiscard]] static Config DefaultConfig();
+
+ private:
+  sim::Simulator& sim_;
+  media::QoeCollector& qoe_;
+  media::JitterBuffer video_jb_;
+  media::JitterBuffer audio_jb_;
+  rtp::TwccReceiver twcc_;
+  rtp::NackGenerator nack_;
+  bool nack_enabled_ = true;
+  media::ScreenCapture screen_;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace athena::app

@@ -1,0 +1,22 @@
+#include "app/sfu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::app {
+
+void SfuServer::OnPacket(const net::Packet& p) {
+  double proc_ms = rng_.LogNormal(std::log(config_.proc_median_ms), config_.proc_sigma);
+  if (rng_.Bernoulli(config_.spike_probability)) {
+    proc_ms += rng_.Uniform(config_.spike_ms_min, config_.spike_ms_max);
+  }
+  sim::TimePoint out_at = sim_.Now() + sim::FromMs(proc_ms);
+  out_at = std::max(out_at, last_out_);  // the worker drains its queue FIFO
+  last_out_ = out_at;
+  sim_.ScheduleAt(out_at, [this, p] {
+    ++forwarded_;
+    if (forward_) forward_(p);
+  });
+}
+
+}  // namespace athena::app

@@ -1,0 +1,48 @@
+// The conferencing server (Zoom SFU in Fig. 2): forwards media between
+// parties with *application-layer* processing time. §2 takeaway (b): the
+// server's processing — absent from ICMP probes that are reflected in the
+// kernel — is a secondary source of jitter. We model per-packet processing
+// as a lognormal with an occasional heavy-tail spike.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::app {
+
+class SfuServer {
+ public:
+  struct Config {
+    double proc_median_ms = 1.2;     ///< median per-packet processing
+    double proc_sigma = 0.5;         ///< lognormal sigma
+    double spike_probability = 0.01; ///< occasional GC/scheduler stall...
+    double spike_ms_min = 5.0;
+    double spike_ms_max = 25.0;
+  };
+
+  SfuServer(sim::Simulator& sim, Config config, sim::Rng rng)
+      : sim_(sim), config_(config), rng_(rng) {}
+
+  /// Media in (capture point ③) → processed → forward path (③*).
+  void OnPacket(const net::Packet& p);
+  [[nodiscard]] net::PacketHandler AsHandler() {
+    return [this](const net::Packet& p) { OnPacket(p); };
+  }
+
+  void set_forward_path(net::PacketHandler h) { forward_ = std::move(h); }
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  net::PacketHandler forward_;
+  sim::TimePoint last_out_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace athena::app

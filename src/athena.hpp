@@ -1,0 +1,41 @@
+// Umbrella header: everything a typical Athena user needs.
+//
+//   #include "athena.hpp"
+//
+// pulls in the session builder (Fig. 2 topology), the correlator and
+// analyzers (the measurement framework itself), the congestion-controller
+// family, the mitigation components, and the stats utilities. Individual
+// headers remain includable on their own for finer-grained builds.
+#pragma once
+
+#include "app/adaptation.hpp"     // IWYU pragma: export
+#include "app/controller.hpp"     // IWYU pragma: export
+#include "app/receiver.hpp"       // IWYU pragma: export
+#include "app/sender.hpp"         // IWYU pragma: export
+#include "app/session.hpp"        // IWYU pragma: export
+#include "app/sfu.hpp"            // IWYU pragma: export
+#include "cc/gcc.hpp"             // IWYU pragma: export
+#include "cc/l4s.hpp"             // IWYU pragma: export
+#include "cc/nada.hpp"            // IWYU pragma: export
+#include "cc/scream.hpp"          // IWYU pragma: export
+#include "core/analyzer.hpp"      // IWYU pragma: export
+#include "core/clock_sync.hpp"    // IWYU pragma: export
+#include "core/correlator.hpp"    // IWYU pragma: export
+#include "core/export.hpp"        // IWYU pragma: export
+#include "core/overuse_audit.hpp" // IWYU pragma: export
+#include "core/report.hpp"        // IWYU pragma: export
+#include "core/wifi_correlator.hpp"  // IWYU pragma: export
+#include "media/emodel.hpp"       // IWYU pragma: export
+#include "media/encoder.hpp"      // IWYU pragma: export
+#include "media/jitter_buffer.hpp"  // IWYU pragma: export
+#include "media/qoe.hpp"          // IWYU pragma: export
+#include "net/trace_link.hpp"     // IWYU pragma: export
+#include "net/wireless_links.hpp" // IWYU pragma: export
+#include "rtp/nack.hpp"           // IWYU pragma: export
+#include "mitigation/app_aware_policy.hpp"   // IWYU pragma: export
+#include "mitigation/phy_informed.hpp"       // IWYU pragma: export
+#include "mitigation/traffic_predictor.hpp"  // IWYU pragma: export
+#include "ran/uplink.hpp"         // IWYU pragma: export
+#include "sim/simulator.hpp"      // IWYU pragma: export
+#include "stats/cdf.hpp"          // IWYU pragma: export
+#include "stats/table.hpp"        // IWYU pragma: export

@@ -1,0 +1,86 @@
+#include "cc/aimd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::cc {
+
+void AckedBitrateEstimator::OnAckedBytes(std::uint32_t bytes, sim::TimePoint recv_ts) {
+  entries_.push_back(Entry{recv_ts, bytes});
+  while (!entries_.empty() && recv_ts - entries_.front().t > window_) entries_.pop_front();
+}
+
+std::optional<double> AckedBitrateEstimator::BitrateBps(sim::TimePoint now) const {
+  if (entries_.size() < 2) return std::nullopt;
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (now - e.t <= window_) total += e.bytes;
+  }
+  return static_cast<double>(total) * 8.0 / sim::ToSeconds(window_);
+}
+
+void AimdRateControl::Update(BandwidthUsage usage, std::optional<double> acked_bps,
+                             sim::TimePoint now) {
+  if (!have_last_update_) {
+    have_last_update_ = true;
+    last_update_ = now;
+  }
+  const double dt_s = std::min(sim::ToSeconds(now - last_update_), 1.0);
+  last_update_ = now;
+
+  // State machine (Carlucci et al., Fig. 4): overuse always decreases,
+  // underuse always holds, normal resumes increasing.
+  switch (usage) {
+    case BandwidthUsage::kOverusing:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderusing:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      if (state_ != State::kIncrease) state_ = State::kIncrease;
+      break;
+  }
+
+  switch (state_) {
+    case State::kHold:
+      break;
+    case State::kDecrease: {
+      const double basis = acked_bps.value_or(target_bps_);
+      target_bps_ = std::max(config_.min_bps, config_.beta * basis);
+      // Remember where the link gave out: convergence estimate.
+      if (!have_link_estimate_) {
+        have_link_estimate_ = true;
+        link_mean_bps_ = basis;
+      } else {
+        link_mean_bps_ += 0.05 * (basis - link_mean_bps_);
+      }
+      ++decreases_;
+      state_ = State::kHold;  // wait for normal before increasing again
+      break;
+    }
+    case State::kIncrease: {
+      const bool near_convergence =
+          have_link_estimate_ &&
+          target_bps_ > link_mean_bps_ * (1.0 - 3.0 * link_var_rel_) &&
+          target_bps_ < link_mean_bps_ * (1.0 + 3.0 * link_var_rel_);
+      const double before = target_bps_;
+      if (near_convergence) {
+        target_bps_ += config_.additive_bps_per_s * dt_s;
+      } else {
+        target_bps_ *= std::pow(config_.increase_factor, dt_s);
+      }
+      // Don't *grow* far beyond what the path demonstrably delivers (the
+      // cap limits increase; it never pulls an established target down —
+      // decreases are the detector's job).
+      if (acked_bps) {
+        const double cap = 1.5 * *acked_bps + 10e3;
+        if (target_bps_ > cap) target_bps_ = std::max(cap, before);
+      }
+      break;
+    }
+  }
+  target_bps_ = std::clamp(target_bps_, config_.min_bps, config_.max_bps);
+}
+
+}  // namespace athena::cc

@@ -1,0 +1,80 @@
+// AIMD rate control (the back half of GCC): maps the overuse detector's
+// signal to a send-rate target. Multiplicative increase far from the
+// estimated convergence point, additive near it; multiplicative decrease
+// to β × the measured delivery rate on overuse.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "cc/trendline.hpp"
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+/// Delivery ("acked") bitrate over a sliding window, computed from the
+/// feedback reports.
+class AckedBitrateEstimator {
+ public:
+  explicit AckedBitrateEstimator(sim::Duration window = std::chrono::milliseconds{500})
+      : window_(window) {}
+
+  void OnAckedBytes(std::uint32_t bytes, sim::TimePoint recv_ts);
+  [[nodiscard]] std::optional<double> BitrateBps(sim::TimePoint now) const;
+
+ private:
+  struct Entry {
+    sim::TimePoint t;
+    std::uint32_t bytes = 0;
+  };
+  sim::Duration window_;
+  std::deque<Entry> entries_;
+};
+
+class AimdRateControl {
+ public:
+  struct Config {
+    double initial_bps = 600e3;
+    double min_bps = 80e3;
+    double max_bps = 4e6;
+    double beta = 0.85;                ///< decrease factor
+    double increase_factor = 1.08;     ///< multiplicative increase per second
+    double additive_bps_per_s = 40e3;  ///< near-convergence additive step
+    sim::Duration rtt{std::chrono::milliseconds{100}};
+  };
+
+  AimdRateControl();  // defaults (defined below: nested-Config quirk)
+  explicit AimdRateControl(Config config) : config_(config) {
+    target_bps_ = config_.initial_bps;
+  }
+
+  /// Applies one detector update. `acked_bps` is the measured delivery
+  /// rate, when available.
+  void Update(BandwidthUsage usage, std::optional<double> acked_bps, sim::TimePoint now);
+
+  [[nodiscard]] double target_bps() const { return target_bps_; }
+
+  enum class State : std::uint8_t { kHold, kIncrease, kDecrease };
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint64_t decreases() const { return decreases_; }
+
+ private:
+  Config config_;
+  double target_bps_;
+  State state_ = State::kIncrease;
+
+  // Moving average/variance of the throughput at decrease time: defines
+  // the "near convergence" band that switches increase to additive mode.
+  bool have_link_estimate_ = false;
+  double link_mean_bps_ = 0.0;
+  double link_var_rel_ = 0.15;  // variance relative to mean
+
+  bool have_last_update_ = false;
+  sim::TimePoint last_update_;
+  std::uint64_t decreases_ = 0;
+};
+
+inline AimdRateControl::AimdRateControl() : AimdRateControl(Config{}) {}
+
+}  // namespace athena::cc

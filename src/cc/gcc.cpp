@@ -1,0 +1,82 @@
+#include "cc/gcc.hpp"
+
+#include <algorithm>
+
+namespace athena::cc {
+
+void LossEstimator::OnBatch(std::uint16_t first_seq, std::uint16_t last_seq,
+                            std::size_t received) {
+  // Sequence numbers wrap; the span of a batch is small, so modular
+  // distance is safe.
+  const std::uint16_t span = static_cast<std::uint16_t>(last_seq - first_seq);
+  batches_.push_back(Batch{static_cast<std::uint32_t>(span) + 1,
+                           static_cast<std::uint32_t>(received)});
+  if (batches_.size() > kMaxBatches) batches_.erase(batches_.begin());
+}
+
+double LossEstimator::LossFraction() const {
+  std::uint64_t expected = 0;
+  std::uint64_t received = 0;
+  for (const auto& b : batches_) {
+    expected += b.expected;
+    received += b.received;
+  }
+  if (expected == 0 || received >= expected) return 0.0;
+  return static_cast<double>(expected - received) / static_cast<double>(expected);
+}
+
+GoogCc::GoogCc() : GoogCc(Config{}) {}
+
+GoogCc::GoogCc(Config config)
+    : config_(config),
+      inter_arrival_(config.inter_arrival),
+      trendline_(config.trendline),
+      aimd_(config.aimd),
+      loss_based_bps_(config.aimd.max_bps) {}
+
+double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) {
+  if (reports.empty()) return target_bps();
+
+  for (const auto& r : reports) {
+    acked_.OnAckedBytes(r.size_bytes, r.recv_ts);
+    if (const auto deltas = inter_arrival_.OnPacket(r.send_ts, r.recv_ts)) {
+      ++detector_updates_;
+      trendline_.Update(deltas->recv_delta, deltas->send_delta, r.recv_ts);
+      if (trendline_.State() == BandwidthUsage::kOverusing &&
+          prev_usage_ != BandwidthUsage::kOverusing) {
+        ++overuse_events_;
+      }
+      prev_usage_ = trendline_.State();
+      if (config_.keep_history) {
+        history_.push_back(Snapshot{
+            .t = r.recv_ts,
+            .group_index = detector_updates_,
+            .raw_gradient_ms = sim::ToMs(deltas->recv_delta) - sim::ToMs(deltas->send_delta),
+            .trend = trendline_.trend(),
+            .modified_trend_ms = trendline_.modified_trend_ms(),
+            .threshold_ms = trendline_.threshold_ms(),
+            .state = trendline_.State(),
+            .target_bps = aimd_.target_bps(),
+        });
+      }
+    }
+  }
+
+  aimd_.Update(trendline_.State(), acked_.BitrateBps(now), now);
+
+  // Loss-based bound.
+  loss_.OnBatch(reports.front().transport_seq, reports.back().transport_seq, reports.size());
+  const double loss = loss_.LossFraction();
+  if (loss > config_.loss_decrease_threshold) {
+    loss_based_bps_ =
+        std::max(config_.aimd.min_bps, aimd_.target_bps() * (1.0 - 0.5 * loss));
+  } else if (loss < config_.loss_increase_threshold) {
+    loss_based_bps_ = std::min(config_.aimd.max_bps, loss_based_bps_ * 1.02);
+  }
+
+  return target_bps();
+}
+
+double GoogCc::target_bps() const { return std::min(aimd_.target_bps(), loss_based_bps_); }
+
+}  // namespace athena::cc

@@ -1,0 +1,90 @@
+// Google Congestion Control, assembled: inter-arrival grouping → trendline
+// filter → overuse detector → AIMD, combined with a loss-based controller
+// (the delay-based estimate usually binds; loss binds under heavy drops).
+// This is the controller §4 runs over the idle 5G uplink to produce
+// Fig. 10, and the default controller of the VCA sender in src/app/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cc/aimd.hpp"
+#include "cc/inter_arrival.hpp"
+#include "cc/trendline.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+/// Simple windowed loss estimator over transport-wide sequence numbers.
+class LossEstimator {
+ public:
+  /// Feeds the highest seq seen and the count received for a feedback
+  /// batch; loss fraction is computed over a rolling set of batches.
+  void OnBatch(std::uint16_t first_seq, std::uint16_t last_seq, std::size_t received);
+  [[nodiscard]] double LossFraction() const;
+
+ private:
+  struct Batch {
+    std::uint32_t expected = 0;
+    std::uint32_t received = 0;
+  };
+  std::vector<Batch> batches_;
+  static constexpr std::size_t kMaxBatches = 20;
+};
+
+class GoogCc {
+ public:
+  struct Config {
+    InterArrival::Config inter_arrival;
+    TrendlineEstimator::Config trendline;
+    AimdRateControl::Config aimd;
+    double loss_decrease_threshold = 0.10;  ///< loss > 10% → back off
+    double loss_increase_threshold = 0.02;  ///< loss < 2% → allow probing
+    bool keep_history = true;               ///< record Fig.-10 snapshots
+  };
+
+  GoogCc();  // defaults (defined in gcc.cpp: nested-Config quirk)
+  explicit GoogCc(Config config);
+
+  /// Feeds a resolved TWCC feedback batch. Returns the (possibly updated)
+  /// target bitrate.
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now);
+
+  [[nodiscard]] double target_bps() const;
+  [[nodiscard]] double delay_based_bps() const { return aimd_.target_bps(); }
+  [[nodiscard]] double LossFraction() const { return loss_.LossFraction(); }
+  [[nodiscard]] BandwidthUsage usage() const { return trendline_.State(); }
+  [[nodiscard]] const TrendlineEstimator& trendline() const { return trendline_; }
+  [[nodiscard]] std::uint64_t overuse_events() const { return overuse_events_; }
+  [[nodiscard]] std::uint64_t detector_updates() const { return detector_updates_; }
+
+  /// Per-group detector snapshots for reproducing Fig. 10.
+  struct Snapshot {
+    sim::TimePoint t;
+    std::uint64_t group_index = 0;
+    double raw_gradient_ms = 0.0;      ///< unsmoothed inter-group delta
+    double trend = 0.0;                ///< filtered delay gradient (slope)
+    double modified_trend_ms = 0.0;
+    double threshold_ms = 0.0;
+    BandwidthUsage state = BandwidthUsage::kNormal;
+    double target_bps = 0.0;
+  };
+  [[nodiscard]] const std::vector<Snapshot>& history() const { return history_; }
+
+ private:
+  Config config_;
+  InterArrival inter_arrival_;
+  TrendlineEstimator trendline_;
+  AimdRateControl aimd_;
+  AckedBitrateEstimator acked_;
+  LossEstimator loss_;
+  double loss_based_bps_;
+  std::uint64_t overuse_events_ = 0;
+  std::uint64_t detector_updates_ = 0;
+  BandwidthUsage prev_usage_ = BandwidthUsage::kNormal;
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace athena::cc

@@ -1,0 +1,39 @@
+#include "cc/inter_arrival.hpp"
+
+namespace athena::cc {
+
+std::optional<InterArrival::Deltas> InterArrival::OnPacket(sim::TimePoint send_ts,
+                                                           sim::TimePoint recv_ts) {
+  if (!current_.valid) {
+    current_ = Group{send_ts, send_ts, recv_ts, 1, true};
+    return std::nullopt;
+  }
+
+  // Same group while the send time stays within the burst window of the
+  // group's first packet.
+  if (send_ts - current_.first_send <= config_.burst_interval) {
+    current_.last_send = std::max(current_.last_send, send_ts);
+    current_.last_recv = std::max(current_.last_recv, recv_ts);
+    ++current_.packets;
+    return std::nullopt;
+  }
+
+  std::optional<Deltas> out;
+  if (previous_.valid) {
+    out = Deltas{
+        .send_delta = current_.last_send - previous_.last_send,
+        .recv_delta = current_.last_recv - previous_.last_recv,
+        .packets = current_.packets,
+    };
+  }
+  previous_ = current_;
+  current_ = Group{send_ts, send_ts, recv_ts, 1, true};
+  return out;
+}
+
+void InterArrival::Reset() {
+  current_ = Group{};
+  previous_ = Group{};
+}
+
+}  // namespace athena::cc

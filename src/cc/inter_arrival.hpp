@@ -1,0 +1,54 @@
+// Packet grouping for the delay-based estimator. GCC does not difference
+// individual packets: packets sent within one burst window (5 ms) form a
+// group, and the estimator works on inter-group deltas
+//   d = (recv_i − recv_{i−1}) − (send_i − send_{i−1})
+// — the one-way delay gradient of §4 of the paper, computed exactly as
+// WebRTC's InterArrival does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+class InterArrival {
+ public:
+  struct Config {
+    sim::Duration burst_interval{std::chrono::milliseconds{5}};
+  };
+
+  InterArrival();  // defaults (defined below: nested-Config quirk)
+  explicit InterArrival(Config config) : config_(config) {}
+
+  struct Deltas {
+    sim::Duration send_delta{0};
+    sim::Duration recv_delta{0};
+    int packets = 0;  ///< packets in the completed group
+  };
+
+  /// Feeds one packet (send/receive timestamps in their own clocks).
+  /// Returns the deltas between the two *previous* groups when this packet
+  /// starts a new group and at least two groups have completed.
+  std::optional<Deltas> OnPacket(sim::TimePoint send_ts, sim::TimePoint recv_ts);
+
+  void Reset();
+
+ private:
+  struct Group {
+    sim::TimePoint first_send;
+    sim::TimePoint last_send;
+    sim::TimePoint last_recv;
+    int packets = 0;
+    bool valid = false;
+  };
+
+  Config config_;
+  Group current_;
+  Group previous_;
+};
+
+inline InterArrival::InterArrival() : InterArrival(Config{}) {}
+
+}  // namespace athena::cc

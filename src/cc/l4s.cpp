@@ -1,0 +1,39 @@
+#include "cc/l4s.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::cc {
+
+double L4sController::OnFeedback(std::span<const rtp::PacketReport> reports,
+                                 sim::TimePoint now) {
+  if (reports.empty()) return target_bps_;
+
+  std::size_t marked = 0;
+  for (const auto& r : reports) marked += r.ce ? 1 : 0;
+  const double frac = static_cast<double>(marked) / static_cast<double>(reports.size());
+  alpha_ += config_.alpha_gain * (frac - alpha_);
+
+  if (!have_last_) {
+    have_last_ = true;
+    last_update_ = now;
+    last_backoff_ = now - config_.backoff_interval;  // allow an immediate brake
+    return target_bps_;
+  }
+  const double dt_s = std::min(sim::ToSeconds(now - last_update_), 1.0);
+  last_update_ = now;
+
+  if (marked > 0 && now - last_backoff_ >= config_.backoff_interval) {
+    // DCTCP-style brake proportional to the smoothed marking fraction.
+    target_bps_ *= 1.0 - alpha_ / 2.0;
+    last_backoff_ = now;
+    ++backoffs_;
+  } else if (marked == 0) {
+    target_bps_ = target_bps_ * std::pow(config_.multiplicative_per_s, dt_s) +
+                  config_.additive_bps_per_s * dt_s;
+  }
+  target_bps_ = std::clamp(target_bps_, config_.min_bps, config_.max_bps);
+  return target_bps_;
+}
+
+}  // namespace athena::cc

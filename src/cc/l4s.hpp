@@ -1,0 +1,57 @@
+// An L4S/DCTCP-style controller driven by ECN marks instead of delay —
+// §5.3: "As a protocol, L4S is attractive, as it adopts ECN bits in the IP
+// header to accelerate or brake the sender (cf. ABC)".
+//
+// Here the *modem* applies the marks (it knows precisely how long each
+// packet waited for a grant), so the congestion signal is clean by
+// construction: scheduling artifacts below the marking threshold never
+// reach the controller, and real queue growth shows up within one slot.
+// The controller is DCTCP-flavoured: an EWMA of the per-feedback marking
+// fraction scales multiplicative decrease; absence of marks permits
+// additive + gentle multiplicative increase.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+class L4sController {
+ public:
+  struct Config {
+    double initial_bps = 600e3;
+    double min_bps = 80e3;
+    double max_bps = 4e6;
+    double alpha_gain = 0.25;        ///< EWMA gain on the marking fraction
+    double additive_bps_per_s = 100e3;
+    double multiplicative_per_s = 1.04;
+    sim::Duration backoff_interval{std::chrono::milliseconds{100}};  ///< ≥ once per RTT
+  };
+
+  L4sController();  // defaults (defined below: nested-Config quirk)
+  explicit L4sController(Config config) : config_(config) {
+    target_bps_ = config_.initial_bps;
+  }
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now);
+
+  [[nodiscard]] double target_bps() const { return target_bps_; }
+  [[nodiscard]] double marking_alpha() const { return alpha_; }
+  [[nodiscard]] std::uint64_t backoffs() const { return backoffs_; }
+
+ private:
+  Config config_;
+  double target_bps_;
+  double alpha_ = 0.0;
+  bool have_last_ = false;
+  sim::TimePoint last_update_;
+  sim::TimePoint last_backoff_;
+  std::uint64_t backoffs_ = 0;
+};
+
+inline L4sController::L4sController() : L4sController(Config{}) {}
+
+}  // namespace athena::cc

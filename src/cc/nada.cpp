@@ -1,0 +1,51 @@
+#include "cc/nada.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::cc {
+
+double NadaController::OnFeedback(std::span<const rtp::PacketReport> reports,
+                                  double loss_fraction, sim::TimePoint now) {
+  if (reports.empty()) return target_bps_;
+
+  // One-way delay (receiver clock minus sender clock): the absolute value
+  // is offset by the clock difference, which cancels in the
+  // queuing-delay computation against the running minimum.
+  for (const auto& r : reports) {
+    const double owd_ms = sim::ToMs(r.recv_ts - r.send_ts);
+    if (!base_owd_ms_ || owd_ms < *base_owd_ms_) base_owd_ms_ = owd_ms;
+    if (!have_owd_) {
+      have_owd_ = true;
+      owd_ewma_ms_ = owd_ms;
+    } else {
+      owd_ewma_ms_ += config_.delay_ewma_alpha * (owd_ms - owd_ewma_ms_);
+    }
+  }
+  queue_ms_ = std::max(0.0, owd_ewma_ms_ - base_owd_ms_.value_or(owd_ewma_ms_));
+  x_curr_ms_ = queue_ms_ + loss_fraction * 100.0 * config_.loss_penalty_ms_per_percent;
+
+  if (!have_last_) {
+    have_last_ = true;
+    last_update_ = now;
+    return target_bps_;
+  }
+  const double delta_ms = std::min(sim::ToMs(now - last_update_), 2.0 * config_.tau_ms);
+  last_update_ = now;
+
+  if (x_curr_ms_ < config_.queue_epsilon_ms && loss_fraction == 0.0) {
+    // Accelerated ramp-up: grow bounded by eta per tau.
+    const double gamma =
+        std::min(config_.eta * delta_ms / config_.tau_ms, 0.5);
+    target_bps_ *= 1.0 + 0.1 * gamma;
+  } else {
+    // Gradual update (RFC 8698 §4.3, simplified): drive x toward x_ref.
+    const double x_offset = x_curr_ms_ - config_.x_ref_ms;
+    target_bps_ -= config_.kappa * (delta_ms / config_.tau_ms) *
+                   (x_offset / config_.tau_ms) * target_bps_;
+  }
+  target_bps_ = std::clamp(target_bps_, config_.min_bps, config_.max_bps);
+  return target_bps_;
+}
+
+}  // namespace athena::cc

@@ -1,0 +1,58 @@
+// NADA-lite: a compact implementation of the NADA congestion controller
+// (Zhu & Pan, Packet Video '13; RFC 8698) — one of the delay-based
+// algorithms §4 of the paper names alongside GCC and SCReAM. Serves as a
+// second controller for comparing sensitivity to RAN-induced delay
+// artifacts (a different filter, the same vulnerability).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+class NadaController {
+ public:
+  struct Config {
+    double initial_bps = 600e3;
+    double min_bps = 80e3;
+    double max_bps = 4e6;
+    double x_ref_ms = 10.0;       ///< reference congestion signal
+    double kappa = 0.5;           ///< gradual-update scaling
+    double tau_ms = 500.0;        ///< target feedback interval constant
+    double eta = 2.0;             ///< ramp-up cap scale
+    double queue_epsilon_ms = 10.0;  ///< "no congestion" bound for ramp-up
+    double loss_penalty_ms_per_percent = 10.0;
+    double delay_ewma_alpha = 0.1;
+  };
+
+  NadaController();  // defaults (defined below: nested-Config quirk)
+  explicit NadaController(Config config) : config_(config) {
+    target_bps_ = config_.initial_bps;
+  }
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, double loss_fraction,
+                    sim::TimePoint now);
+
+  [[nodiscard]] double target_bps() const { return target_bps_; }
+  [[nodiscard]] double congestion_signal_ms() const { return x_curr_ms_; }
+  [[nodiscard]] double queuing_delay_ms() const { return queue_ms_; }
+
+ private:
+  Config config_;
+  double target_bps_;
+  std::optional<double> base_owd_ms_;  ///< min observed one-way delay
+  double owd_ewma_ms_ = 0.0;
+  bool have_owd_ = false;
+  double queue_ms_ = 0.0;
+  double x_curr_ms_ = 0.0;
+  bool have_last_ = false;
+  sim::TimePoint last_update_;
+};
+
+inline NadaController::NadaController() : NadaController(Config{}) {}
+
+}  // namespace athena::cc

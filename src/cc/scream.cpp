@@ -1,0 +1,46 @@
+#include "cc/scream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::cc {
+
+double ScreamController::OnFeedback(std::span<const rtp::PacketReport> reports,
+                                    sim::TimePoint /*now*/) {
+  if (reports.empty()) return target_bps();
+
+  std::uint64_t acked_bytes = 0;
+  for (const auto& r : reports) {
+    const double owd_ms = sim::ToMs(r.recv_ts - r.send_ts);
+    if (!base_owd_ms_ || owd_ms < *base_owd_ms_) base_owd_ms_ = owd_ms;
+    const double q = std::max(0.0, owd_ms - *base_owd_ms_);
+    if (!have_qdelay_) {
+      have_qdelay_ = true;
+      qdelay_ms_ = q;
+    } else {
+      qdelay_ms_ += config_.qdelay_ewma_alpha * (q - qdelay_ms_);
+    }
+    acked_bytes += r.size_bytes;
+  }
+
+  // off_target in [-1, 1]: positive = headroom, negative = standing queue.
+  const double off_target =
+      std::clamp((config_.qdelay_target_ms - qdelay_ms_) / config_.qdelay_target_ms,
+                 -1.0, 1.0);
+  const double gain = off_target >= 0 ? config_.gain_up : config_.gain_down;
+  // RFC 8298-style window update: proportional to acked bytes, scaled by
+  // how far we sit from the delay target.
+  cwnd_bytes_ += gain * off_target * static_cast<double>(acked_bytes) * 1200.0 /
+                 std::max(cwnd_bytes_, 1200.0);
+
+  const double min_cwnd = config_.min_bps / 8.0 * config_.assumed_rtt_ms / 1e3;
+  const double max_cwnd = config_.max_bps / 8.0 * config_.assumed_rtt_ms / 1e3;
+  cwnd_bytes_ = std::clamp(cwnd_bytes_, min_cwnd, max_cwnd);
+  return target_bps();
+}
+
+double ScreamController::target_bps() const {
+  return cwnd_bytes_ * 8.0 / (config_.assumed_rtt_ms / 1e3);
+}
+
+}  // namespace athena::cc

@@ -1,0 +1,55 @@
+// SCReAM-lite: a compact implementation of the self-clocked rate
+// adaptation of SCReAM (Johansson, CSWS '14; RFC 8298) — the third
+// delay-based controller §4 of the paper names next to GCC and NADA.
+//
+// Core loop: estimate queuing delay as OWD minus a running minimum, drive
+// a byte congestion window toward a queuing-delay target, convert the
+// window into a send rate via the smoothed RTT. Like every member of the
+// family, it reads delay as congestion — so the RAN's scheduling and HARQ
+// artifacts perturb it exactly the way the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "rtp/twcc.hpp"
+#include "sim/time.hpp"
+
+namespace athena::cc {
+
+class ScreamController {
+ public:
+  struct Config {
+    double initial_bps = 600e3;
+    double min_bps = 80e3;
+    double max_bps = 4e6;
+    double qdelay_target_ms = 60.0;   ///< RFC 8298 default ballpark
+    double gain_up = 1.0;             ///< window gain when under target
+    double gain_down = 2.0;           ///< stronger reaction over target
+    double qdelay_ewma_alpha = 0.25;
+    double assumed_rtt_ms = 80.0;     ///< floor for the rate conversion
+  };
+
+  ScreamController();  // defaults (defined below: nested-Config quirk)
+  explicit ScreamController(Config config) : config_(config) {
+    cwnd_bytes_ = config_.initial_bps / 8.0 * config_.assumed_rtt_ms / 1e3;
+  }
+
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now);
+
+  [[nodiscard]] double target_bps() const;
+  [[nodiscard]] double qdelay_ms() const { return qdelay_ms_; }
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_bytes_; }
+
+ private:
+  Config config_;
+  double cwnd_bytes_;
+  std::optional<double> base_owd_ms_;
+  double qdelay_ms_ = 0.0;
+  bool have_qdelay_ = false;
+};
+
+inline ScreamController::ScreamController() : ScreamController(Config{}) {}
+
+}  // namespace athena::cc

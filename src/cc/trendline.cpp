@@ -1,0 +1,110 @@
+#include "cc/trendline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::cc {
+
+const char* ToString(BandwidthUsage usage) {
+  switch (usage) {
+    case BandwidthUsage::kNormal: return "normal";
+    case BandwidthUsage::kOverusing: return "overusing";
+    case BandwidthUsage::kUnderusing: return "underusing";
+  }
+  return "?";
+}
+
+void TrendlineEstimator::Update(sim::Duration recv_delta, sim::Duration send_delta,
+                                sim::TimePoint arrival) {
+  const double delta_ms = sim::ToMs(recv_delta) - sim::ToMs(send_delta);
+  ++num_deltas_;
+  if (!have_first_arrival_) {
+    have_first_arrival_ = true;
+    first_arrival_ = arrival;
+  }
+
+  accumulated_delay_ms_ += delta_ms;
+  smoothed_delay_ms_ = config_.smoothing * smoothed_delay_ms_ +
+                       (1.0 - config_.smoothing) * accumulated_delay_ms_;
+
+  window_.push_back(Sample{sim::ToMs(arrival - first_arrival_), smoothed_delay_ms_});
+  if (window_.size() > config_.window_size) window_.pop_front();
+
+  if (window_.size() == config_.window_size) {
+    prev_trend_ = trend_;
+    trend_ = LinearFitSlope();
+  }
+
+  Detect(arrival);
+}
+
+double TrendlineEstimator::LinearFitSlope() const {
+  // Ordinary least squares over (arrival_ms, smoothed_delay_ms).
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  const auto n = static_cast<double>(window_.size());
+  for (const auto& s : window_) {
+    sum_x += s.arrival_ms;
+    sum_y += s.smoothed_delay_ms;
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const auto& s : window_) {
+    const double dx = s.arrival_ms - mean_x;
+    numerator += dx * (s.smoothed_delay_ms - mean_y);
+    denominator += dx * dx;
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+void TrendlineEstimator::Detect(sim::TimePoint now) {
+  if (num_deltas_ < 2) {
+    state_ = BandwidthUsage::kNormal;
+    return;
+  }
+  const double multiplier =
+      std::min(static_cast<double>(num_deltas_), static_cast<double>(config_.max_deltas));
+  modified_trend_ms_ = multiplier * trend_ * config_.threshold_gain;
+
+  if (modified_trend_ms_ > threshold_ms_) {
+    if (!overusing_) {
+      overusing_ = true;
+      overuse_start_ = now;
+    }
+    // Require the overuse condition to persist and the trend not to be
+    // falling before declaring overuse (WebRTC's hysteresis).
+    if (now - overuse_start_ >= config_.overuse_time_threshold && trend_ >= prev_trend_) {
+      state_ = BandwidthUsage::kOverusing;
+    }
+  } else if (modified_trend_ms_ < -threshold_ms_) {
+    overusing_ = false;
+    state_ = BandwidthUsage::kUnderusing;
+  } else {
+    overusing_ = false;
+    state_ = BandwidthUsage::kNormal;
+  }
+
+  UpdateThreshold(modified_trend_ms_, now);
+}
+
+void TrendlineEstimator::UpdateThreshold(double modified_trend, sim::TimePoint now) {
+  if (!have_last_update_) {
+    have_last_update_ = true;
+    last_threshold_update_ = now;
+  }
+  const double abs_trend = std::abs(modified_trend);
+  // Large spikes (e.g., a routing change) must not poison the threshold.
+  if (abs_trend > threshold_ms_ + 15.0) {
+    last_threshold_update_ = now;
+    return;
+  }
+  const double k = abs_trend < threshold_ms_ ? config_.k_down : config_.k_up;
+  const double dt_ms = std::min(sim::ToMs(now - last_threshold_update_), 100.0);
+  threshold_ms_ += k * (abs_trend - threshold_ms_) * dt_ms;
+  threshold_ms_ = std::clamp(threshold_ms_, config_.min_threshold_ms, config_.max_threshold_ms);
+  last_threshold_update_ = now;
+}
+
+}  // namespace athena::cc

@@ -1,0 +1,133 @@
+#include "core/analyzer.hpp"
+
+#include <cmath>
+
+namespace athena::core {
+
+stats::TimeSeries Analyzer::UplinkOwdSeries(const CrossLayerDataset& data,
+                                            std::optional<net::PacketKind> kind) {
+  stats::TimeSeries out;
+  for (const auto& p : data.packets) {
+    if (!p.reached_core) continue;
+    if (kind && p.kind != *kind) continue;
+    out.Add(p.sent_at, sim::ToMs(p.uplink_owd));
+  }
+  return out;
+}
+
+stats::TimeSeries Analyzer::WanOwdSeries(const CrossLayerDataset& data) {
+  stats::TimeSeries out;
+  for (const auto& p : data.packets) {
+    if (!p.reached_receiver || !p.reached_core) continue;
+    out.Add(p.core_at, sim::ToMs(p.wan_owd));
+  }
+  return out;
+}
+
+stats::Cdf Analyzer::RanDelayCdf(const CrossLayerDataset& data, bool audio) {
+  stats::Cdf out;
+  for (const auto& p : data.packets) {
+    if (!p.reached_core) continue;
+    const bool is_audio = p.kind == net::PacketKind::kRtpAudio;
+    const bool is_video = p.kind == net::PacketKind::kRtpVideo;
+    if (audio ? !is_audio : !is_video) continue;
+    out.Add(sim::ToMs(p.uplink_owd));
+  }
+  return out;
+}
+
+stats::Cdf Analyzer::FrameDelayCdfByLayer(const CrossLayerDataset& data, net::SvcLayer layer) {
+  stats::Cdf out;
+  for (const auto& f : data.frames) {
+    if (f.is_audio || f.layer != layer || !f.complete_at_core) continue;
+    out.Add(sim::ToMs(f.FrameDelay()));
+  }
+  return out;
+}
+
+stats::Cdf Analyzer::DelaySpreadCdf(const CrossLayerDataset& data, SpreadAt where,
+                                    bool include_audio) {
+  stats::Cdf out;
+  for (const auto& f : data.frames) {
+    if (f.is_audio && !include_audio) continue;
+    if (where == SpreadAt::kSender) {
+      out.Add(sim::ToMs(f.SenderSpread()));
+    } else {
+      if (!f.complete_at_core) continue;
+      out.Add(sim::ToMs(f.CoreSpread()));
+    }
+  }
+  return out;
+}
+
+stats::Cdf Analyzer::FrameDelayCdf(const CrossLayerDataset& data, bool video_only) {
+  stats::Cdf out;
+  for (const auto& f : data.frames) {
+    if (video_only && f.is_audio) continue;
+    if (!f.complete_at_core) continue;
+    out.Add(sim::ToMs(f.FrameDelay()));
+  }
+  return out;
+}
+
+std::map<RootCause, std::uint64_t> Analyzer::RootCauseBreakdown(const CrossLayerDataset& data) {
+  std::map<RootCause, std::uint64_t> out;
+  for (const auto& p : data.packets) ++out[p.primary_cause];
+  return out;
+}
+
+Analyzer::Decomposition Analyzer::MeanDecomposition(const CrossLayerDataset& data) {
+  Decomposition d;
+  for (const auto& p : data.packets) {
+    if (!p.reached_core || (p.kind != net::PacketKind::kRtpVideo &&
+                            p.kind != net::PacketKind::kRtpAudio)) {
+      continue;
+    }
+    ++d.packets;
+    d.sched_wait_ms += sim::ToMs(p.sched_wait);
+    d.spread_ms += sim::ToMs(p.transmission_spread);
+    d.rtx_ms += sim::ToMs(p.rtx_inflation);
+    d.total_ms += sim::ToMs(p.uplink_owd);
+  }
+  if (d.packets == 0) return d;
+  const auto n = static_cast<double>(d.packets);
+  d.sched_wait_ms /= n;
+  d.spread_ms /= n;
+  d.rtx_ms /= n;
+  d.total_ms /= n;
+  d.remainder_ms = d.total_ms - d.sched_wait_ms - d.spread_ms - d.rtx_ms;
+  return d;
+}
+
+net::DelayTrace Analyzer::BuildDelayTrace(const CrossLayerDataset& data) {
+  std::vector<net::DelayTrace::Sample> samples;
+  bool have_first = false;
+  sim::TimePoint first;
+  for (const auto& p : data.packets) {
+    if (!p.reached_core || !p.is_media()) continue;
+    if (!have_first) {
+      have_first = true;
+      first = p.sent_at;
+    }
+    samples.push_back(net::DelayTrace::Sample{p.sent_at - first, p.uplink_owd});
+  }
+  return net::DelayTrace{std::move(samples)};
+}
+
+double Analyzer::SpreadGridFraction(const CrossLayerDataset& data, sim::Duration grid,
+                                    sim::Duration tolerance) {
+  std::uint64_t total = 0;
+  std::uint64_t on_grid = 0;
+  const double grid_ms = sim::ToMs(grid);
+  const double tol_ms = sim::ToMs(tolerance);
+  for (const auto& f : data.frames) {
+    if (!f.complete_at_core) continue;
+    const double spread_ms = sim::ToMs(f.CoreSpread());
+    ++total;
+    const double nearest = std::round(spread_ms / grid_ms) * grid_ms;
+    if (std::abs(spread_ms - nearest) <= tol_ms) ++on_grid;
+  }
+  return total ? static_cast<double>(on_grid) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace athena::core

@@ -1,0 +1,74 @@
+// Analysis helpers over the correlated dataset: the aggregations behind
+// each figure of the paper (one-way-delay series, audio/video RAN-delay
+// CDFs, per-frame delay spread, root-cause breakdowns).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/correlator.hpp"
+#include "net/trace_link.hpp"
+#include "stats/cdf.hpp"
+#include "stats/timeseries.hpp"
+
+namespace athena::core {
+
+class Analyzer {
+ public:
+  /// Fig. 3: per-packet uplink one-way delay (sender → core) over time,
+  /// in ms, optionally restricted to one packet kind.
+  [[nodiscard]] static stats::TimeSeries UplinkOwdSeries(
+      const CrossLayerDataset& data, std::optional<net::PacketKind> kind = std::nullopt);
+
+  /// Fig. 3: core → receiver one-way delay over time (RTP 2→3*→4).
+  [[nodiscard]] static stats::TimeSeries WanOwdSeries(const CrossLayerDataset& data);
+
+  /// Fig. 4: CDF of RAN (uplink) delay in ms for audio or video packets.
+  [[nodiscard]] static stats::Cdf RanDelayCdf(const CrossLayerDataset& data, bool audio);
+
+  /// Per-SVC-layer frame delay CDF (ms) — the L7 importance dimension:
+  /// base-layer frames gate decode of everything after them, so their
+  /// delay matters more than enhancement frames' (§2, §5.2).
+  [[nodiscard]] static stats::Cdf FrameDelayCdfByLayer(const CrossLayerDataset& data,
+                                                       net::SvcLayer layer);
+
+  /// Fig. 5: CDF of per-frame delay spread (ms) at the sender or the core.
+  enum class SpreadAt : std::uint8_t { kSender, kCore };
+  [[nodiscard]] static stats::Cdf DelaySpreadCdf(const CrossLayerDataset& data, SpreadAt where,
+                                                 bool include_audio = true);
+
+  /// Frame-level one-way delay CDF (first packet sent → last packet at
+  /// core) — the §5.2 metric the mitigations target.
+  [[nodiscard]] static stats::Cdf FrameDelayCdf(const CrossLayerDataset& data,
+                                                bool video_only = true);
+
+  /// Packets per primary root cause.
+  [[nodiscard]] static std::map<RootCause, std::uint64_t> RootCauseBreakdown(
+      const CrossLayerDataset& data);
+
+  /// Mean uplink delay decomposition in ms over media packets:
+  /// {sched_wait, spread, rtx, remainder}.
+  struct Decomposition {
+    double sched_wait_ms = 0.0;
+    double spread_ms = 0.0;
+    double rtx_ms = 0.0;
+    double remainder_ms = 0.0;  ///< core hop + decode pipeline
+    double total_ms = 0.0;
+    std::uint64_t packets = 0;
+  };
+  [[nodiscard]] static Decomposition MeanDecomposition(const CrossLayerDataset& data);
+
+  /// Fraction of delay-spread samples lying within `tolerance` of the UL
+  /// slot grid — quantifies the Fig. 5 / Fig. 9a "increments of 2.5 ms"
+  /// observation.
+  [[nodiscard]] static double SpreadGridFraction(const CrossLayerDataset& data,
+                                                 sim::Duration grid, sim::Duration tolerance);
+
+  /// Harvests a replayable (send-offset → one-way delay) trace from the
+  /// correlated media packets — the raw material for the §5.1 trace-driven
+  /// "GCC simulator" (net::TraceDrivenLink).
+  [[nodiscard]] static net::DelayTrace BuildDelayTrace(const CrossLayerDataset& data);
+};
+
+}  // namespace athena::core

@@ -1,0 +1,245 @@
+#include "core/correlator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace athena::core {
+
+const char* ToString(RootCause cause) {
+  switch (cause) {
+    case RootCause::kNone: return "none";
+    case RootCause::kSlotAlignment: return "slot-alignment";
+    case RootCause::kBsrWait: return "bsr-wait";
+    case RootCause::kRetransmission: return "retransmission";
+    case RootCause::kCapacityContention: return "capacity-contention";
+  }
+  return "?";
+}
+
+const CrossLayerRecord* CrossLayerDataset::FindPacket(net::PacketId id) const {
+  for (const auto& p : packets) {
+    if (p.packet_id == id) return &p;
+  }
+  return nullptr;
+}
+
+const FrameRecord* CrossLayerDataset::FindFrame(std::uint64_t frame_id) const {
+  for (const auto& f : frames) {
+    if (f.frame_id == frame_id) return &f;
+  }
+  return nullptr;
+}
+
+/// A HARQ chain reconstructed from telemetry: one unit of MAC-layer data,
+/// transmitted once or more.
+struct Correlator::TbChain {
+  ran::TbId chain_id = 0;
+  sim::TimePoint first_tx;
+  sim::TimePoint decoded_at;      ///< first crc_ok transmission
+  bool decoded = false;
+  std::uint8_t rounds = 0;        ///< extra transmissions beyond the first
+  std::uint32_t used_bytes = 0;
+  ran::GrantType grant = ran::GrantType::kProactive;
+};
+
+namespace {
+
+struct PendingPacket {
+  const net::CaptureRecord* record = nullptr;
+  sim::TimePoint sent_common;
+  std::uint32_t remaining = 0;
+  // Filled during the drain:
+  std::vector<const Correlator::TbChain*> chains;
+};
+
+RootCause Classify(const CrossLayerRecord& rec, const ran::RanConfig& cell) {
+  const auto slot = cell.ul_slot_period;
+  const auto rtx = rec.rtx_inflation;
+  const auto wait = rec.sched_wait;
+  const auto spread = rec.transmission_spread;
+
+  if (rtx >= cell.rtx_delay && rtx >= wait && rtx >= spread) {
+    return RootCause::kRetransmission;
+  }
+  const auto dominant = std::max(wait, spread);
+  if (dominant > cell.bsr_scheduling_delay + slot) return RootCause::kCapacityContention;
+  if (spread > sim::Duration{slot.count() / 2} || wait > slot) return RootCause::kBsrWait;
+  if (wait > sim::Duration{200}) return RootCause::kSlotAlignment;
+  return RootCause::kNone;
+}
+
+}  // namespace
+
+CrossLayerDataset Correlator::Correlate(const CorrelatorInput& input) {
+  CrossLayerDataset out;
+
+  // ---- Step 1: everything onto the common (core) clock. ----
+  std::vector<PendingPacket> packets;
+  packets.reserve(input.sender.size());
+  for (const auto& rec : input.sender) {
+    packets.push_back(PendingPacket{
+        .record = &rec,
+        .sent_common = rec.local_ts + input.sender_offset,
+        .remaining = rec.size_bytes,
+        .chains = {},
+    });
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const PendingPacket& a, const PendingPacket& b) {
+                     return a.sent_common < b.sent_common;
+                   });
+
+  // ---- Step 2a: rebuild HARQ chains from the telemetry stream. ----
+  std::map<ran::TbId, TbChain> chains_by_id;
+  for (const auto& tb : input.telemetry) {
+    auto [it, inserted] = chains_by_id.try_emplace(tb.chain_id);
+    TbChain& chain = it->second;
+    if (inserted) {
+      chain.chain_id = tb.chain_id;
+      chain.first_tx = tb.slot_time;
+      chain.used_bytes = tb.used_bytes;
+      chain.grant = tb.grant;
+    }
+    chain.first_tx = std::min(chain.first_tx, tb.slot_time);
+    chain.rounds = std::max(chain.rounds, tb.harq_round);
+    if (tb.crc_ok && (!chain.decoded || tb.slot_time < chain.decoded_at)) {
+      chain.decoded = true;
+      chain.decoded_at = tb.slot_time;
+    }
+  }
+  std::vector<TbChain*> chains;
+  chains.reserve(chains_by_id.size());
+  for (auto& [id, chain] : chains_by_id) chains.push_back(&chain);
+  std::stable_sort(chains.begin(), chains.end(), [](const TbChain* a, const TbChain* b) {
+    return a->first_tx < b->first_tx;
+  });
+
+  // ---- Step 2b: FIFO byte-conservation drain. The UE's RLC queue is
+  // FIFO, so the n-th TB byte carries the n-th queued packet byte; no
+  // eligibility heuristics needed, which also makes the matching immune
+  // to (bounded) clock-offset estimation error. ----
+  std::size_t pkt_idx = 0;
+  for (TbChain* chain : chains) {
+    std::uint32_t avail = chain->used_bytes;
+    while (avail > 0 && pkt_idx < packets.size()) {
+      PendingPacket& pkt = packets[pkt_idx];
+      if (pkt.remaining == 0) {
+        ++pkt_idx;
+        continue;
+      }
+      const std::uint32_t take = std::min(avail, pkt.remaining);
+      pkt.remaining -= take;
+      avail -= take;
+      if (pkt.chains.empty() || pkt.chains.back() != chain) pkt.chains.push_back(chain);
+      if (pkt.remaining == 0) ++pkt_idx;
+    }
+    out.unmatched_tb_bytes += avail;
+  }
+  for (const auto& pkt : packets) out.unmatched_packet_bytes += pkt.remaining;
+
+  // ---- L3 joins: core and receiver captures by packet id. ----
+  std::unordered_map<net::PacketId, sim::TimePoint> core_ts;
+  core_ts.reserve(input.core.size());
+  for (const auto& rec : input.core) core_ts.emplace(rec.packet_id, rec.local_ts);
+  std::unordered_map<net::PacketId, sim::TimePoint> recv_ts;
+  recv_ts.reserve(input.receiver.size());
+  for (const auto& rec : input.receiver) recv_ts.emplace(rec.packet_id, rec.local_ts);
+
+  // ---- Step 3: emit per-packet records with delay decomposition. ----
+  out.packets.reserve(packets.size());
+  for (const auto& pkt : packets) {
+    const net::CaptureRecord& rec = *pkt.record;
+    CrossLayerRecord r;
+    r.packet_id = rec.packet_id;
+    r.kind = rec.kind;
+    r.size_bytes = rec.size_bytes;
+    if (rec.rtp) {
+      r.frame_id = rec.rtp->frame_id;
+      r.layer = rec.rtp->layer;
+    }
+    r.sent_at = pkt.sent_common;
+
+    if (!pkt.chains.empty()) {
+      sim::TimePoint delivered = pkt.chains.front()->first_tx;
+      sim::TimePoint last_first_tx = pkt.chains.front()->first_tx;
+      for (const TbChain* chain : pkt.chains) {
+        r.tb_chains.push_back(chain->chain_id);
+        r.max_harq_rounds = std::max(r.max_harq_rounds, chain->rounds);
+        last_first_tx = std::max(last_first_tx, chain->first_tx);
+        if (chain->decoded) delivered = std::max(delivered, chain->decoded_at);
+      }
+      const TbChain* first = pkt.chains.front();
+      const TbChain* last = pkt.chains.back();
+      r.last_grant = last->grant;
+      r.sched_wait = std::max(first->first_tx - pkt.sent_common, sim::Duration{0});
+      r.transmission_spread = last_first_tx - first->first_tx;
+      r.rtx_inflation = std::max(delivered - last_first_tx, sim::Duration{0});
+    }
+
+    if (const auto it = core_ts.find(rec.packet_id); it != core_ts.end()) {
+      r.reached_core = true;
+      r.core_at = it->second;
+      r.uplink_owd = r.core_at - r.sent_at;
+    }
+    if (const auto it = recv_ts.find(rec.packet_id); it != recv_ts.end()) {
+      r.reached_receiver = true;
+      r.receiver_at = it->second + input.receiver_offset;
+      if (r.reached_core) r.wan_owd = r.receiver_at - r.core_at;
+    }
+
+    r.primary_cause = Classify(r, input.cell);
+    out.packets.push_back(std::move(r));
+  }
+
+  // ---- Per-frame aggregation (L7). ----
+  struct FrameScratch {
+    FrameRecord record;
+    std::uint32_t expected = 0;
+    std::uint32_t arrived_at_core = 0;
+    bool seen_core = false;
+  };
+  std::map<std::uint64_t, FrameScratch> frames;
+  for (const auto& pkt : packets) {
+    const net::CaptureRecord& rec = *pkt.record;
+    if (!rec.rtp) continue;
+    const auto frame_id = rec.rtp->frame_id;
+    auto [it, inserted] = frames.try_emplace(frame_id);
+    FrameScratch& s = it->second;
+    FrameRecord& f = s.record;
+    if (inserted) {
+      f.frame_id = frame_id;
+      f.layer = rec.rtp->layer;
+      f.is_audio = rec.kind == net::PacketKind::kRtpAudio;
+      f.first_sent = pkt.sent_common;
+      f.last_sent = pkt.sent_common;
+      s.expected = rec.rtp->packets_in_frame;
+    }
+    ++f.packets;
+    f.first_sent = std::min(f.first_sent, pkt.sent_common);
+    f.last_sent = std::max(f.last_sent, pkt.sent_common);
+    if (const auto core_it = core_ts.find(rec.packet_id); core_it != core_ts.end()) {
+      const sim::TimePoint at = core_it->second;
+      ++s.arrived_at_core;
+      if (!s.seen_core) {
+        s.seen_core = true;
+        f.first_core = at;
+        f.last_core = at;
+      } else {
+        f.first_core = std::min(f.first_core, at);
+        f.last_core = std::max(f.last_core, at);
+      }
+    }
+  }
+  out.frames.reserve(frames.size());
+  for (auto& [frame_id, s] : frames) {
+    // Complete at the core once every packet of the frame arrived there.
+    s.record.complete_at_core = s.expected > 0 && s.arrived_at_core >= s.expected;
+    out.frames.push_back(s.record);
+  }
+
+  return out;
+}
+
+}  // namespace athena::core

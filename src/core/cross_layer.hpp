@@ -1,0 +1,87 @@
+// Cross-layer record types: the output schema of the Athena correlator —
+// one record per uplink packet, annotated with every layer's view of it
+// (Fig. 1): the transport blocks that carried it (L1/L2), its one-way
+// delays between capture points (L3), and the media frame/SVC layer it
+// belongs to (L7), plus a decomposition of *why* it was delayed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "ran/types.hpp"
+#include "sim/time.hpp"
+
+namespace athena::core {
+
+/// Primary explanation for a packet's uplink delay (§3's two causes, split
+/// finer).
+enum class RootCause : std::uint8_t {
+  kNone,               ///< delivered within one slot period: no artifact
+  kSlotAlignment,      ///< waited (only) for the next TDD uplink slot
+  kBsrWait,            ///< queued until a BSR-requested grant matured (§3.1)
+  kRetransmission,     ///< HARQ rounds inflated the delay (§3.2)
+  kCapacityContention, ///< grant clipping under cross traffic stretched delivery
+};
+
+[[nodiscard]] const char* ToString(RootCause cause);
+
+/// One correlated uplink packet.
+struct CrossLayerRecord {
+  net::PacketId packet_id = 0;
+  net::PacketKind kind = net::PacketKind::kGeneric;
+  std::uint32_t size_bytes = 0;
+
+  // L7 identity (from RTP header extensions).
+  std::uint64_t frame_id = 0;
+  net::SvcLayer layer = net::SvcLayer::kNone;
+
+  // L3 timestamps on the correlator's common clock.
+  sim::TimePoint sent_at;       ///< capture point ① (sender egress)
+  sim::TimePoint core_at;       ///< capture point ② (mobile core)
+  bool reached_core = false;
+  sim::TimePoint receiver_at;   ///< capture point ④ (if receiver log given)
+  bool reached_receiver = false;
+
+  // L1/L2: the transport-block chains that carried this packet's bytes.
+  std::vector<ran::TbId> tb_chains;
+  std::uint8_t max_harq_rounds = 0;   ///< worst chain's extra rounds
+  ran::GrantType last_grant = ran::GrantType::kProactive;
+
+  // Delay decomposition (uplink = sched_wait + spread + rtx + core hop).
+  sim::Duration uplink_owd{0};       ///< sent_at → core_at
+  sim::Duration sched_wait{0};       ///< sent_at → first TB transmission
+  sim::Duration transmission_spread{0};  ///< first TB → TB with the last byte
+  sim::Duration rtx_inflation{0};    ///< HARQ rounds on the final chain
+  sim::Duration wan_owd{0};          ///< core_at → receiver_at
+
+  RootCause primary_cause = RootCause::kNone;
+
+  [[nodiscard]] bool is_media() const {
+    return kind == net::PacketKind::kRtpVideo || kind == net::PacketKind::kRtpAudio;
+  }
+};
+
+/// Per-media-frame aggregate (a frame renders only when its last packet
+/// arrives, so frame-level delay is what QoE actually feels — §5.2).
+struct FrameRecord {
+  std::uint64_t frame_id = 0;
+  net::SvcLayer layer = net::SvcLayer::kNone;
+  bool is_audio = false;
+  std::uint32_t packets = 0;
+
+  sim::TimePoint first_sent;
+  sim::TimePoint last_sent;
+  sim::TimePoint first_core;
+  sim::TimePoint last_core;
+  bool complete_at_core = false;
+
+  /// Burst length at the sender (≈0 for a single burst write).
+  [[nodiscard]] sim::Duration SenderSpread() const { return last_sent - first_sent; }
+  /// Fig. 5: how far the RAN smeared the frame out.
+  [[nodiscard]] sim::Duration CoreSpread() const { return last_core - first_core; }
+  /// Frame-level one-way delay: first packet out → last packet at core.
+  [[nodiscard]] sim::Duration FrameDelay() const { return last_core - first_sent; }
+};
+
+}  // namespace athena::core

@@ -1,0 +1,66 @@
+#include "core/overuse_audit.hpp"
+
+#include <algorithm>
+
+namespace athena::core {
+
+OveruseAudit::Summary OveruseAudit::Audit(const std::vector<cc::GoogCc::Snapshot>& history,
+                                          const CrossLayerDataset& data, sim::Duration window,
+                                          sim::Duration receiver_to_core) {
+  Summary summary;
+
+  // Media packets sorted by core-clock send time for windowed lookups.
+  std::vector<const CrossLayerRecord*> packets;
+  packets.reserve(data.packets.size());
+  for (const auto& p : data.packets) {
+    if (p.is_media()) packets.push_back(&p);
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const CrossLayerRecord* a, const CrossLayerRecord* b) {
+              return a->sent_at < b->sent_at;
+            });
+
+  bool was_overusing = false;
+  for (const auto& snapshot : history) {
+    const bool overusing = snapshot.state == cc::BandwidthUsage::kOverusing;
+    if (!overusing || was_overusing) {
+      was_overusing = overusing;
+      continue;
+    }
+    was_overusing = true;
+
+    OveruseEvent event;
+    event.at = snapshot.t;
+    const sim::TimePoint core_time = snapshot.t + receiver_to_core;
+    const sim::TimePoint from = core_time - window;
+
+    const auto lo = std::lower_bound(
+        packets.begin(), packets.end(), from,
+        [](const CrossLayerRecord* p, sim::TimePoint t) { return p->sent_at < t; });
+    for (auto it = lo; it != packets.end() && (*it)->sent_at <= core_time; ++it) {
+      ++event.window_packets;
+      ++event.cause_counts[(*it)->primary_cause];
+    }
+
+    // Dominant non-benign cause; slot alignment alone cannot grow a trend,
+    // so it does not count as an explanation.
+    std::uint32_t best = 0;
+    for (const auto& [cause, count] : event.cause_counts) {
+      if (cause == RootCause::kNone || cause == RootCause::kSlotAlignment) continue;
+      if (count > best) {
+        best = count;
+        event.dominant_cause = cause;
+      }
+    }
+    // Phantom = the delays GCC reacted to were RAN mechanics, not a queue.
+    event.phantom = event.dominant_cause == RootCause::kRetransmission ||
+                    event.dominant_cause == RootCause::kBsrWait;
+    if (event.window_packets > 0) {
+      (event.phantom ? summary.phantom_events : summary.genuine_events) += 1;
+      summary.events.push_back(std::move(event));
+    }
+  }
+  return summary;
+}
+
+}  // namespace athena::core

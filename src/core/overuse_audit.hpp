@@ -1,0 +1,55 @@
+// The overuse audit: Athena's cross-layer view applied to the congestion
+// controller itself. For every overuse event GCC declares, look up what
+// the RAN was actually doing to the packets in the detector's window —
+// retransmission bursts, BSR scheduling spreads, genuine capacity
+// contention — and classify the event as *phantom* (a RAN artifact, §4)
+// or *genuine* (real queue growth). This is the analysis behind the
+// Fig. 10 claim that an idle 5G network makes GCC cry wolf.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cc/gcc.hpp"
+#include "core/correlator.hpp"
+
+namespace athena::core {
+
+struct OveruseEvent {
+  sim::TimePoint at;                 ///< receiver time of the overuse verdict
+  RootCause dominant_cause = RootCause::kNone;
+  bool phantom = false;              ///< true if caused by RAN artifacts
+  std::uint32_t window_packets = 0;
+  std::map<RootCause, std::uint32_t> cause_counts;
+};
+
+class OveruseAudit {
+ public:
+  struct Summary {
+    std::vector<OveruseEvent> events;
+    std::uint32_t phantom_events = 0;
+    std::uint32_t genuine_events = 0;
+
+    [[nodiscard]] double PhantomFraction() const {
+      const auto total = phantom_events + genuine_events;
+      return total ? static_cast<double>(phantom_events) / total : 0.0;
+    }
+  };
+
+  /// Joins GCC's detector history with the correlated dataset. Each
+  /// transition into the overusing state is audited against the media
+  /// packets sent within `window` before the verdict.
+  ///
+  /// Note on clocks: snapshot timestamps are receiver-side arrival times
+  /// while dataset timestamps sit on the core clock; `receiver_to_core`
+  /// shifts the former onto the latter (≈ −(WAN + SFU) one-way delay; a
+  /// rough value is fine because the window is wide).
+  [[nodiscard]] static Summary Audit(const std::vector<cc::GoogCc::Snapshot>& history,
+                                     const CrossLayerDataset& data,
+                                     sim::Duration window = std::chrono::milliseconds{500},
+                                     sim::Duration receiver_to_core =
+                                         std::chrono::milliseconds{-22});
+};
+
+}  // namespace athena::core

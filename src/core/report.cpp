@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "stats/table.hpp"
+
+namespace athena::core {
+
+void Report::Render(std::ostream& os, const Inputs& inputs) {
+  if (inputs.dataset == nullptr) {
+    os << "(no dataset)\n";
+    return;
+  }
+  const CrossLayerDataset& data = *inputs.dataset;
+
+  stats::PrintBanner(os, "Athena cross-layer session report");
+  os << "correlated packets: " << data.packets.size() << "  (unmatched TB bytes "
+     << data.unmatched_tb_bytes << ", unmatched packet bytes "
+     << data.unmatched_packet_bytes << ")\n";
+  os << "media frames/samples: " << data.frames.size() << "\n";
+
+  const auto video = Analyzer::RanDelayCdf(data, /*audio=*/false);
+  const auto audio = Analyzer::RanDelayCdf(data, /*audio=*/true);
+  if (!video.empty()) os << "\nRAN delay, video (ms): " << video.Summary() << '\n';
+  if (!audio.empty()) os << "RAN delay, audio (ms): " << audio.Summary() << '\n';
+
+  const auto spread = Analyzer::DelaySpreadCdf(data, Analyzer::SpreadAt::kCore);
+  if (!spread.empty()) {
+    os << "frame delay spread at core (ms): " << spread.Summary() << '\n';
+    os << "fraction on the 2.5 ms slot grid: "
+       << stats::Fmt(Analyzer::SpreadGridFraction(data, std::chrono::microseconds{2500},
+                                                  std::chrono::microseconds{100}),
+                     4)
+       << '\n';
+  }
+
+  const auto decomp = Analyzer::MeanDecomposition(data);
+  if (decomp.packets > 0) {
+    os << "\nmean uplink delay decomposition over " << decomp.packets << " media packets:\n";
+    os << "  grant/slot wait " << stats::Fmt(decomp.sched_wait_ms) << " ms + slot trickle "
+       << stats::Fmt(decomp.spread_ms) << " ms + HARQ " << stats::Fmt(decomp.rtx_ms)
+       << " ms + fixed " << stats::Fmt(decomp.remainder_ms) << " ms = "
+       << stats::Fmt(decomp.total_ms) << " ms\n";
+  }
+
+  os << "\nroot causes:\n";
+  for (const auto& [cause, count] : Analyzer::RootCauseBreakdown(data)) {
+    os << "  " << ToString(cause) << ": " << count << '\n';
+  }
+
+  if (inputs.ran_counters != nullptr) {
+    const auto& c = *inputs.ran_counters;
+    os << "\nscheduler efficiency: " << stats::Fmt(100.0 * c.GrantUtilization(), 1)
+       << "% grant utilization; " << c.wasted_requested_bytes
+       << " requested bytes over-granted; " << c.empty_tb_rtx
+       << " empty-TB retransmissions; " << c.packets_lost << " packets lost\n";
+  }
+
+  if (inputs.qoe != nullptr) {
+    const auto& qoe = *inputs.qoe;
+    os << "\nreceiver QoE: ";
+    const auto bitrate = qoe.ReceiveBitrateKbps();
+    const auto fps = qoe.FrameRateFps();
+    if (!bitrate.empty()) os << stats::Fmt(bitrate.Median(), 0) << " kbps p50, ";
+    if (!fps.empty()) os << stats::Fmt(fps.Median(), 1) << " fps p50, ";
+    if (!qoe.Ssim().empty()) os << "SSIM " << stats::Fmt(qoe.Ssim().Median(), 3) << ", ";
+    if (!qoe.MouthToEarMs().empty()) {
+      os << "mouth-to-ear " << stats::Fmt(qoe.MouthToEarMs().Median(), 0) << " ms p50 / "
+         << stats::Fmt(qoe.MouthToEarMs().P(99), 0) << " ms p99, ";
+    }
+    os << "audio MOS " << stats::Fmt(qoe.AudioMos(), 2) << '\n';
+    os << "video delivery: " << stats::Fmt(100.0 * qoe.VideoDeliveryRatio(), 1) << "% ("
+       << qoe.late_frames() << " late of " << qoe.video_frames_rendered() << " rendered)\n";
+  }
+
+  if (inputs.controller_target_bps) {
+    os << "controller target: " << stats::Fmt(*inputs.controller_target_bps / 1e3, 0)
+       << " kbps\n";
+  }
+}
+
+}  // namespace athena::core

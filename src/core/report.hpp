@@ -1,0 +1,32 @@
+// One-call session reporting: the cross-layer narrative (delays,
+// decomposition, root causes, scheduler efficiency, QoE) rendered as
+// human-readable text from a correlated dataset — what an operator
+// actually reads after a measurement run. Used by the quickstart, the CLI
+// and anything else that wants "the Athena story" without re-deriving it.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "core/analyzer.hpp"
+#include "core/correlator.hpp"
+#include "media/qoe.hpp"
+#include "ran/types.hpp"
+
+namespace athena::core {
+
+class Report {
+ public:
+  struct Inputs {
+    const CrossLayerDataset* dataset = nullptr;          ///< required
+    const media::QoeCollector* qoe = nullptr;            ///< optional
+    const ran::RanCounters* ran_counters = nullptr;      ///< optional
+    std::optional<double> controller_target_bps;         ///< optional
+  };
+
+  /// Renders the full report to `os`. Sections with missing inputs are
+  /// skipped.
+  static void Render(std::ostream& os, const Inputs& inputs);
+};
+
+}  // namespace athena::core

@@ -1,0 +1,70 @@
+// Athena for Wi-Fi: the same cross-layer methodology as the 5G correlator,
+// instantiated for a contention-based MAC. §5.1 of the paper positions the
+// framework as "a blueprint for future measurement" across access
+// technologies — this file is that blueprint followed once more:
+//
+//   L1/L2  per-attempt airtime records (net::WifiAirtimeRecord)
+//   L3     packet captures at sender and access-network egress
+//   L7     RTP frame/layer semantics from the capture's header extensions
+//
+// The delay decomposition differs from 5G — there is no grant cycle and no
+// slot grid; delay splits into head-of-line queueing, channel-contention
+// waits, and collision-retry overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cross_layer.hpp"
+#include "net/capture.hpp"
+#include "net/wireless_links.hpp"
+
+namespace athena::core {
+
+enum class WifiCause : std::uint8_t {
+  kNone,            ///< delivered with negligible extra delay
+  kHolQueueing,     ///< waited behind earlier packets at the station
+  kContention,      ///< the channel was busy / backoff dominated
+  kCollisionRetry,  ///< one or more collided attempts
+};
+
+[[nodiscard]] const char* ToString(WifiCause cause);
+
+struct WifiPacketRecord {
+  net::PacketId packet_id = 0;
+  net::PacketKind kind = net::PacketKind::kGeneric;
+  std::uint64_t frame_id = 0;
+  net::SvcLayer layer = net::SvcLayer::kNone;
+
+  sim::TimePoint sent_at;
+  sim::TimePoint delivered_at;
+  bool delivered = false;
+
+  std::uint8_t attempts = 0;
+  sim::Duration total_delay{0};
+  sim::Duration hol_wait{0};         ///< send → first contention start
+  sim::Duration contention_wait{0};  ///< Σ access waits across attempts
+  sim::Duration retry_overhead{0};   ///< everything the retries added
+  WifiCause primary_cause = WifiCause::kNone;
+};
+
+struct WifiDataset {
+  std::vector<WifiPacketRecord> packets;
+  std::uint64_t unmatched_telemetry = 0;  ///< attempts with no captured packet
+
+  [[nodiscard]] const WifiPacketRecord* Find(net::PacketId id) const;
+};
+
+struct WifiCorrelatorInput {
+  std::vector<net::CaptureRecord> sender;
+  std::vector<net::CaptureRecord> egress;  ///< after the Wi-Fi hop
+  std::vector<net::WifiAirtimeRecord> telemetry;
+  sim::Duration sender_offset{0};  ///< onto the egress/common clock
+};
+
+class WifiCorrelator {
+ public:
+  [[nodiscard]] static WifiDataset Correlate(const WifiCorrelatorInput& input);
+};
+
+}  // namespace athena::core

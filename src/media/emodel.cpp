@@ -1,0 +1,48 @@
+#include "media/emodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::media {
+
+double EModel::DelayImpairment(double mouth_to_ear_ms) const {
+  // G.107's Idd, simplified (no echo term): imperceptible below ~100 ms,
+  // gentle to 150 ms, then the familiar conversational-quality cliff.
+  const double d = std::max(0.0, mouth_to_ear_ms);
+  if (d <= 100.0) return 0.0;
+  // Two-segment approximation of Idd: 0.024/ms up to 177.3 ms, a further
+  // 0.11/ms beyond the conversational-quality knee.
+  const double first = 0.024 * (std::min(d, 177.3) - 100.0);
+  const double second = d > 177.3 ? 0.11 * (d - 177.3) : 0.0;
+  return first + second;
+}
+
+double EModel::LossImpairment(double loss_fraction) const {
+  const double ppl = std::clamp(loss_fraction, 0.0, 1.0) * 100.0;  // percent
+  // Ie,eff = Ie + (95 − Ie) · Ppl / (Ppl + Bpl)
+  return config_.codec_impairment +
+         (config_.loss_impairment_max - config_.codec_impairment) * ppl /
+             (ppl + config_.loss_robustness);
+}
+
+double EModel::RFactor(double mouth_to_ear_ms, double loss_fraction) const {
+  const double r =
+      config_.r0 - DelayImpairment(mouth_to_ear_ms) - LossImpairment(loss_fraction);
+  return std::clamp(r, 0.0, 100.0);
+}
+
+double EModel::MosFromR(double r) {
+  r = std::clamp(r, 0.0, 100.0);
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  // ITU-T G.107 Annex B. The cubic dips fractionally below 1 for tiny R;
+  // the standard's MOS scale is [1, 4.5], so clamp.
+  const double mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+  return std::clamp(mos, 1.0, 4.5);
+}
+
+double EModel::Mos(double mouth_to_ear_ms, double loss_fraction) const {
+  return MosFromR(RFactor(mouth_to_ear_ms, loss_fraction));
+}
+
+}  // namespace athena::media

@@ -1,0 +1,53 @@
+// Audio-quality estimation: a compact ITU-T G.107 E-model.
+//
+// §1 of the paper: Athena correlates "audio samples whose quality we also
+// measure from the application side". Without real audio, the standard
+// parametric model maps what the network did to the samples — mouth-to-ear
+// delay and loss — onto a transmission-rating factor R and a MOS score:
+//
+//   R = R0 − Id(delay) − Ie,eff(loss)
+//
+// with R0 ≈ 93.2 for a wideband-ish codec, the G.107 delay impairment
+// (negligible below ~150 ms, steep past ~250 ms), and the codec-specific
+// loss impairment curve (Opus-like robustness by default).
+#pragma once
+
+#include <cstdint>
+
+namespace athena::media {
+
+class EModel {
+ public:
+  struct Config {
+    double r0 = 93.2;            ///< base transmission rating
+    double codec_impairment = 0.0;  ///< Ie for the codec itself (Opus ≈ 0)
+    double loss_robustness = 4.3;   ///< Bpl: packet-loss robustness factor
+    double loss_impairment_max = 55.0;  ///< Ie ceiling under total loss
+  };
+
+  EModel() = default;
+  explicit EModel(Config config) : config_(config) {}
+
+  /// Delay impairment Id for a given mouth-to-ear delay (G.107 simplified
+  /// curve: ~0 below 150 ms, growing piecewise beyond).
+  [[nodiscard]] double DelayImpairment(double mouth_to_ear_ms) const;
+
+  /// Effective equipment impairment Ie,eff for a random loss fraction.
+  [[nodiscard]] double LossImpairment(double loss_fraction) const;
+
+  /// Transmission rating R in [0, 100].
+  [[nodiscard]] double RFactor(double mouth_to_ear_ms, double loss_fraction) const;
+
+  /// Mean opinion score in [1, 4.5] via the standard R→MOS mapping.
+  [[nodiscard]] double Mos(double mouth_to_ear_ms, double loss_fraction) const;
+
+  /// The R→MOS mapping on its own (exposed for tests).
+  [[nodiscard]] static double MosFromR(double r);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace athena::media

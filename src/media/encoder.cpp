@@ -1,0 +1,79 @@
+#include "media/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::media {
+
+AudioEncoder::AudioEncoder() : AudioEncoder(Config{}) {}
+
+VideoEncoder::VideoEncoder(Config config, sim::Rng rng)
+    : config_(config), rng_(rng), target_bitrate_bps_(config.initial_bitrate_bps) {}
+
+void VideoEncoder::set_target_bitrate(double bps) {
+  target_bitrate_bps_ = std::clamp(bps, config_.min_bitrate_bps, config_.max_bitrate_bps);
+}
+
+void VideoEncoder::set_mode(SvcMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  frame_index_ = 0;  // restart the SVC pattern on a base frame
+}
+
+void VideoEncoder::set_enhancement_skip_fraction(double f) {
+  skip_fraction_ = std::clamp(f, 0.0, 1.0);
+}
+
+std::optional<EncodedUnit> VideoEncoder::EncodeNextFrame(sim::TimePoint now) {
+  const net::SvcLayer layer = LayerForFrame(mode_, frame_index_);
+  ++frame_index_;
+
+  if (IsDiscardable(layer) && skip_fraction_ > 0.0 && rng_.Bernoulli(skip_fraction_)) {
+    ++frames_skipped_;
+    return std::nullopt;
+  }
+
+  const double fps = NominalFps(mode_);
+  const double mean_bits = target_bitrate_bps_ / fps;
+  // Lognormal with mean preserved: E[e^N(mu, s^2)] = e^(mu + s^2/2).
+  const double sigma = config_.size_sigma;
+  const double mu = std::log(mean_bits) - sigma * sigma / 2.0;
+  const double bits = rng_.LogNormal(mu, sigma);
+  const auto bytes = static_cast<std::uint32_t>(
+      std::max<double>(bits / 8.0, config_.min_frame_bytes));
+
+  EncodedUnit out;
+  out.unit = rtp::MediaUnit{
+      .frame_id = next_frame_id_,
+      .payload_bytes = bytes,
+      .layer = layer,
+      .is_audio = false,
+      .media_ts = static_cast<std::uint32_t>(
+          static_cast<double>(now.us()) * config_.media_clock_hz / 1e6),
+  };
+  next_frame_id_ += kVideoFrameIdStride;
+  out.captured_at = now;
+  out.ssim = SsimModel{config_.ssim}.ForFrameBits(static_cast<double>(bytes) * 8.0);
+  out.mode = mode_;
+  ++frames_encoded_;
+  return out;
+}
+
+EncodedUnit AudioEncoder::EncodeNextSample(sim::TimePoint now) {
+  const double bits = config_.bitrate_bps * sim::ToSeconds(config_.sample_interval);
+  EncodedUnit out;
+  out.unit = rtp::MediaUnit{
+      .frame_id = next_sample_id_,
+      .payload_bytes = static_cast<std::uint32_t>(std::max(bits / 8.0, 16.0)),
+      .layer = net::SvcLayer::kNone,
+      .is_audio = true,
+      .media_ts = static_cast<std::uint32_t>(
+          static_cast<double>(now.us()) * config_.media_clock_hz / 1e6),
+  };
+  next_sample_id_ += 2;  // even ids; see kVideoFrameIdStride
+  out.captured_at = now;
+  ++samples_encoded_;
+  return out;
+}
+
+}  // namespace athena::media

@@ -1,0 +1,108 @@
+// Media encoder models.
+//
+// VideoEncoder emits one encoded frame per tick of the active SVC mode's
+// clock: P-frames only (the paper: VCAs "typically do not use I-frames but
+// rather transmit all video as a series of P-frames"), sized around
+// target_bitrate / fps with mild lognormal variation so frame sizes
+// "rarely change significantly" (§5.2). AudioEncoder emits an Opus-like
+// 20 ms sample at a constant rate. Neither schedules itself — the VCA
+// sender drives the ticks — which keeps the models testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "media/ssim_model.hpp"
+#include "media/svc.hpp"
+#include "rtp/packetizer.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace athena::media {
+
+/// An encoded frame/sample plus the bookkeeping QoE needs.
+struct EncodedUnit {
+  rtp::MediaUnit unit;           ///< what goes to the packetizer
+  sim::TimePoint captured_at;    ///< capture instant (mouth/camera time)
+  double ssim = 1.0;             ///< encode-side picture quality (video only)
+  SvcMode mode = SvcMode::kHighFps28;
+};
+
+class VideoEncoder {
+ public:
+  struct Config {
+    double initial_bitrate_bps = 800e3;
+    double min_bitrate_bps = 150e3;
+    /// Zoom caps its 360p-class stream around this rate (Fig. 7a/8 range).
+    double max_bitrate_bps = 1.2e6;
+    double size_sigma = 0.18;     ///< lognormal sigma of frame-size variation
+    std::uint32_t min_frame_bytes = 400;
+    std::uint32_t media_clock_hz = 90'000;  ///< RTP video clock
+    SsimModel::Config ssim;
+  };
+
+  VideoEncoder(Config config, sim::Rng rng);
+
+  /// Encodes the next frame of the current mode. Returns nullopt when the
+  /// frame is skipped (transient frame-skipping adaptation): skipped
+  /// frames are always enhancement-layer frames, so decode continuity is
+  /// preserved.
+  [[nodiscard]] std::optional<EncodedUnit> EncodeNextFrame(sim::TimePoint now);
+
+  void set_target_bitrate(double bps);
+  [[nodiscard]] double target_bitrate() const { return target_bitrate_bps_; }
+
+  void set_mode(SvcMode mode);
+  [[nodiscard]] SvcMode mode() const { return mode_; }
+
+  /// Fraction of *enhancement* frames to skip (0 = none, 1 = all); models
+  /// Zoom's transient frame skipping under jitter ("reducing to rates
+  /// around 20 fps").
+  void set_enhancement_skip_fraction(double f);
+  [[nodiscard]] double enhancement_skip_fraction() const { return skip_fraction_; }
+
+  [[nodiscard]] sim::Duration frame_interval() const { return FrameInterval(mode_); }
+  [[nodiscard]] std::uint64_t frames_encoded() const { return frames_encoded_; }
+  [[nodiscard]] std::uint64_t frames_skipped() const { return frames_skipped_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  sim::Rng rng_;
+  double target_bitrate_bps_;
+  SvcMode mode_ = SvcMode::kHighFps28;
+  double skip_fraction_ = 0.0;
+  std::uint64_t frame_index_ = 0;   ///< position in the SVC pattern
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t frames_encoded_ = 0;
+  std::uint64_t frames_skipped_ = 0;
+};
+
+class AudioEncoder {
+ public:
+  struct Config {
+    double bitrate_bps = 64e3;          ///< Opus-like constant rate
+    sim::Duration sample_interval{std::chrono::milliseconds{20}};
+    std::uint32_t media_clock_hz = 48'000;  ///< RTP audio clock
+  };
+
+  AudioEncoder();  // defaults (defined out of line: nested-Config quirk)
+  explicit AudioEncoder(Config config) : config_(config) {}
+
+  [[nodiscard]] EncodedUnit EncodeNextSample(sim::TimePoint now);
+
+  [[nodiscard]] sim::Duration sample_interval() const { return config_.sample_interval; }
+  [[nodiscard]] std::uint64_t samples_encoded() const { return samples_encoded_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::uint64_t next_sample_id_ = 2;  // even ids; video uses odd ids
+  std::uint64_t samples_encoded_ = 0;
+};
+
+/// Video frame ids are odd, audio sample ids even, so the two id spaces
+/// never collide when both streams feed one correlator.
+inline constexpr std::uint64_t kVideoFrameIdStride = 2;
+
+}  // namespace athena::media

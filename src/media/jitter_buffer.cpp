@@ -1,0 +1,149 @@
+#include "media/jitter_buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace athena::media {
+
+namespace {
+constexpr std::uint32_t kMaxPacketsPerFrame = 64;  // seen_mask width
+}
+
+JitterBuffer::JitterBuffer(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(config), playout_delay_(config.min_playout_delay) {}
+
+void JitterBuffer::OnPacket(const net::Packet& p) {
+  if (!p.rtp || !p.is_media()) return;
+  ++packets_received_;
+  const auto& rtp = *p.rtp;
+  const sim::TimePoint now = sim_.Now();
+
+  auto [it, inserted] = pending_.try_emplace(rtp.frame_id);
+  PendingFrame& frame = it->second;
+  if (inserted) {
+    frame.expected_packets = std::min(rtp.packets_in_frame, kMaxPacketsPerFrame);
+    frame.first_packet_at = now;
+    frame.layer = rtp.layer;
+    frame.is_audio = p.is_audio();
+    frame.media_ts = rtp.media_ts;
+  }
+
+  const std::uint32_t index = std::min(rtp.packet_index_in_frame, kMaxPacketsPerFrame - 1);
+  const std::uint64_t bit = std::uint64_t{1} << index;
+  if (frame.seen_mask & bit) {
+    ++duplicates_;
+    return;
+  }
+  frame.seen_mask |= bit;
+  ++frame.received_packets;
+  frame.payload_bytes += p.size_bytes;
+
+  if (frame.received_packets >= frame.expected_packets) {
+    const PendingFrame complete = frame;
+    const std::uint64_t frame_id = it->first;
+    pending_.erase(it);
+    OnFrameComplete(frame_id, complete);
+  }
+
+  GarbageCollect();
+}
+
+void JitterBuffer::UpdateJitter(sim::TimePoint completed_at, std::uint32_t media_ts) {
+  const double media_us =
+      static_cast<double>(media_ts) * 1e6 / static_cast<double>(config_.media_clock_hz);
+  if (have_prev_) {
+    const double inter_arrival = static_cast<double>((completed_at - prev_completed_).count());
+    const double inter_media = media_us - prev_media_us_;
+    const double deviation = std::abs(inter_arrival - inter_media);
+    jitter_us_ += config_.jitter_ewma_alpha * (deviation - jitter_us_);
+    const auto target = sim::Duration{
+        static_cast<std::int64_t>(config_.jitter_multiplier * jitter_us_)};
+    playout_delay_ =
+        std::clamp(target, config_.min_playout_delay, config_.max_playout_delay);
+  }
+  have_prev_ = true;
+  prev_completed_ = completed_at;
+  prev_media_us_ = media_us;
+}
+
+void JitterBuffer::OnFrameComplete(std::uint64_t frame_id, const PendingFrame& frame) {
+  const sim::TimePoint completed_at = sim_.Now();
+  UpdateJitter(completed_at, frame.media_ts);
+
+  const double media_us = static_cast<double>(frame.media_ts) * 1e6 /
+                          static_cast<double>(config_.media_clock_hz);
+
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_completed_ = completed_at;
+    anchor_media_us_ = media_us;
+  }
+
+  const auto media_offset =
+      sim::Duration{static_cast<std::int64_t>(media_us - anchor_media_us_)};
+
+  // Playout tightening: when a whole window of frames beats the anchor
+  // schedule, the spare margin is latency for nothing — shift the anchor
+  // earlier by the window's worst case (cf. WebRTC's shrinking playout
+  // delay). The monotonic-render clamp below turns the shift into a
+  // gradual speed-up rather than a jump.
+  if (config_.tighten_window_frames > 0) {
+    const auto rel_delay = completed_at - (anchor_completed_ + media_offset);
+    if (window_count_ == 0 || rel_delay > window_max_rel_delay_) {
+      window_max_rel_delay_ = rel_delay;
+    }
+    if (++window_count_ >= config_.tighten_window_frames) {
+      if (window_max_rel_delay_.count() < 0) {
+        anchor_completed_ += window_max_rel_delay_;
+        ++anchor_tightenings_;
+      }
+      window_count_ = 0;
+    }
+  }
+
+  sim::TimePoint target = anchor_completed_ + media_offset + playout_delay_;
+
+  bool late = false;
+  if (target < completed_at) {
+    late = true;
+    // The frame missed its slot: render as soon as it is complete and
+    // re-anchor the playout clock so subsequent frames inherit the larger
+    // effective delay (jitter-buffer expansion under sustained lateness).
+    target = completed_at;
+    anchor_completed_ = completed_at - media_offset;
+  }
+  target = std::max(target, last_render_);  // playout stays monotonic
+  last_render_ = target;
+
+  RenderedFrame rendered{
+      .frame_id = frame_id,
+      .layer = frame.layer,
+      .is_audio = frame.is_audio,
+      .first_packet_at = frame.first_packet_at,
+      .completed_at = completed_at,
+      .rendered_at = target,
+      .payload_bytes = frame.payload_bytes,
+      .late = late,
+  };
+  ++frames_rendered_;
+  if (late) ++frames_late_;
+
+  if (on_render_) {
+    sim_.ScheduleAt(target, [cb = on_render_, rendered] { cb(rendered); });
+  }
+}
+
+void JitterBuffer::GarbageCollect() {
+  const sim::TimePoint now = sim_.Now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.first_packet_at > config_.stale_frame_timeout) {
+      it = pending_.erase(it);
+      ++frames_abandoned_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace athena::media

@@ -1,0 +1,122 @@
+// Receiver-side jitter buffer: assembles RTP packets into frames, smooths
+// delay variation with an adaptive playout delay, and emits rendered
+// frames. §2 of the paper: the jitter buffer is the VCA's second knob —
+// expand it (more mouth-to-ear delay) or accept stall risk.
+//
+// Playout model (WebRTC-style): the first completed frame anchors a media
+// clock; each later frame's target render time is
+//     anchor_render + (media_time - anchor_media_time) + playout_delay
+// where playout_delay adapts to the observed frame-completion jitter. A
+// frame completing after its target renders late — that lateness is what
+// the screen-capture QoE pipeline sees as a frozen/stalled picture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::media {
+
+/// A frame (or audio sample) leaving the jitter buffer for the renderer.
+struct RenderedFrame {
+  std::uint64_t frame_id = 0;
+  net::SvcLayer layer = net::SvcLayer::kNone;
+  bool is_audio = false;
+  sim::TimePoint first_packet_at;  ///< arrival of the frame's first packet
+  sim::TimePoint completed_at;     ///< arrival of the frame's last packet
+  sim::TimePoint rendered_at;      ///< when playout actually happened
+  std::uint32_t payload_bytes = 0;
+  bool late = false;               ///< missed its playout target
+};
+
+class JitterBuffer {
+ public:
+  struct Config {
+    sim::Duration min_playout_delay{std::chrono::milliseconds{30}};
+    sim::Duration max_playout_delay{std::chrono::milliseconds{800}};
+    double jitter_multiplier = 3.0;      ///< playout delay = multiplier × jitter
+    double jitter_ewma_alpha = 0.05;     ///< smoothing of the jitter estimate
+    sim::Duration stale_frame_timeout{std::chrono::seconds{3}};
+    std::uint32_t media_clock_hz = 90'000;  ///< 90 kHz video, 48 kHz audio
+    /// Playout tightening: if every frame in a window of this many frames
+    /// arrived ahead of its anchor-relative schedule, the playout clock
+    /// shifts earlier by the spare margin (a buffer anchored during a
+    /// transient — e.g. a satellite handover — must not inflate latency
+    /// forever). 0 disables tightening.
+    std::uint32_t tighten_window_frames = 256;
+  };
+
+  using RenderCallback = std::function<void(const RenderedFrame&)>;
+
+  JitterBuffer(sim::Simulator& sim, Config config);
+
+  /// Feed every media packet that reaches the receiver.
+  void OnPacket(const net::Packet& p);
+
+  void set_render_callback(RenderCallback cb) { on_render_ = std::move(cb); }
+
+  [[nodiscard]] sim::Duration current_playout_delay() const { return playout_delay_; }
+  [[nodiscard]] sim::Duration jitter_estimate() const {
+    return sim::Duration{static_cast<std::int64_t>(jitter_us_)};
+  }
+  [[nodiscard]] std::uint64_t frames_rendered() const { return frames_rendered_; }
+  [[nodiscard]] std::uint64_t frames_late() const { return frames_late_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t frames_abandoned() const { return frames_abandoned_; }
+  [[nodiscard]] std::uint64_t anchor_tightenings() const { return anchor_tightenings_; }
+
+ private:
+  struct PendingFrame {
+    std::uint32_t expected_packets = 0;
+    std::uint32_t received_packets = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint64_t seen_mask = 0;  ///< bitmask of packet indices (frames ≤ 64 packets)
+    sim::TimePoint first_packet_at;
+    net::SvcLayer layer = net::SvcLayer::kNone;
+    bool is_audio = false;
+    std::uint32_t media_ts = 0;
+  };
+
+  void OnFrameComplete(std::uint64_t frame_id, const PendingFrame& frame);
+  void UpdateJitter(sim::TimePoint completed_at, std::uint32_t media_ts);
+  void GarbageCollect();
+
+  sim::Simulator& sim_;
+  Config config_;
+  RenderCallback on_render_;
+  std::map<std::uint64_t, PendingFrame> pending_;
+
+  // Playout clock anchor (set by the first completed video frame).
+  bool anchored_ = false;
+  sim::TimePoint anchor_render_;
+  double anchor_media_us_ = 0.0;
+
+  // Jitter estimation state.
+  bool have_prev_ = false;
+  sim::TimePoint prev_completed_;
+  double prev_media_us_ = 0.0;
+  double jitter_us_ = 0.0;
+
+  sim::Duration playout_delay_;
+  std::uint64_t frames_rendered_ = 0;
+  std::uint64_t frames_late_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t frames_abandoned_ = 0;
+  std::uint64_t anchor_tightenings_ = 0;
+  sim::TimePoint last_render_;
+  sim::TimePoint anchor_completed_;
+
+  // Tightening window state: the worst (largest) anchor-relative network
+  // delay seen in the current window.
+  std::uint32_t window_count_ = 0;
+  sim::Duration window_max_rel_delay_{0};
+};
+
+}  // namespace athena::media

@@ -1,0 +1,90 @@
+#include "media/qoe.hpp"
+
+#include <cmath>
+
+namespace athena::media {
+
+QoeCollector::QoeCollector() : QoeCollector(Config{}) {}
+
+void QoeCollector::OnUnitSent(const EncodedUnit& unit) {
+  sent_[unit.unit.frame_id] = SentInfo{
+      .captured_at = unit.captured_at,
+      .ssim = unit.ssim,
+      .is_audio = unit.unit.is_audio,
+  };
+  if (unit.unit.is_audio) {
+    ++audio_sent_;
+  } else {
+    ++frames_sent_;
+  }
+}
+
+void QoeCollector::OnPacketReceived(const net::Packet& p, sim::TimePoint now) {
+  if (!p.is_media()) return;
+  received_bytes_.Add(now, static_cast<double>(p.size_bytes));
+}
+
+void QoeCollector::OnFrameRendered(const RenderedFrame& f) {
+  const auto sent = sent_.find(f.frame_id);
+  if (sent != sent_.end()) {
+    const double m2e_ms = sim::ToMs(f.rendered_at - sent->second.captured_at);
+    mouth_to_ear_ms_.Add(m2e_ms);
+    if (f.is_audio) audio_m2e_ms_.Add(m2e_ms);
+  }
+  if (f.is_audio) {
+    ++audio_rendered_;
+    return;
+  }
+
+  ++video_rendered_;
+  if (f.late) ++late_frames_;
+  rendered_frames_.Add(f.rendered_at, 1.0);
+  if (sent != sent_.end()) ssim_.Add(sent->second.ssim);
+
+  // Frame-level jitter: deviation of the inter-completion gap from the
+  // inter-capture gap of the same two frames.
+  if (sent != sent_.end()) {
+    if (have_prev_video_) {
+      const double inter_completion = sim::ToMs(f.completed_at - prev_completed_);
+      const double inter_capture = sim::ToMs(sent->second.captured_at - prev_captured_);
+      frame_jitter_ms_.Add(std::abs(inter_completion - inter_capture));
+    }
+    have_prev_video_ = true;
+    prev_completed_ = f.completed_at;
+    prev_captured_ = sent->second.captured_at;
+  }
+}
+
+stats::Cdf QoeCollector::ReceiveBitrateKbps() const {
+  stats::Cdf out;
+  for (const auto& w : received_bytes_.WindowedRatePerSecond(config_.rate_window)) {
+    out.Add(w.mean * 8.0 / 1e3);  // bytes/s → Kbps
+  }
+  return out;
+}
+
+stats::Cdf QoeCollector::FrameRateFps() const {
+  stats::Cdf out;
+  for (const auto& w : rendered_frames_.WindowedRatePerSecond(config_.rate_window)) {
+    out.Add(w.mean);
+  }
+  return out;
+}
+
+double QoeCollector::AudioLossFraction() const {
+  if (audio_sent_ == 0) return 0.0;
+  const auto lost = audio_sent_ > audio_rendered_ ? audio_sent_ - audio_rendered_ : 0;
+  return static_cast<double>(lost) / static_cast<double>(audio_sent_);
+}
+
+double QoeCollector::AudioMos() const {
+  if (audio_m2e_ms_.empty()) return 1.0;
+  return EModel{}.Mos(audio_m2e_ms_.Median(), AudioLossFraction());
+}
+
+double QoeCollector::VideoDeliveryRatio() const {
+  if (frames_sent_ == 0) return 0.0;
+  return static_cast<double>(video_rendered_) / static_cast<double>(frames_sent_);
+}
+
+}  // namespace athena::media

@@ -1,0 +1,54 @@
+#include "media/screen_capture.hpp"
+
+namespace athena::media {
+
+ScreenCapture::ScreenCapture(sim::Simulator& sim) : ScreenCapture(sim, Config{}) {}
+
+ScreenCapture::ScreenCapture(sim::Simulator& sim, Config config)
+    : sim_(sim),
+      config_(config),
+      timer_(sim, sim::FromSeconds(1.0 / config.capture_fps), [this] { Sample(); }) {}
+
+void ScreenCapture::Start() { timer_.Start(sim::Duration{0}); }
+
+void ScreenCapture::Stop() { timer_.Stop(); }
+
+void ScreenCapture::OnFrameRendered(const RenderedFrame& f) {
+  if (f.is_audio) return;
+  displayed_frame_ = f.frame_id;
+}
+
+void ScreenCapture::Sample() {
+  ++samples_;
+  if (displayed_frame_ == 0) return;
+  const sim::TimePoint now = sim_.Now();
+  if (!observations_.empty() && observations_.back().frame_id == displayed_frame_) {
+    observations_.back().last_seen = now;
+    ++observations_.back().samples;
+    return;
+  }
+  observations_.push_back(FrameObservation{
+      .frame_id = displayed_frame_,
+      .first_seen = now,
+      .last_seen = now,
+      .samples = 1,
+  });
+}
+
+std::uint64_t ScreenCapture::FrozenFrameCount(sim::Duration intended) const {
+  const auto capture_period = sim::FromSeconds(1.0 / config_.capture_fps);
+  std::uint64_t frozen = 0;
+  for (const auto& obs : observations_) {
+    if (obs.on_screen_for() > intended + capture_period) ++frozen;
+  }
+  return frozen;
+}
+
+double ScreenCapture::ObservedFps() const {
+  if (observations_.size() < 2) return 0.0;
+  const auto span = observations_.back().last_seen - observations_.front().first_seen;
+  if (span.count() <= 0) return 0.0;
+  return static_cast<double>(observations_.size()) / sim::ToSeconds(span);
+}
+
+}  // namespace athena::media

@@ -1,0 +1,66 @@
+// The receiving-side display pipeline of §2: rendered video frames go to a
+// virtual screen, and a 70 fps screen-capture process (slightly above the
+// monitor refresh rate, as in the paper) samples which frame is visible.
+// From those samples we measure how long each frame stayed on screen and
+// flag frames displayed longer than their packetization interval — the
+// paper's QR-code methodology, with frame ids standing in for QR codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/jitter_buffer.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::media {
+
+class ScreenCapture {
+ public:
+  struct Config {
+    double capture_fps = 70.0;
+  };
+
+  struct FrameObservation {
+    std::uint64_t frame_id = 0;
+    sim::TimePoint first_seen;
+    sim::TimePoint last_seen;
+    std::uint32_t samples = 0;
+
+    [[nodiscard]] sim::Duration on_screen_for() const { return last_seen - first_seen; }
+  };
+
+  explicit ScreenCapture(sim::Simulator& sim);  // default config
+  ScreenCapture(sim::Simulator& sim, Config config);
+
+  void Start();
+  void Stop();
+
+  /// Wire as the jitter buffer's render callback (video frames only).
+  void OnFrameRendered(const RenderedFrame& f);
+
+  /// Per-frame on-screen observations, in display order.
+  [[nodiscard]] const std::vector<FrameObservation>& observations() const {
+    return observations_;
+  }
+
+  /// Frames that stayed on screen longer than `intended` by more than one
+  /// capture period (i.e., visibly frozen at the given nominal rate).
+  [[nodiscard]] std::uint64_t FrozenFrameCount(sim::Duration intended) const;
+
+  /// Distinct frames seen per second over the captured span.
+  [[nodiscard]] double ObservedFps() const;
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  void Sample();
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t displayed_frame_ = 0;  ///< 0 = nothing on screen yet
+  std::vector<FrameObservation> observations_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace athena::media

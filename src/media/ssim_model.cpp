@@ -1,0 +1,22 @@
+#include "media/ssim_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::media {
+
+double SsimModel::ForFrameBits(double frame_bits) const {
+  const double pixels = static_cast<double>(config_.width) * config_.height;
+  const double bpp = std::max(frame_bits, 1.0) / pixels;
+  const double x = config_.steepness * (std::log(bpp) - std::log(config_.midpoint_bpp));
+  const double sigmoid = 1.0 / (1.0 + std::exp(-x));
+  const double ssim = config_.floor + (config_.ceiling - config_.floor) * sigmoid;
+  return std::clamp(ssim, config_.floor, config_.ceiling);
+}
+
+double SsimModel::ForStream(double bitrate_bps, double fps) const {
+  if (fps <= 0.0) return config_.floor;
+  return ForFrameBits(bitrate_bps / fps);
+}
+
+}  // namespace athena::media

@@ -1,0 +1,44 @@
+// Picture-quality model: maps encoding parameters to an SSIM estimate.
+//
+// Substitution note (DESIGN.md §1): the paper computes real SSIM between
+// QR-annotated sent frames and screen-captured received frames. Without
+// pixels, we use the standard rate-distortion observation that SSIM is a
+// saturating (logistic in log-rate) function of bits-per-pixel; the curve
+// is calibrated so the operating points match Fig. 7d's range
+// (SSIM ≈ 0.80–0.88 for the bitrates Zoom uses at 640×360).
+#pragma once
+
+#include <cstdint>
+
+namespace athena::media {
+
+class SsimModel {
+ public:
+  struct Config {
+    std::uint32_t width = 640;
+    std::uint32_t height = 360;
+    double floor = 0.68;      ///< quality at vanishing bitrate
+    double ceiling = 0.93;    ///< saturation quality (screen-captured SSIM
+                              ///< tops out well below 1.0, cf. Fig. 7d)
+    double midpoint_bpp = 0.070;  ///< bits-per-pixel at the curve's midpoint
+    double steepness = 1.7;   ///< logistic steepness in ln(bpp) units
+  };
+
+  SsimModel() = default;
+  explicit SsimModel(Config config) : config_(config) {}
+
+  /// SSIM of a frame encoded with `frame_bits` at the configured
+  /// resolution. Monotone in frame_bits; clamped to [floor, ceiling].
+  [[nodiscard]] double ForFrameBits(double frame_bits) const;
+
+  /// SSIM for a stream at `bitrate_bps` and `fps` (per-frame bits =
+  /// bitrate / fps).
+  [[nodiscard]] double ForStream(double bitrate_bps, double fps) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace athena::media

@@ -1,0 +1,37 @@
+#include "media/svc.hpp"
+
+namespace athena::media {
+
+const char* ToString(SvcMode mode) {
+  switch (mode) {
+    case SvcMode::kHighFps28: return "28fps(base14+high-enh)";
+    case SvcMode::kLowFps14: return "14fps(base7+low-enh)";
+  }
+  return "?";
+}
+
+double NominalFps(SvcMode mode) {
+  switch (mode) {
+    case SvcMode::kHighFps28: return 28.0;
+    case SvcMode::kLowFps14: return 14.0;
+  }
+  return 0.0;
+}
+
+sim::Duration FrameInterval(SvcMode mode) {
+  return sim::FromSeconds(1.0 / NominalFps(mode));
+}
+
+net::SvcLayer LayerForFrame(SvcMode mode, std::uint64_t index) {
+  const bool base = (index % 2 == 0);
+  if (base) return net::SvcLayer::kBase;
+  return mode == SvcMode::kHighFps28 ? net::SvcLayer::kHighFpsEnhancement
+                                     : net::SvcLayer::kLowFpsEnhancement;
+}
+
+bool IsDiscardable(net::SvcLayer layer) {
+  return layer == net::SvcLayer::kHighFpsEnhancement ||
+         layer == net::SvcLayer::kLowFpsEnhancement;
+}
+
+}  // namespace athena::media

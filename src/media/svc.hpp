@@ -1,0 +1,42 @@
+// Scalable Video Coding (SVC) temporal-layer structure as the paper
+// observed Zoom using (§2 "How Zoom Adapts", confirmed by Zoom engineers):
+//
+//   - 28 fps target: base layer at 14 fps + "High-FPS Enhancement" frames
+//     interleaved to reach 28 fps.
+//   - 14 fps target: base layer at 7 fps + a distinctly-identified
+//     "Low-FPS Enhancement" to reach 14 fps.
+//
+// The layer id travels in an RTP header extension (net::RtpMeta::layer).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace athena::media {
+
+/// The sender's frame-rate mode: which SVC ladder is in use.
+enum class SvcMode : std::uint8_t {
+  kHighFps28,  ///< base 14 fps + high-FPS enhancement = 28 fps
+  kLowFps14,   ///< base 7 fps + low-FPS enhancement = 14 fps
+};
+
+[[nodiscard]] const char* ToString(SvcMode mode);
+
+/// Nominal encoded frame rate of a mode (all layers).
+[[nodiscard]] double NominalFps(SvcMode mode);
+
+/// Frame interval at the mode's full rate.
+[[nodiscard]] sim::Duration FrameInterval(SvcMode mode);
+
+/// Layer of the `index`-th frame within a mode's repeating pattern.
+/// Even frames are base-layer; odd frames are the mode's enhancement.
+[[nodiscard]] net::SvcLayer LayerForFrame(SvcMode mode, std::uint64_t index);
+
+/// True when a frame of `layer` may be skipped without breaking decode of
+/// later frames (enhancement frames reference only base frames here, the
+/// P-frame chain the paper describes runs through the base layer).
+[[nodiscard]] bool IsDiscardable(net::SvcLayer layer);
+
+}  // namespace athena::media

@@ -1,0 +1,68 @@
+#include "mitigation/app_aware_policy.hpp"
+
+#include <algorithm>
+
+namespace athena::mitigation {
+
+AppAwareGrantPolicy::AppAwareGrantPolicy(const ran::RanConfig& cell)
+    : AppAwareGrantPolicy(cell, Config{}) {}
+
+AppAwareGrantPolicy::AppAwareGrantPolicy(const ran::RanConfig& cell, Config config)
+    : cell_(cell), config_(config), fallback_(cell) {}
+
+void AppAwareGrantPolicy::Announce(const StreamAnnouncement& announcement) {
+  for (auto& s : streams_) {
+    if (s.info.stream_id == announcement.stream_id) {
+      // Keep the grant cursor monotone: never re-grant units already
+      // covered, even if the refreshed announcement looks backwards.
+      s.info = announcement;
+      s.next_due = std::max(s.next_due, announcement.next_unit_at);
+      s.active = true;
+      return;
+    }
+  }
+  streams_.push_back(Stream{announcement, announcement.next_unit_at, true});
+}
+
+ran::GrantPolicy::Decision AppAwareGrantPolicy::OnUplinkSlot(const SlotInfo& slot) {
+  // A unit generated at t can ride a slot at s if t + processing <= s.
+  const sim::TimePoint cutoff = slot.slot_time - cell_.ue_processing_delay;
+
+  std::uint32_t predicted_bytes = 0;
+  for (auto& s : streams_) {
+    if (!s.active || s.info.unit_interval.count() <= 0) continue;
+    if (slot.slot_time - s.info.next_unit_at > config_.announcement_ttl) {
+      s.active = false;  // stale: stop predicting until re-announced
+      continue;
+    }
+    while (s.next_due <= cutoff) {
+      predicted_bytes += static_cast<std::uint32_t>(
+          static_cast<double>(s.info.unit_bytes) * config_.size_margin);
+      s.next_due += s.info.unit_interval;
+    }
+  }
+
+  if (predicted_bytes > 0) {
+    ++predicted_grants_;
+    // Consume the fallback's slot decision too, so its pending-grant
+    // bookkeeping stays coherent, then take the larger of the two.
+    const Decision fb = fallback_.OnUplinkSlot(slot);
+    const std::uint32_t tbs =
+        std::min(std::max(predicted_bytes, fb.tbs_bytes), slot.available_bytes);
+    return Decision{tbs, ran::GrantType::kRequested};
+  }
+  ++fallback_grants_;
+  return fallback_.OnUplinkSlot(slot);
+}
+
+void AppAwareGrantPolicy::OnBsrDecoded(sim::TimePoint decoded_at,
+                                       std::uint32_t reported_bytes) {
+  fallback_.OnBsrDecoded(decoded_at, reported_bytes);
+}
+
+void AppAwareGrantPolicy::OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                                     std::uint32_t used_bytes) {
+  fallback_.OnTbFilled(slot_time, grant, used_bytes);
+}
+
+}  // namespace athena::mitigation

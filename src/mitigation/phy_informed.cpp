@@ -1,0 +1,119 @@
+#include "mitigation/phy_informed.hpp"
+
+#include <algorithm>
+
+namespace athena::mitigation {
+
+OnlineRanDelayEstimator::OnlineRanDelayEstimator()
+    : OnlineRanDelayEstimator(Config{}) {}
+
+void OnlineRanDelayEstimator::OnPacketSent(std::uint16_t transport_seq,
+                                           std::uint32_t size_bytes, sim::TimePoint sent_at) {
+  pending_.push_back(Pending{
+      .transport_seq = transport_seq,
+      .sent_at = sent_at,
+      .unassigned = size_bytes,
+      .undelivered = size_bytes,
+      .last_decode = sent_at,
+  });
+  // Backstop against unbounded growth when chains are dropped by HARQ:
+  // evict the oldest (its delay simply stays unknown — no mask applied).
+  while (pending_.size() > config_.max_tracked_packets) {
+    pending_.pop_front();
+    ++base_index_;
+    drain_cursor_ = std::max(drain_cursor_, base_index_);
+  }
+}
+
+void OnlineRanDelayEstimator::OnTbRecord(const ran::TbRecord& tb) {
+  if (tb.harq_round == 0) {
+    // New chain: FIFO byte-conservation drain, same invariant as the
+    // offline correlator.
+    Chain chain;
+    std::uint32_t avail = tb.used_bytes;
+    while (avail > 0) {
+      if (drain_cursor_ < base_index_) drain_cursor_ = base_index_;
+      const std::size_t pos = drain_cursor_ - base_index_;
+      if (pos >= pending_.size()) break;  // telemetry ahead of send log
+      Pending& p = pending_[pos];
+      if (p.unassigned == 0) {
+        ++drain_cursor_;
+        continue;
+      }
+      const std::uint32_t take = std::min(avail, p.unassigned);
+      p.unassigned -= take;
+      avail -= take;
+      chain.segments.emplace_back(drain_cursor_, take);
+      if (p.unassigned == 0) ++drain_cursor_;
+    }
+    if (!chain.segments.empty()) chains_.emplace(tb.chain_id, std::move(chain));
+  }
+
+  if (!tb.crc_ok) return;
+  const auto it = chains_.find(tb.chain_id);
+  if (it == chains_.end() || it->second.resolved) return;
+  it->second.resolved = true;
+  for (const auto& [global_idx, bytes] : it->second.segments) {
+    if (global_idx < base_index_) continue;  // evicted
+    const std::size_t pos = global_idx - base_index_;
+    if (pos >= pending_.size()) continue;
+    Pending& p = pending_[pos];
+    p.undelivered = p.undelivered > bytes ? p.undelivered - bytes : 0;
+    p.last_decode = std::max(p.last_decode, tb.slot_time);
+    if (p.undelivered == 0) Resolve(p);
+  }
+  chains_.erase(it);
+
+  // Compact the fully processed prefix.
+  while (!pending_.empty() && pending_.front().undelivered == 0 &&
+         pending_.front().unassigned == 0) {
+    pending_.pop_front();
+    ++base_index_;
+  }
+  drain_cursor_ = std::max(drain_cursor_, base_index_);
+}
+
+void OnlineRanDelayEstimator::Resolve(Pending& p) {
+  const sim::Duration delay = p.last_decode - p.sent_at;
+  ran_delay_[p.transport_seq] = delay;
+  ran_delay_order_.push_back(p.transport_seq);
+  while (ran_delay_order_.size() > config_.max_tracked_packets) {
+    ran_delay_.erase(ran_delay_order_.front());
+    ran_delay_order_.pop_front();
+  }
+  if (!min_delay_ || delay < *min_delay_) min_delay_ = delay;
+  ++resolved_;
+}
+
+std::optional<sim::Duration> OnlineRanDelayEstimator::ExtraDelay(
+    std::uint16_t transport_seq) const {
+  const auto it = ran_delay_.find(transport_seq);
+  if (it == ran_delay_.end() || !min_delay_) return std::nullopt;
+  const auto extra = it->second - *min_delay_;
+  return extra.count() > 0 ? extra : sim::Duration{0};
+}
+
+void PhyInformedController::OnPacketSent(const net::Packet& p, sim::TimePoint now) {
+  if (!p.rtp) return;
+  estimator_.OnPacketSent(p.rtp->transport_seq, p.size_bytes, now);
+}
+
+double PhyInformedController::OnFeedback(std::span<const rtp::PacketReport> reports,
+                                         sim::TimePoint now) {
+  std::vector<rtp::PacketReport> masked(reports.begin(), reports.end());
+  for (auto& r : masked) {
+    if (const auto extra = estimator_.ExtraDelay(r.transport_seq)) {
+      r.recv_ts -= *extra;
+      ++masked_;
+    }
+  }
+  // Masking can locally reorder receive timestamps; GCC's grouping keys on
+  // send times, so feed in send order.
+  std::sort(masked.begin(), masked.end(),
+            [](const rtp::PacketReport& a, const rtp::PacketReport& b) {
+              return a.send_ts < b.send_ts;
+            });
+  return gcc_.OnFeedback(masked, now);
+}
+
+}  // namespace athena::mitigation

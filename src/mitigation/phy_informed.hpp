@@ -1,0 +1,101 @@
+// §5.3: a RAN-aware congestion controller.
+//
+// "The RAN could mask RAN-induced delays through the congestion-control
+// feedback channel by modifying per-packet delay information as reported
+// by RTCP transport-wide congestion-control messages."
+//
+// Everything here runs with information the sending device legitimately
+// has: its own send log and its own modem's PHY telemetry (TbRecords).
+// An online byte-conservation estimator attributes, per packet, the delay
+// the RAN added (grant waiting + slot trickle + HARQ rounds); the
+// controller subtracts that from the reported receive timestamps before
+// GCC's trendline filter sees them — so the filter reacts to *queueing*
+// (real congestion) but not to scheduling artifacts (phantom overuse,
+// Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "app/controller.hpp"
+#include "ran/types.hpp"
+
+namespace athena::mitigation {
+
+/// Incremental packet↔TB correlation at the sender (the online sibling of
+/// core::Correlator, restricted to what the UE sees about itself).
+class OnlineRanDelayEstimator {
+ public:
+  struct Config {
+    std::size_t max_tracked_packets = 8192;
+  };
+
+  OnlineRanDelayEstimator();  // default config
+  explicit OnlineRanDelayEstimator(Config config) : config_(config) {}
+
+  /// Register every uplink packet as it leaves the IP stack.
+  void OnPacketSent(std::uint16_t transport_seq, std::uint32_t size_bytes,
+                    sim::TimePoint sent_at);
+
+  /// Stream the modem's telemetry records here.
+  void OnTbRecord(const ran::TbRecord& tb);
+
+  /// RAN-added delay of the packet beyond the best-case path, if resolved.
+  [[nodiscard]] std::optional<sim::Duration> ExtraDelay(std::uint16_t transport_seq) const;
+
+  [[nodiscard]] std::uint64_t resolved_packets() const { return resolved_; }
+
+ private:
+  struct Pending {
+    std::uint16_t transport_seq = 0;
+    sim::TimePoint sent_at;
+    std::uint32_t unassigned = 0;   ///< bytes not yet mapped to a chain
+    std::uint32_t undelivered = 0;  ///< bytes not yet decoded
+    sim::TimePoint last_decode;
+  };
+
+  struct Chain {
+    std::vector<std::pair<std::size_t, std::uint32_t>> segments;  ///< (pending idx, bytes)
+    bool resolved = false;
+  };
+
+  void Resolve(Pending& p);
+
+  Config config_;
+  std::deque<Pending> pending_;       ///< FIFO of sent packets (index-stable enough: we
+                                      ///< only erase from the front after resolution)
+  std::size_t drain_cursor_ = 0;      ///< first packet with unassigned bytes
+  std::size_t base_index_ = 0;        ///< pending_[0]'s global index
+  std::unordered_map<ran::TbId, Chain> chains_;
+  std::unordered_map<std::uint16_t, sim::Duration> ran_delay_;
+  std::deque<std::uint16_t> ran_delay_order_;  // eviction order
+  std::optional<sim::Duration> min_delay_;
+  std::uint64_t resolved_ = 0;
+};
+
+/// GCC with the §5.3 delay mask applied to incoming feedback.
+class PhyInformedController final : public app::RateController {
+ public:
+  explicit PhyInformedController(cc::GoogCc::Config config = {}) : gcc_(config) {}
+
+  void OnPacketSent(const net::Packet& p, sim::TimePoint now) override;
+  double OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) override;
+  [[nodiscard]] double target_bps() const override { return gcc_.target_bps(); }
+
+  /// Wire the modem telemetry stream to this.
+  void OnTbRecord(const ran::TbRecord& tb) { estimator_.OnTbRecord(tb); }
+
+  [[nodiscard]] cc::GoogCc& gcc() { return gcc_; }
+  [[nodiscard]] const cc::GoogCc& gcc() const { return gcc_; }
+  [[nodiscard]] const OnlineRanDelayEstimator& estimator() const { return estimator_; }
+  [[nodiscard]] std::uint64_t masked_reports() const { return masked_; }
+
+ private:
+  cc::GoogCc gcc_;
+  OnlineRanDelayEstimator estimator_;
+  std::uint64_t masked_ = 0;
+};
+
+}  // namespace athena::mitigation

@@ -1,0 +1,90 @@
+#include "mitigation/traffic_predictor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace athena::mitigation {
+
+TrafficPredictorPolicy::TrafficPredictorPolicy(const ran::RanConfig& cell)
+    : TrafficPredictorPolicy(cell, Config{}) {}
+
+TrafficPredictorPolicy::TrafficPredictorPolicy(const ran::RanConfig& cell, Config config)
+    : cell_(cell), config_(config), fallback_(cell) {}
+
+std::optional<sim::Duration> TrafficPredictorPolicy::learned_period() const {
+  if (bursts_.size() < config_.min_bursts_to_predict) return std::nullopt;
+  // Median of plausible inter-burst gaps: robust to the occasional merged
+  // or skipped burst.
+  std::vector<std::int64_t> gaps;
+  for (std::size_t i = 1; i < bursts_.size(); ++i) {
+    const auto gap = bursts_[i].start - bursts_[i - 1].start;
+    if (gap >= config_.min_period && gap <= config_.max_period) gaps.push_back(gap.count());
+  }
+  if (gaps.size() < config_.min_bursts_to_predict / 2) return std::nullopt;
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  return sim::Duration{gaps[gaps.size() / 2]};
+}
+
+void TrafficPredictorPolicy::CloseBurst() {
+  in_burst_ = false;
+  bursts_.push_back(current_burst_);
+  while (bursts_.size() > config_.history) bursts_.pop_front();
+  if (burst_bytes_ewma_ <= 0.0) {
+    burst_bytes_ewma_ = current_burst_.bytes;
+  } else {
+    burst_bytes_ewma_ += 0.15 * (current_burst_.bytes - burst_bytes_ewma_);
+  }
+  // Arm the next prediction from this burst's start.
+  if (const auto period = learned_period()) {
+    next_predicted_ = current_burst_.start + *period;
+  }
+}
+
+ran::GrantPolicy::Decision TrafficPredictorPolicy::OnUplinkSlot(const SlotInfo& slot) {
+  std::uint32_t predicted_bytes = 0;
+  if (next_predicted_) {
+    const sim::TimePoint cutoff = slot.slot_time - cell_.ue_processing_delay;
+    if (*next_predicted_ <= cutoff) {
+      predicted_bytes = static_cast<std::uint32_t>(burst_bytes_ewma_ * config_.size_margin);
+      // Re-arm one period ahead; refined when the burst is actually seen.
+      if (const auto period = learned_period()) {
+        next_predicted_ = *next_predicted_ + *period;
+      } else {
+        next_predicted_.reset();
+      }
+    }
+  }
+
+  const Decision fb = fallback_.OnUplinkSlot(slot);
+  if (predicted_bytes > 0) {
+    ++predicted_grants_;
+    const std::uint32_t tbs =
+        std::min(std::max(predicted_bytes, fb.tbs_bytes), slot.available_bytes);
+    return Decision{tbs, ran::GrantType::kRequested};
+  }
+  return fb;
+}
+
+void TrafficPredictorPolicy::OnBsrDecoded(sim::TimePoint decoded_at,
+                                          std::uint32_t reported_bytes) {
+  fallback_.OnBsrDecoded(decoded_at, reported_bytes);
+}
+
+void TrafficPredictorPolicy::OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                                        std::uint32_t used_bytes) {
+  fallback_.OnTbFilled(slot_time, grant, used_bytes);
+
+  // Burst segmentation over the used-bytes-per-slot stream.
+  if (used_bytes >= config_.activity_threshold_bytes) {
+    if (!in_burst_) {
+      in_burst_ = true;
+      current_burst_ = Burst{slot_time, 0};
+    }
+    current_burst_.bytes += used_bytes;
+    idle_slots_ = 0;
+  } else if (in_burst_) {
+    if (++idle_slots_ >= config_.burst_gap_slots) CloseBurst();
+  }
+}
+
+}  // namespace athena::mitigation

@@ -1,0 +1,49 @@
+#include "net/capacity_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace athena::net {
+
+void CapacityTrace::Append(sim::TimePoint from, double bits_per_second) {
+  assert((steps_.empty() || from >= steps_.back().from) && "steps must be time-ordered");
+  assert(bits_per_second >= 0.0);
+  steps_.push_back({from, bits_per_second});
+}
+
+double CapacityTrace::At(sim::TimePoint t) const {
+  double bps = 0.0;
+  for (const auto& s : steps_) {
+    if (s.from > t) break;
+    bps = s.bits_per_second;
+  }
+  return bps;
+}
+
+double CapacityTrace::MeanOver(sim::TimePoint from, sim::TimePoint to) const {
+  if (to <= from || steps_.empty()) return At(from);
+  double weighted = 0.0;
+  sim::TimePoint cursor = from;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const sim::TimePoint seg_start = std::max(steps_[i].from, from);
+    const sim::TimePoint seg_end =
+        (i + 1 < steps_.size()) ? std::min(steps_[i + 1].from, to) : to;
+    if (seg_end <= seg_start) continue;
+    weighted += steps_[i].bits_per_second * sim::ToSeconds(seg_end - seg_start);
+    cursor = seg_end;
+  }
+  (void)cursor;
+  return weighted / sim::ToSeconds(to - from);
+}
+
+CapacityTrace CapacityTrace::PaperCrossTrafficSchedule(sim::Duration phase) {
+  CapacityTrace t;
+  const double kMbps = 1e6;
+  t.Append(sim::kEpoch, 0.0);
+  t.Append(sim::kEpoch + phase, 14.0 * kMbps);
+  t.Append(sim::kEpoch + phase + phase, 16.0 * kMbps);
+  t.Append(sim::kEpoch + phase + phase + phase, 18.0 * kMbps);
+  return t;
+}
+
+}  // namespace athena::net

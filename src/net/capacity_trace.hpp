@@ -1,0 +1,46 @@
+// A step function of link capacity over time.
+//
+// Two uses mirror the paper: (1) driving time-varying cross-traffic /
+// channel quality, and (2) the Fig. 7 baseline, where the wired emulation's
+// rate is replayed from the capacity observed on the 5G link ("calculated
+// from the physical transport block sizes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::net {
+
+class CapacityTrace {
+ public:
+  struct Step {
+    sim::TimePoint from;
+    double bits_per_second;
+  };
+
+  CapacityTrace() = default;
+  explicit CapacityTrace(double constant_bps) { Append(sim::kEpoch, constant_bps); }
+
+  /// Appends a step; steps must be appended in nondecreasing time order.
+  void Append(sim::TimePoint from, double bits_per_second);
+
+  /// Capacity at time t (0 before the first step).
+  [[nodiscard]] double At(sim::TimePoint t) const;
+
+  /// Mean capacity over [from, to).
+  [[nodiscard]] double MeanOver(sim::TimePoint from, sim::TimePoint to) const;
+
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+
+  /// The paper's cross-traffic schedule: 0, 14, 16, 18 Mbps in phases of
+  /// `phase` duration each (§2: five-minute phases of a 20-minute call).
+  static CapacityTrace PaperCrossTrafficSchedule(sim::Duration phase);
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace athena::net

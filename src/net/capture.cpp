@@ -1,0 +1,20 @@
+#include "net/capture.hpp"
+
+namespace athena::net {
+
+void CapturePoint::OnPacket(const Packet& p) {
+  const sim::TimePoint now = sim_.Now();
+  records_.push_back(CaptureRecord{
+      .packet_id = p.id,
+      .local_ts = clock_.ToLocal(now),
+      .true_ts = now,
+      .kind = p.kind,
+      .size_bytes = p.size_bytes,
+      .flow = p.flow,
+      .rtp = p.rtp,
+      .icmp = p.icmp,
+  });
+  if (sink_) sink_(p);
+}
+
+}  // namespace athena::net

@@ -1,0 +1,60 @@
+// Capture points: the pcap taps of Fig. 2 (sender ①, mobile core ②,
+// SFU ③/③*, receiver ④). A capture point is a pass-through observer that
+// records (packet, local timestamp) using the host's possibly-offset
+// clock. Athena's correlator works *only* from these logs — never from
+// simulator ground truth — mirroring the real measurement pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/clock.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::net {
+
+struct CaptureRecord {
+  PacketId packet_id = 0;
+  sim::TimePoint local_ts;   ///< timestamp by the capturing host's clock
+  sim::TimePoint true_ts;    ///< ground truth (tests only; Athena must not use it)
+  PacketKind kind = PacketKind::kGeneric;
+  std::uint32_t size_bytes = 0;
+  FlowId flow = 0;
+  std::optional<RtpMeta> rtp;
+  std::optional<IcmpMeta> icmp;
+};
+
+class CapturePoint {
+ public:
+  CapturePoint(sim::Simulator& sim, std::string name, HostClock clock = {})
+      : sim_(sim), name_(std::move(name)), clock_(clock) {}
+
+  /// Records the packet and forwards it to the downstream handler (if any).
+  void OnPacket(const Packet& p);
+
+  /// The handler packets continue to after being logged.
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+
+  /// A handler bound to this capture point, usable as an upstream's sink.
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { OnPacket(p); };
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const HostClock& clock() const { return clock_; }
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+
+  void Clear() { records_.clear(); }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  HostClock clock_;
+  PacketHandler sink_;
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace athena::net

@@ -1,0 +1,44 @@
+// Per-host clocks. The paper NTP-synchronizes all hosts but still has to
+// reason about residual offsets when computing one-way delays between
+// capture points; `HostClock` models exactly that (constant offset plus
+// parts-per-million drift), and core::ClockSync later estimates and
+// removes the offsets the way the measurement pipeline does.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace athena::net {
+
+class HostClock {
+ public:
+  HostClock() = default;
+  HostClock(sim::Duration offset, double drift_ppm) : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// Maps true simulation time to this host's local timestamp.
+  [[nodiscard]] sim::TimePoint ToLocal(sim::TimePoint true_time) const {
+    const double drift_us =
+        static_cast<double>(true_time.us()) * drift_ppm_ * 1e-6;
+    return true_time + offset_ + sim::Duration{static_cast<std::int64_t>(drift_us)};
+  }
+
+  /// Inverse mapping (first-order; exact for drift_ppm == 0).
+  [[nodiscard]] sim::TimePoint ToTrue(sim::TimePoint local_time) const {
+    const sim::TimePoint approx = local_time - offset_;
+    const double drift_us = static_cast<double>(approx.us()) * drift_ppm_ * 1e-6;
+    return approx - sim::Duration{static_cast<std::int64_t>(drift_us)};
+  }
+
+  [[nodiscard]] sim::Duration offset() const { return offset_; }
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+
+  void set_offset(sim::Duration offset) { offset_ = offset; }
+  void set_drift_ppm(double ppm) { drift_ppm_ = ppm; }
+
+ private:
+  sim::Duration offset_{0};
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace athena::net

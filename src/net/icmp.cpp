@@ -1,0 +1,47 @@
+#include "net/icmp.hpp"
+
+namespace athena::net {
+
+IcmpProber::IcmpProber(sim::Simulator& sim, Config config, PacketIdGenerator& ids)
+    : sim_(sim),
+      config_(config),
+      ids_(ids),
+      timer_(sim, config.interval, [this] { SendProbe(); }) {}
+
+void IcmpProber::Start() { timer_.Start(sim::Duration{0}); }
+
+void IcmpProber::Stop() { timer_.Stop(); }
+
+void IcmpProber::SendProbe() {
+  if (!outbound_) return;
+  Packet p;
+  p.id = ids_.Next();
+  p.flow = config_.flow;
+  p.kind = PacketKind::kIcmpEcho;
+  p.size_bytes = config_.packet_size_bytes;
+  p.created_at = sim_.Now();
+  p.icmp = IcmpMeta{.probe_seq = next_seq_++, .echo_sent_at = sim_.Now()};
+  outbound_(p);
+}
+
+void IcmpProber::OnReply(const Packet& p) {
+  if (p.kind != PacketKind::kIcmpReply || !p.icmp) return;
+  const sim::TimePoint now = sim_.Now();
+  results_.push_back(ProbeResult{
+      .seq = p.icmp->probe_seq,
+      .sent_at = p.icmp->echo_sent_at,
+      .replied_at = now,
+      .rtt = now - p.icmp->echo_sent_at,
+  });
+}
+
+void IcmpResponder::OnPacket(const Packet& p) {
+  if (p.kind != PacketKind::kIcmpEcho || !p.icmp) return;
+  Packet reply = p;
+  reply.kind = PacketKind::kIcmpReply;
+  sim_.ScheduleAfter(turnaround_, [this, reply] {
+    if (return_path_) return_path_(reply);
+  });
+}
+
+}  // namespace athena::net

@@ -1,0 +1,78 @@
+// ICMP echo probing, as in Fig. 2/3: the mobile core pings the SFU every
+// 20 ms to separate WAN path delay from the SFU's application-layer
+// processing (ping replies skip the app layer, so RTP-minus-ICMP exposes
+// the server's processing jitter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::net {
+
+/// Sends periodic echo requests into an outbound handler and matches the
+/// replies that come back via `OnReply`.
+class IcmpProber {
+ public:
+  struct Config {
+    sim::Duration interval{std::chrono::milliseconds{20}};
+    std::uint32_t packet_size_bytes = 64;
+    FlowId flow = 9000;
+  };
+
+  struct ProbeResult {
+    std::uint32_t seq = 0;
+    sim::TimePoint sent_at;
+    sim::TimePoint replied_at;
+    sim::Duration rtt{0};
+  };
+
+  IcmpProber(sim::Simulator& sim, Config config, PacketIdGenerator& ids);
+
+  void Start();
+  void Stop();
+
+  /// Where echo requests go (towards the responder).
+  void set_outbound(PacketHandler h) { outbound_ = std::move(h); }
+
+  /// Feed replies here (wire the responder's return path to this).
+  void OnReply(const Packet& p);
+
+  [[nodiscard]] const std::vector<ProbeResult>& results() const { return results_; }
+  [[nodiscard]] std::uint32_t probes_sent() const { return next_seq_; }
+
+ private:
+  void SendProbe();
+
+  sim::Simulator& sim_;
+  Config config_;
+  PacketIdGenerator& ids_;
+  PacketHandler outbound_;
+  sim::PeriodicTimer timer_;
+  std::uint32_t next_seq_ = 0;
+  std::vector<ProbeResult> results_;
+};
+
+/// Turns echo requests around (optionally with a processing delay) — the
+/// kernel-level reflection at the probed server.
+class IcmpResponder {
+ public:
+  IcmpResponder(sim::Simulator& sim, sim::Duration turnaround = sim::Duration{0})
+      : sim_(sim), turnaround_(turnaround) {}
+
+  void OnPacket(const Packet& p);
+
+  void set_return_path(PacketHandler h) { return_path_ = std::move(h); }
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { OnPacket(p); };
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration turnaround_;
+  PacketHandler return_path_;
+};
+
+}  // namespace athena::net

@@ -1,0 +1,78 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace athena::net {
+
+FixedDelayLink::FixedDelayLink(sim::Simulator& sim, Config config, sim::Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {}
+
+void FixedDelayLink::Send(const Packet& p) {
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  sim::Duration delay = config_.delay;
+  if (config_.jitter_stddev.count() > 0) {
+    const double jitter_us = rng_.NormalAtLeast(
+        0.0, static_cast<double>(config_.jitter_stddev.count()),
+        -static_cast<double>(config_.delay.count()));
+    delay += sim::Duration{static_cast<std::int64_t>(jitter_us)};
+  }
+  sim::TimePoint deliver_at = sim_.Now() + delay;
+  // FIFO: never deliver before a packet sent earlier.
+  deliver_at = std::max(deliver_at, last_delivery_);
+  last_delivery_ = deliver_at;
+  sim_.ScheduleAt(deliver_at, [this, p] {
+    ++delivered_;
+    if (sink_) sink_(p);
+  });
+}
+
+RateLimitedLink::RateLimitedLink(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {}
+
+void RateLimitedLink::Send(const Packet& p) {
+  if (queue_.size() >= config_.max_queue_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(p);
+  StartServiceIfIdle();
+}
+
+void RateLimitedLink::StartServiceIfIdle() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  ServeHead();
+}
+
+void RateLimitedLink::ServeHead() {
+  assert(busy_);
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  const Packet p = queue_.front();
+  queue_.pop_front();
+  const double bps = config_.capacity.At(sim_.Now());
+  // A zero-rate interval parks the head until the next capacity step; poll
+  // on a coarse tick to keep the model simple.
+  if (bps <= 0.0) {
+    queue_.push_front(p);
+    sim_.ScheduleAfter(sim::Duration{1000}, [this] { ServeHead(); });
+    return;
+  }
+  const double tx_seconds = static_cast<double>(p.size_bytes) * 8.0 / bps;
+  const auto tx = sim::FromSeconds(tx_seconds);
+  sim_.ScheduleAfter(tx, [this, p] {
+    sim_.ScheduleAfter(config_.propagation, [this, p] {
+      ++delivered_;
+      if (sink_) sink_(p);
+    });
+    ServeHead();
+  });
+}
+
+}  // namespace athena::net

@@ -1,0 +1,88 @@
+// Wired-path building blocks: fixed-delay hops (WAN segments, which the
+// paper finds "low and stable"), and rate-limited FIFO queues (the tc-style
+// emulated bottleneck of Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/capacity_trace.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::net {
+
+/// Delivers packets after `delay` plus optional truncated-Gaussian jitter.
+/// Preserves ordering even when jitter would reorder (FIFO semantics, like
+/// a well-behaved wired path).
+class FixedDelayLink {
+ public:
+  struct Config {
+    sim::Duration delay{0};
+    sim::Duration jitter_stddev{0};  ///< 0 = deterministic
+    double loss_probability = 0.0;
+  };
+
+  FixedDelayLink(sim::Simulator& sim, Config config, sim::Rng rng = sim::Rng{1});
+
+  void Send(const Packet& p);
+
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { Send(p); };
+  }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  PacketHandler sink_;
+  sim::TimePoint last_delivery_;  // enforces FIFO under jitter
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Drop-tail FIFO queue drained at a (possibly time-varying) service rate,
+/// followed by a propagation delay — the classic bottleneck-link model the
+/// paper says congestion control was designed around (§1), and the model
+/// behind the Fig. 7 "Emulated" baseline.
+class RateLimitedLink {
+ public:
+  struct Config {
+    CapacityTrace capacity;          ///< service rate over time
+    sim::Duration propagation{0};
+    std::uint32_t max_queue_packets = 1000;
+  };
+
+  RateLimitedLink(sim::Simulator& sim, Config config);
+
+  void Send(const Packet& p);
+
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { Send(p); };
+  }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+ private:
+  void StartServiceIfIdle();
+  void ServeHead();
+
+  sim::Simulator& sim_;
+  Config config_;
+  PacketHandler sink_;
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace athena::net

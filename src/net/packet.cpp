@@ -1,0 +1,28 @@
+#include "net/packet.hpp"
+
+namespace athena::net {
+
+const char* ToString(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kRtpVideo: return "rtp-video";
+    case PacketKind::kRtpAudio: return "rtp-audio";
+    case PacketKind::kRtcpFeedback: return "rtcp";
+    case PacketKind::kIcmpEcho: return "icmp-echo";
+    case PacketKind::kIcmpReply: return "icmp-reply";
+    case PacketKind::kCrossTraffic: return "cross-traffic";
+    case PacketKind::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+const char* ToString(SvcLayer layer) {
+  switch (layer) {
+    case SvcLayer::kBase: return "base";
+    case SvcLayer::kLowFpsEnhancement: return "low-fps-enh";
+    case SvcLayer::kHighFpsEnhancement: return "high-fps-enh";
+    case SvcLayer::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace athena::net

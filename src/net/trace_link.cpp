@@ -1,0 +1,46 @@
+#include "net/trace_link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace athena::net {
+
+DelayTrace::DelayTrace(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const Sample& a, const Sample& b) { return a.offset < b.offset; });
+}
+
+sim::Duration DelayTrace::span() const {
+  return samples_.empty() ? sim::Duration{0} : samples_.back().offset;
+}
+
+sim::Duration DelayTrace::DelayAt(sim::Duration elapsed) const {
+  if (samples_.empty()) return sim::Duration{0};
+  const auto total = span().count();
+  std::int64_t t = elapsed.count();
+  if (total > 0) t %= (total + 1);  // cyclic extension
+  const Sample probe{sim::Duration{t}, sim::Duration{0}};
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), probe,
+      [](const Sample& a, const Sample& b) { return a.offset < b.offset; });
+  if (it == samples_.end()) return samples_.back().delay;
+  if (it == samples_.begin()) return it->delay;
+  // Nearest of the two neighbours.
+  const auto prev = std::prev(it);
+  const auto d_prev = t - prev->offset.count();
+  const auto d_next = it->offset.count() - t;
+  return d_prev <= d_next ? prev->delay : it->delay;
+}
+
+void TraceDrivenLink::Send(const Packet& p) {
+  const auto elapsed = sim_.Now() - start_;
+  sim::TimePoint deliver = sim_.Now() + trace_.DelayAt(elapsed);
+  deliver = std::max(deliver, last_delivery_);  // FIFO
+  last_delivery_ = deliver;
+  sim_.ScheduleAt(deliver, [this, p] {
+    ++delivered_;
+    if (sink_) sink_(p);
+  });
+}
+
+}  // namespace athena::net

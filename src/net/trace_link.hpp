@@ -1,0 +1,67 @@
+// Trace-driven network emulation — the paper's §5.1 vision: "work toward
+// a GCC simulator that evaluates video-conferencing behavior in various
+// physical-layer contexts."
+//
+// A `DelayTrace` is a recorded sequence of (send-offset, one-way delay)
+// samples — typically harvested from an Athena cross-layer dataset of a
+// real (simulated) 5G/Wi-Fi/LEO session. A `TraceDrivenLink` replays it:
+// each packet entering at elapsed time t gets the delay of the nearest
+// recorded sample (cyclically extended), so different congestion
+// controllers can be compared against byte-identical network behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::net {
+
+class DelayTrace {
+ public:
+  struct Sample {
+    sim::Duration offset{0};  ///< send time since trace start
+    sim::Duration delay{0};
+  };
+
+  DelayTrace() = default;
+  explicit DelayTrace(std::vector<Sample> samples);
+
+  /// Delay for a packet sent at `elapsed` since the replay began. The
+  /// trace extends cyclically past its span. Empty trace → 0 delay.
+  [[nodiscard]] sim::Duration DelayAt(sim::Duration elapsed) const;
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] sim::Duration span() const;
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  std::vector<Sample> samples_;  // sorted by offset
+};
+
+class TraceDrivenLink {
+ public:
+  TraceDrivenLink(sim::Simulator& sim, DelayTrace trace)
+      : sim_(sim), trace_(std::move(trace)), start_(sim.Now()) {}
+
+  void Send(const Packet& p);
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { Send(p); };
+  }
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] const DelayTrace& trace() const { return trace_; }
+
+ private:
+  sim::Simulator& sim_;
+  DelayTrace trace_;
+  sim::TimePoint start_;
+  sim::TimePoint last_delivery_;
+  PacketHandler sink_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace athena::net

@@ -1,0 +1,116 @@
+#include "net/wireless_links.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::net {
+
+WifiLikeLink::WifiLikeLink(sim::Simulator& sim, Config config, sim::Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {}
+
+void WifiLikeLink::Send(const Packet& p) {
+  queue_.push_back(Pending{p, 0});
+  if (!busy_) {
+    busy_ = true;
+    TryHead();
+  }
+}
+
+sim::Duration WifiLikeLink::SampleAccessDelay() {
+  // Contention: exponential channel-busy wait scaled by load, plus a
+  // uniform backoff slot draw. Heavy-tailed by construction.
+  const double busy_scale =
+      config_.channel_load / std::max(1e-6, 1.0 - config_.channel_load);
+  const double busy_us = rng_.ExponentialMean(
+      busy_scale * static_cast<double>(config_.max_backoff.count()));
+  const auto backoff =
+      rng_.UniformDuration(config_.min_backoff, config_.max_backoff);
+  return backoff + sim::Duration{static_cast<std::int64_t>(busy_us)};
+}
+
+void WifiLikeLink::TryHead() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Pending& head = queue_.front();
+  ++head.attempts;
+  const auto access = SampleAccessDelay();
+  const double tx_s = static_cast<double>(head.pkt.size_bytes) * 8.0 / config_.rate_bps;
+  const auto when = access + sim::FromSeconds(tx_s);
+
+  // Collision probability grows with contention and retry count.
+  const double p_collision = std::min(
+      0.9, config_.collision_probability * (1.0 + config_.channel_load) *
+               std::pow(1.3, head.attempts - 1));
+  const bool collided = rng_.Bernoulli(p_collision);
+
+  telemetry_.push_back(WifiAirtimeRecord{
+      .packet_id = head.pkt.id,
+      .attempt = static_cast<std::uint8_t>(head.attempts),
+      .contend_start = sim_.Now(),
+      .access_wait = access,
+      .tx_duration = sim::FromSeconds(tx_s),
+      .collided = collided,
+  });
+
+  if (collided) {
+    ++collisions_;
+    if (head.attempts > config_.max_retries) {
+      ++dropped_;
+      queue_.pop_front();
+      sim_.ScheduleAfter(when, [this] { TryHead(); });
+      return;
+    }
+    // Exponential backoff before the retry.
+    const auto penalty = sim::Duration{config_.retry_timeout.count() << (head.attempts - 1)};
+    sim_.ScheduleAfter(when + penalty, [this] { TryHead(); });
+    return;
+  }
+
+  const Packet pkt = head.pkt;
+  queue_.pop_front();
+  sim_.ScheduleAfter(when, [this, pkt] {
+    ++delivered_;
+    if (sink_) sink_(pkt);
+    TryHead();
+  });
+}
+
+LeoSatLink::LeoSatLink(sim::Simulator& sim, Config config) : sim_(sim), config_(config) {}
+
+sim::Duration LeoSatLink::PropagationAt(sim::TimePoint t) const {
+  // Triangle wave across each pass: nearest overhead mid-pass.
+  const auto period = config_.pass_period.count();
+  const auto phase = static_cast<double>(t.us() % period) / static_cast<double>(period);
+  const double tri = std::abs(2.0 * phase - 1.0);  // 1 → 0 → 1
+  const auto swing =
+      static_cast<std::int64_t>(tri * static_cast<double>(config_.propagation_swing.count()));
+  return config_.base_propagation + sim::Duration{swing};
+}
+
+bool LeoSatLink::InOutage(sim::TimePoint t) const {
+  const auto period = config_.pass_period.count();
+  return (t.us() % period) < config_.handover_outage.count();
+}
+
+void LeoSatLink::Send(const Packet& p) {
+  const sim::TimePoint now = sim_.Now();
+  sim::TimePoint start = now;
+  if (InOutage(now)) {
+    // Park until the handover completes.
+    const auto period = config_.pass_period.count();
+    const auto into = now.us() % period;
+    start = now + sim::Duration{config_.handover_outage.count() - into};
+  }
+  const double tx_s = static_cast<double>(p.size_bytes) * 8.0 / config_.rate_bps;
+  sim::TimePoint deliver = start + sim::FromSeconds(tx_s) + PropagationAt(start);
+  deliver = std::max(deliver, last_delivery_);  // FIFO
+  last_delivery_ = deliver;
+  sim_.ScheduleAt(deliver, [this, p] {
+    ++delivered_;
+    if (sink_) sink_(p);
+  });
+}
+
+}  // namespace athena::net

@@ -1,0 +1,123 @@
+// Alternative wireless access models — §5.1 of the paper: "an ever-growing
+// set of physical and link-layer technologies (e.g., 4G and 5G …, Wi-Fi,
+// satellite networks, and Bluetooth). All underlying networks introduce
+// different artifacts". These two deliberately simple models give the
+// framework contrasting artifact profiles to correlate against:
+//
+//   WifiLikeLink — contention-based access (DCF spirit): no slot grid, a
+//     load-dependent random backoff before each transmission, collisions
+//     retried with exponential backoff. Artifact: heavy-tailed per-packet
+//     delay with *no* quantization.
+//
+//   LeoSatLink — low-earth-orbit path: moderate fixed propagation that
+//     drifts with satellite elevation, plus a brief outage at each
+//     inter-satellite handover (every ~15 s). Artifact: slow delay ramps
+//     and periodic multi-hundred-ms gaps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::net {
+
+/// One MAC transmission attempt as a Wi-Fi sniffer sees it (radiotap-level
+/// view: MAC sequence/identity, timing, retry flag). The Wi-Fi analog of
+/// the 5G `ran::TbRecord` — Athena's L1 input on this access technology.
+struct WifiAirtimeRecord {
+  PacketId packet_id = 0;       ///< MAC-level identity (no segmentation in Wi-Fi)
+  std::uint8_t attempt = 1;     ///< 1 = first transmission
+  sim::TimePoint contend_start; ///< when the station began contending
+  sim::Duration access_wait{0}; ///< backoff + channel-busy time
+  sim::Duration tx_duration{0};
+  bool collided = false;        ///< this attempt failed (retry follows)
+};
+
+class WifiLikeLink {
+ public:
+  struct Config {
+    double rate_bps = 60e6;              ///< PHY rate for serialization
+    double channel_load = 0.3;           ///< fraction of airtime others hold
+    sim::Duration min_backoff{std::chrono::microseconds{50}};
+    sim::Duration max_backoff{std::chrono::microseconds{1200}};
+    double collision_probability = 0.08; ///< per attempt, at nominal load
+    int max_retries = 6;
+    sim::Duration retry_timeout{std::chrono::milliseconds{2}};
+  };
+
+  WifiLikeLink(sim::Simulator& sim, Config config, sim::Rng rng);
+
+  void Send(const Packet& p);
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { Send(p); };
+  }
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+  /// Per-attempt airtime telemetry (what a monitor-mode sniffer records).
+  [[nodiscard]] const std::vector<WifiAirtimeRecord>& telemetry() const {
+    return telemetry_;
+  }
+
+ private:
+  void TryHead();
+  [[nodiscard]] sim::Duration SampleAccessDelay();
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  PacketHandler sink_;
+  struct Pending {
+    Packet pkt;
+    int attempts = 0;
+  };
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::vector<WifiAirtimeRecord> telemetry_;
+};
+
+class LeoSatLink {
+ public:
+  struct Config {
+    sim::Duration base_propagation{std::chrono::milliseconds{28}};
+    /// Propagation drifts ± this much over an orbit pass (triangle wave).
+    sim::Duration propagation_swing{std::chrono::milliseconds{8}};
+    sim::Duration pass_period{std::chrono::seconds{15}};
+    /// Handover at each pass boundary: traffic stalls for this long.
+    sim::Duration handover_outage{std::chrono::milliseconds{180}};
+    double rate_bps = 50e6;
+  };
+
+  LeoSatLink(sim::Simulator& sim, Config config);
+
+  void Send(const Packet& p);
+  [[nodiscard]] PacketHandler AsHandler() {
+    return [this](const Packet& p) { Send(p); };
+  }
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+
+  /// Current one-way propagation (for tests/inspection).
+  [[nodiscard]] sim::Duration PropagationAt(sim::TimePoint t) const;
+  /// Whether `t` falls inside a handover outage window.
+  [[nodiscard]] bool InOutage(sim::TimePoint t) const;
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  PacketHandler sink_;
+  sim::TimePoint last_delivery_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace athena::net

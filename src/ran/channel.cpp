@@ -1,0 +1,45 @@
+#include "ran/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace athena::ran {
+
+void ChannelModel::Tick(sim::Duration slot) {
+  if (config_.bad_state_bler > 0.0) {
+    if (bad_) {
+      if (rng_.Bernoulli(config_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng_.Bernoulli(config_.p_good_to_bad)) bad_ = true;
+    }
+  }
+
+  if (config_.handover_interval.count() > 0) {
+    if (!handover_armed_) {
+      handover_armed_ = true;
+      until_handover_ = rng_.UniformDuration(
+          sim::Duration{config_.handover_interval.count() * 3 / 4},
+          sim::Duration{config_.handover_interval.count() * 5 / 4});
+    }
+    if (handover_remaining_.count() > 0) {
+      handover_remaining_ -= slot;
+    } else if ((until_handover_ -= slot).count() <= 0) {
+      handover_remaining_ = config_.handover_duration;
+      handover_armed_ = false;  // schedule the next crossing afterwards
+      ++handovers_;
+    }
+  }
+}
+
+double ChannelModel::CurrentBler(std::uint8_t harq_round) const {
+  if (in_handover()) return 0.98;  // nothing decodes at the cell edge
+  const double base = bad_ ? config_.bad_state_bler : config_.base_bler;
+  const double factor = std::pow(config_.rtx_bler_factor, static_cast<double>(harq_round));
+  return std::clamp(base * factor, 0.0, 1.0);
+}
+
+bool ChannelModel::SampleCrcOk(std::uint8_t harq_round) {
+  return !rng_.Bernoulli(CurrentBler(harq_round));
+}
+
+}  // namespace athena::ran

@@ -1,0 +1,24 @@
+#include "ran/cross_traffic.hpp"
+
+#include <cmath>
+
+namespace athena::ran {
+
+std::uint32_t CrossTraffic::DemandBytes(sim::TimePoint slot_time, sim::Duration slot_share) {
+  const double bps = config_.demand.At(slot_time);
+  if (bps <= 0.0) return 0;
+  if (config_.modulation_sigma > 0.0 && slot_time >= next_modulation_) {
+    const double s = config_.modulation_sigma;
+    slow_factor_ = rng_.LogNormal(-s * s / 2.0, s);  // mean-preserving
+    next_modulation_ = slot_time + config_.modulation_interval;
+  }
+  double bytes = bps * slow_factor_ * sim::ToSeconds(slot_share) / 8.0;
+  if (config_.burstiness > 0.0) {
+    const double sigma = config_.burstiness;
+    // Mean-preserving lognormal per-slot variation.
+    bytes *= rng_.LogNormal(-sigma * sigma / 2.0, sigma);
+  }
+  return static_cast<std::uint32_t>(bytes);
+}
+
+}  // namespace athena::ran

@@ -1,0 +1,49 @@
+// Competing uplink demand from other mobiles in the cell (§2 runs six
+// cross-traffic UEs stepping through 0 / 14 / 16 / 18 Mbps phases). The
+// scheduler serves this demand first, shrinking the capacity available to
+// the measured UE — the mechanism behind the 40–120 ms uplink jitter of
+// Fig. 3.
+#pragma once
+
+#include <cstdint>
+
+#include "net/capacity_trace.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace athena::ran {
+
+class CrossTraffic {
+ public:
+  struct Config {
+    net::CapacityTrace demand;    ///< aggregate offered load over time
+    double burstiness = 0.25;     ///< lognormal sigma of per-slot demand variation
+    /// Slow-timescale modulation: competing flows (TCP ramps, on/off
+    /// sources) make the aggregate wander for hundreds of ms at a time,
+    /// which is what actually saturates the cell in bursts. A new
+    /// mean-preserving lognormal factor is drawn every interval.
+    sim::Duration modulation_interval{std::chrono::milliseconds{250}};
+    double modulation_sigma = 0.0;  ///< 0 disables slow modulation
+  };
+
+  CrossTraffic(Config config, sim::Rng rng) : config_(std::move(config)), rng_(rng) {}
+
+  /// Bytes the cross-traffic UEs want to send in the UL slot at `slot_time`
+  /// of length `slot_share` (the UL slot period).
+  [[nodiscard]] std::uint32_t DemandBytes(sim::TimePoint slot_time, sim::Duration slot_share);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// No cross traffic at all (the idle cell of Fig. 10).
+  static CrossTraffic Idle(sim::Rng rng) {
+    return CrossTraffic{Config{net::CapacityTrace{0.0}, 0.0}, rng};
+  }
+
+ private:
+  Config config_;
+  sim::Rng rng_;
+  double slow_factor_ = 1.0;
+  sim::TimePoint next_modulation_;
+};
+
+}  // namespace athena::ran

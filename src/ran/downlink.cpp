@@ -1,0 +1,26 @@
+#include "ran/downlink.hpp"
+
+#include <algorithm>
+
+namespace athena::ran {
+
+void DownlinkPath::Send(const net::Packet& p) {
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  // Wait for the next DL slot, then the fixed pipeline delay.
+  const auto spacing = config_.dl_slot_spacing.count();
+  const auto now = sim_.Now().us();
+  const auto slot = ((now + spacing - 1) / spacing) * spacing;
+  sim::TimePoint deliver_at =
+      sim::TimePoint{sim::Duration{slot}} + config_.base_delay;
+  deliver_at = std::max(deliver_at, last_delivery_);  // FIFO
+  last_delivery_ = deliver_at;
+  sim_.ScheduleAt(deliver_at, [this, p] {
+    ++delivered_;
+    if (sink_) sink_(p);
+  });
+}
+
+}  // namespace athena::ran

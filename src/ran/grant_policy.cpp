@@ -1,0 +1,50 @@
+#include "ran/grant_policy.hpp"
+
+#include <algorithm>
+
+namespace athena::ran {
+
+GrantPolicy::Decision BsrGrantPolicy::OnUplinkSlot(const SlotInfo& slot) {
+  // Matured requested grants take the slot's PUSCH; otherwise the standing
+  // proactive grant (if configured) does.
+  std::uint32_t requested = 0;
+  while (!pending_.empty() && pending_.front().usable_from <= slot.slot_time) {
+    requested += pending_.front().bytes;
+    pending_.pop_front();
+  }
+  if (requested > 0) {
+    const std::uint32_t tbs = std::min(requested, slot.available_bytes);
+    // Capacity-clipped remainder stays pending for the next slot (the
+    // grant was promised; cross traffic merely delays it).
+    const std::uint32_t leftover = requested - tbs;
+    if (leftover > 0) {
+      pending_.push_front(PendingGrant{slot.slot_time + config_.ul_slot_period, leftover});
+    }
+    outstanding_ -= tbs;
+    return Decision{tbs, GrantType::kRequested};
+  }
+  const std::uint32_t proactive =
+      std::min(config_.proactive_grant_bytes, slot.available_bytes);
+  return Decision{proactive, GrantType::kProactive};
+}
+
+void BsrGrantPolicy::OnBsrDecoded(sim::TimePoint decoded_at, std::uint32_t reported_bytes) {
+  if (reported_bytes <= outstanding_) return;  // demand already covered
+  const std::uint32_t grant = reported_bytes - outstanding_;
+  outstanding_ += grant;
+  // The grant becomes usable one scheduling delay later, aligned up to the
+  // uplink slot grid.
+  const auto delay_us = config_.bsr_scheduling_delay.count();
+  const auto period_us = config_.ul_slot_period.count();
+  const auto target = decoded_at.us() + delay_us;
+  const auto aligned = ((target + period_us - 1) / period_us) * period_us;
+  pending_.push_back(
+      PendingGrant{sim::TimePoint{sim::Duration{aligned}}, grant});
+}
+
+void BsrGrantPolicy::OnTbFilled(sim::TimePoint, const Decision&, std::uint32_t) {
+  // The baseline scheduler learns nothing from utilization — that blind
+  // spot is the §3.1 waste finding.
+}
+
+}  // namespace athena::ran

@@ -1,0 +1,77 @@
+// Uplink grant policies.
+//
+// The scheduler asks its policy, once per uplink slot, how large a
+// new-data TB to grant the measured UE. The default `BsrGrantPolicy`
+// reproduces §3.1 faithfully — small proactive grants every slot plus
+// BSR-requested grants that mature ~10 ms later and are sized from the
+// buffer state *at BSR time* (the over-granting pathology). §5.2's
+// application-aware scheduler is just another implementation of this
+// interface (src/mitigation/).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "ran/config.hpp"
+#include "ran/types.hpp"
+#include "sim/time.hpp"
+
+namespace athena::ran {
+
+class GrantPolicy {
+ public:
+  virtual ~GrantPolicy() = default;
+
+  struct SlotInfo {
+    sim::TimePoint slot_time;
+    std::uint32_t available_bytes = 0;  ///< capacity left after cross traffic & HARQ rtx
+  };
+
+  struct Decision {
+    std::uint32_t tbs_bytes = 0;  ///< 0 = no new-data TB this slot
+    GrantType grant = GrantType::kProactive;
+  };
+
+  /// Called at every uplink slot; returns the new-data TB grant.
+  virtual Decision OnUplinkSlot(const SlotInfo& slot) = 0;
+
+  /// Called when a BSR from the UE is successfully decoded. `reported`
+  /// is the UE buffer occupancy at the time the BSR was *built*.
+  virtual void OnBsrDecoded(sim::TimePoint decoded_at, std::uint32_t reported_bytes) = 0;
+
+  /// Called after the UE fills the granted TB (what was actually used) —
+  /// learning-based policies observe traffic through this.
+  virtual void OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                          std::uint32_t used_bytes) = 0;
+};
+
+/// The paper's baseline scheduler (§3.1).
+class BsrGrantPolicy : public GrantPolicy {
+ public:
+  explicit BsrGrantPolicy(const RanConfig& config) : config_(config) {}
+
+  Decision OnUplinkSlot(const SlotInfo& slot) override;
+  void OnBsrDecoded(sim::TimePoint decoded_at, std::uint32_t reported_bytes) override;
+  void OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                  std::uint32_t used_bytes) override;
+
+  /// Requested-grant bytes scheduled but not yet issued (diagnostics).
+  [[nodiscard]] std::uint32_t outstanding_requested_bytes() const { return outstanding_; }
+
+ private:
+  struct PendingGrant {
+    sim::TimePoint usable_from;
+    std::uint32_t bytes = 0;
+  };
+
+  RanConfig config_;
+  std::deque<PendingGrant> pending_;
+  /// Bytes already promised to the UE (issued or pending). New BSRs only
+  /// request the excess over this — but crucially nobody accounts for the
+  /// bytes *proactive* grants drain during the scheduling delay, which is
+  /// exactly the over-granting bug of §3.1.
+  std::uint32_t outstanding_ = 0;
+};
+
+}  // namespace athena::ran

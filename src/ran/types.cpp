@@ -1,0 +1,13 @@
+#include "ran/types.hpp"
+
+namespace athena::ran {
+
+const char* ToString(GrantType g) {
+  switch (g) {
+    case GrantType::kProactive: return "proactive";
+    case GrantType::kRequested: return "requested";
+  }
+  return "?";
+}
+
+}  // namespace athena::ran

@@ -1,0 +1,65 @@
+// RTP packetization: turns encoded media units (a video frame or an audio
+// sample) into bursts of RTP packets, stamping the header-extension fields
+// Athena correlates on (SVC layer id, frame id, transport-wide sequence
+// number). §2 of the paper: "audio samples and video frames (usually
+// consisting of multiple RTP packets) are sent in bursts".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace athena::rtp {
+
+/// One encoded media unit handed to the packetizer.
+struct MediaUnit {
+  std::uint64_t frame_id = 0;        ///< globally unique frame/sample id
+  std::uint32_t payload_bytes = 0;   ///< encoded size before RTP/UDP/IP headers
+  net::SvcLayer layer = net::SvcLayer::kNone;
+  bool is_audio = false;
+  std::uint32_t media_ts = 0;        ///< RTP timestamp (clock-rate ticks)
+};
+
+/// Transport-wide sequence numbers are shared across all SSRCs of a
+/// connection (that is what makes them "transport-wide"); one sequencer is
+/// shared by the audio and video packetizers of a sender.
+class TransportSequencer {
+ public:
+  std::uint16_t Next() { return next_++; }
+  [[nodiscard]] std::uint16_t peek() const { return next_; }
+
+ private:
+  std::uint16_t next_ = 0;
+};
+
+class Packetizer {
+ public:
+  struct Config {
+    std::uint32_t ssrc = 0;
+    net::FlowId flow = 0;
+    std::uint32_t mtu_payload_bytes = net::kRtpPayloadMtuBytes;
+    std::uint32_t header_overhead_bytes = net::kRtpHeaderOverheadBytes;
+  };
+
+  Packetizer(Config config, net::PacketIdGenerator& ids, TransportSequencer& transport_seq)
+      : config_(config), ids_(ids), transport_seq_(transport_seq) {}
+
+  /// Splits `unit` into RTP packets. The last packet carries the RTP
+  /// marker bit (end of frame). Every packet gets the frame id, SVC layer
+  /// and its index within the frame so the receiver can detect
+  /// completeness without guessing.
+  [[nodiscard]] std::vector<net::Packet> Packetize(const MediaUnit& unit, sim::TimePoint now);
+
+  [[nodiscard]] std::uint16_t next_rtp_seq() const { return next_seq_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  net::PacketIdGenerator& ids_;
+  TransportSequencer& transport_seq_;
+  std::uint16_t next_seq_ = 0;
+};
+
+}  // namespace athena::rtp

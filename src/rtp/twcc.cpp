@@ -1,0 +1,73 @@
+#include "rtp/twcc.hpp"
+
+#include <algorithm>
+
+namespace athena::rtp {
+
+TwccReceiver::TwccReceiver(sim::Simulator& sim, Config config, net::PacketIdGenerator& ids)
+    : sim_(sim),
+      config_(config),
+      ids_(ids),
+      timer_(sim, config.feedback_interval, [this] { FlushFeedback(); }) {}
+
+void TwccReceiver::Start() { timer_.Start(); }
+
+void TwccReceiver::Stop() { timer_.Stop(); }
+
+void TwccReceiver::OnMediaPacket(const net::Packet& p) {
+  if (!p.rtp) return;
+  pending_.push_back(net::TwccArrival{p.rtp->transport_seq, sim_.Now(), p.ecn_ce});
+}
+
+void TwccReceiver::FlushFeedback() {
+  if (pending_.empty() || !feedback_path_) return;
+  net::Packet fb;
+  fb.id = ids_.Next();
+  fb.flow = config_.feedback_flow;
+  fb.kind = net::PacketKind::kRtcpFeedback;
+  fb.size_bytes = config_.feedback_packet_bytes +
+                  static_cast<std::uint32_t>(pending_.size()) * 4;  // ~4 B per report
+  fb.created_at = sim_.Now();
+  fb.feedback = net::FeedbackMeta{next_feedback_seq_++, std::move(pending_)};
+  pending_.clear();
+  feedback_path_(fb);
+}
+
+void TwccSender::OnPacketSent(const net::Packet& p, sim::TimePoint now) {
+  if (!p.rtp) return;
+  history_.push_back(SentEntry{
+      .transport_seq = p.rtp->transport_seq,
+      .send_ts = now,
+      .size_bytes = p.size_bytes,
+      .is_audio = p.is_audio(),
+  });
+  while (history_.size() > history_limit_) history_.pop_front();
+}
+
+std::vector<PacketReport> TwccSender::OnFeedback(const net::Packet& feedback) {
+  std::vector<PacketReport> out;
+  if (!feedback.feedback) return out;
+  out.reserve(feedback.feedback->arrivals.size());
+  for (const auto& arrival : feedback.feedback->arrivals) {
+    // Linear scan from the back: feedback reports are recent packets, so
+    // the match is almost always within the last interval's worth.
+    const auto it = std::find_if(history_.rbegin(), history_.rend(), [&](const SentEntry& e) {
+      return e.transport_seq == arrival.transport_seq;
+    });
+    if (it == history_.rend()) continue;
+    out.push_back(PacketReport{
+        .transport_seq = arrival.transport_seq,
+        .send_ts = it->send_ts,
+        .recv_ts = arrival.recv_ts,
+        .size_bytes = it->size_bytes,
+        .is_audio = it->is_audio,
+        .ce = arrival.ce,
+    });
+  }
+  std::sort(out.begin(), out.end(), [](const PacketReport& a, const PacketReport& b) {
+    return a.recv_ts < b.recv_ts;
+  });
+  return out;
+}
+
+}  // namespace athena::rtp

@@ -1,0 +1,89 @@
+// Transport-wide congestion-control feedback (WebRTC TWCC / RFC 8888
+// spirit). The receiver logs per-packet arrival times keyed by the
+// transport-wide sequence number and periodically ships them back; the
+// sender joins them with its send history to produce the
+// (send_time, recv_time, size) triples GCC's delay estimator consumes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::rtp {
+
+/// A fully resolved packet report: what the congestion controller sees.
+struct PacketReport {
+  std::uint16_t transport_seq = 0;
+  sim::TimePoint send_ts;   ///< sender clock
+  sim::TimePoint recv_ts;   ///< receiver clock (offset does not matter to GCC:
+                            ///< it differences consecutive packets)
+  std::uint32_t size_bytes = 0;
+  bool is_audio = false;
+  bool ce = false;  ///< ECN-CE observed at the receiver
+};
+
+/// Receiver half: observe media arrivals, emit feedback packets.
+class TwccReceiver {
+ public:
+  struct Config {
+    sim::Duration feedback_interval{std::chrono::milliseconds{50}};
+    net::FlowId feedback_flow = 9100;
+    std::uint32_t feedback_packet_bytes = 80;
+  };
+
+  TwccReceiver(sim::Simulator& sim, Config config, net::PacketIdGenerator& ids);
+
+  void Start();
+  void Stop();
+
+  /// Call for every media packet that reaches the receiver.
+  void OnMediaPacket(const net::Packet& p);
+
+  /// Feedback packets are pushed into this handler (the return network path).
+  void set_feedback_path(net::PacketHandler h) { feedback_path_ = std::move(h); }
+
+  [[nodiscard]] std::uint32_t feedback_sent() const { return next_feedback_seq_; }
+
+ private:
+  void FlushFeedback();
+
+  sim::Simulator& sim_;
+  Config config_;
+  net::PacketIdGenerator& ids_;
+  net::PacketHandler feedback_path_;
+  sim::PeriodicTimer timer_;
+  std::vector<net::TwccArrival> pending_;
+  std::uint32_t next_feedback_seq_ = 0;
+};
+
+/// Sender half: remember what was sent, resolve feedback into reports.
+class TwccSender {
+ public:
+  explicit TwccSender(std::size_t history_limit = 10'000) : history_limit_(history_limit) {}
+
+  /// Record a packet as sent "now" (sender clock).
+  void OnPacketSent(const net::Packet& p, sim::TimePoint now);
+
+  /// Resolve a feedback packet into per-packet reports, in transport-seq
+  /// order. Unknown sequence numbers (history evicted) are skipped.
+  [[nodiscard]] std::vector<PacketReport> OnFeedback(const net::Packet& feedback);
+
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+
+ private:
+  struct SentEntry {
+    std::uint16_t transport_seq = 0;
+    sim::TimePoint send_ts;
+    std::uint32_t size_bytes = 0;
+    bool is_audio = false;
+  };
+
+  std::deque<SentEntry> history_;
+  std::size_t history_limit_;
+};
+
+}  // namespace athena::rtp

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace athena::sim {
+
+EventHandle EventQueue::Schedule(TimePoint when, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(cb)});
+  ++live_count_;
+  return EventHandle{seq};
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  if (!handle.valid() || handle.seq_ >= next_seq_) return false;
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), handle.seq_);
+  if (it != cancelled_.end() && *it == handle.seq_) return false;  // already cancelled
+  // We cannot cheaply know whether the event already ran; callers in this
+  // codebase only cancel pending timers they own, so treat unknown as
+  // pending if the seq is plausible. PopNext skips cancelled entries.
+  cancelled_.insert(it, handle.seq_);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty()) {
+    const auto seq = heap_.top().seq;
+    if (!std::binary_search(cancelled_.begin(), cancelled_.end(), seq)) return;
+    // Remove the tombstone so seqs can't match twice.
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  DropCancelledHead();
+  assert(!heap_.empty() && "next_time() on an empty queue");
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  DropCancelledHead();
+  assert(!heap_.empty() && "PopNext() on an empty queue");
+  // priority_queue::top() is const&; the callback must be moved out, so we
+  // const_cast the entry we are about to pop. This is safe: the entry is
+  // removed immediately and the heap order does not depend on `cb`.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, std::move(top.cb)};
+  heap_.pop();
+  --live_count_;
+  return fired;
+}
+
+}  // namespace athena::sim

@@ -1,0 +1,81 @@
+// A deterministic discrete-event queue.
+//
+// Events scheduled for the same instant run in scheduling order (FIFO),
+// which makes every simulation in this repository reproducible bit-for-bit
+// given the same RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 = invalid
+};
+
+/// Min-heap of timestamped callbacks with stable same-time ordering.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `when`. Returns a handle that
+  /// can later be passed to `Cancel`.
+  EventHandle Schedule(TimePoint when, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-run, already-cancelled
+  /// or invalid handle is a harmless no-op (returns false).
+  bool Cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  struct Fired {
+    TimePoint when;
+    Callback cb;
+  };
+  Fired PopNext();
+
+  /// Total number of events ever scheduled (diagnostics).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    Callback cb;
+
+    // Min-heap: earlier time first; FIFO among equal times.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  // `mutable` so that next_time() can lazily discard cancelled heads.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::vector<std::uint64_t> cancelled_;  // sorted seq numbers
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace athena::sim

@@ -1,0 +1,77 @@
+// Seeded random-number utilities. One `Rng` per simulation keeps runs
+// reproducible; helpers cover the distributions the models need.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include "sim/time.hpp"
+
+namespace athena::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xa7e11a'5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability `p` (p clamped to [0, 1]).
+  [[nodiscard]] bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal, truncated below at `lo` (resampled by clamping).
+  [[nodiscard]] double NormalAtLeast(double mean, double stddev, double lo) {
+    const double v = Normal(mean, stddev);
+    return v < lo ? lo : v;
+  }
+
+  /// Exponential with the given mean (not rate).
+  [[nodiscard]] double ExponentialMean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  [[nodiscard]] double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy tails).
+  [[nodiscard]] double Pareto(double xm, double alpha) {
+    const double u = Uniform(std::numeric_limits<double>::min(), 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// A random Duration uniform in [lo, hi].
+  [[nodiscard]] Duration UniformDuration(Duration lo, Duration hi) {
+    return Duration{UniformInt(lo.count(), hi.count())};
+  }
+
+  /// Forks an independent stream (for giving each component its own RNG
+  /// while deriving everything from one master seed).
+  [[nodiscard]] Rng Fork() { return Rng{engine_()}; }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace athena::sim

@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+namespace athena::sim {
+
+void Simulator::RunUntil(TimePoint deadline) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const TimePoint next = queue_.next_time();
+    if (next > deadline) break;
+    auto fired = queue_.PopNext();
+    now_ = fired.when;
+    fired.cb();
+    ++executed_;
+    if (++ran > event_budget_) throw EventBudgetExceeded{};
+  }
+  if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.PopNext();
+  now_ = fired.when;
+  fired.cb();
+  ++executed_;
+  return true;
+}
+
+void PeriodicTimer::Start(Duration initial_delay) {
+  Stop();
+  running_ = true;
+  pending_ = sim_.ScheduleAfter(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTimer::Stop() {
+  if (running_) sim_.Cancel(pending_);
+  running_ = false;
+}
+
+void PeriodicTimer::Fire() {
+  if (!running_) return;
+  // Re-arm before ticking so the callback may Stop() or re-phase us.
+  pending_ = sim_.ScheduleAfter(period_, [this] { Fire(); });
+  tick_();
+}
+
+}  // namespace athena::sim

@@ -1,0 +1,108 @@
+// The simulation kernel: a clock plus an event queue.
+//
+// Components hold a `Simulator&` and schedule callbacks with `ScheduleAt`
+// / `ScheduleAfter`. `RunUntil` / `RunFor` advance virtual time; events for
+// the same instant fire in FIFO order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace athena::sim {
+
+/// Thrown when a simulation exceeds its configured event budget — a
+/// runaway-loop backstop, not a normal termination path.
+class EventBudgetExceeded : public std::runtime_error {
+ public:
+  EventBudgetExceeded() : std::runtime_error("simulation event budget exceeded") {}
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`; times in the past are clamped
+  /// to "now" (the event still runs, immediately, preserving causality).
+  EventHandle ScheduleAt(TimePoint when, EventQueue::Callback cb) {
+    if (when < now_) when = now_;
+    return queue_.Schedule(when, std::move(cb));
+  }
+
+  /// Schedules `cb` to run `delay` from now (negative delays clamp to 0).
+  EventHandle ScheduleAfter(Duration delay, EventQueue::Callback cb) {
+    if (delay.count() < 0) delay = Duration{0};
+    return queue_.Schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; no-op on invalid/expired handles.
+  bool Cancel(EventHandle h) { return queue_.Cancel(h); }
+
+  /// Runs events until the queue is exhausted or virtual time would pass
+  /// `deadline`. The clock is left at min(deadline, last event time).
+  void RunUntil(TimePoint deadline);
+
+  /// Runs for `span` of virtual time from now.
+  void RunFor(Duration span) { RunUntil(now_ + span); }
+
+  /// Runs until the event queue drains completely.
+  void RunAll() { RunUntil(kTimeInfinity); }
+
+  /// Executes exactly one event if any is pending; returns whether one ran.
+  bool Step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Caps the number of events a single Run* call may execute.
+  void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+
+ private:
+  TimePoint now_ = kEpoch;
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_budget_ = 500'000'000;
+};
+
+/// A repeating timer bound to a Simulator. Restartable and cancellable;
+/// cancels itself on destruction (RAII).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> tick)
+      : sim_(sim), period_(period), tick_(std::move(tick)) {}
+
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer; first tick fires after `initial_delay` (default: one
+  /// full period). Restarting an armed timer re-phases it.
+  void Start() { Start(period_); }
+  void Start(Duration initial_delay);
+
+  void Stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  void set_period(Duration p) { period_ = p; }
+
+ private:
+  void Fire();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> tick_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace athena::sim

@@ -1,0 +1,18 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace athena::sim {
+
+std::string ToString(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ToMs(d));
+  return buf;
+}
+
+std::string ToString(TimePoint t) { return ToString(t.since_epoch()); }
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << ToString(t); }
+
+}  // namespace athena::sim

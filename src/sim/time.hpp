@@ -1,0 +1,90 @@
+// Simulation time: a strong time-point type on a microsecond grid.
+//
+// The whole repository runs on simulated time. A `TimePoint` is an offset
+// from the simulation epoch (t = 0, when `Simulator` is constructed);
+// `Duration` is std::chrono::microseconds so call sites can use chrono
+// literals (`10ms`, `250us`) directly. Keeping the two types distinct makes
+// interfaces explicit: you cannot accidentally pass an interval where an
+// absolute time is expected.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace athena::sim {
+
+/// An interval of simulated time. Chrono literals convert implicitly.
+using Duration = std::chrono::microseconds;
+
+/// An absolute point in simulated time, measured from the simulation epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Duration since_epoch) : us_(since_epoch.count()) {}
+
+  /// Time elapsed since the simulation epoch.
+  [[nodiscard]] constexpr Duration since_epoch() const { return Duration{us_}; }
+
+  /// Raw microsecond count; for serialization and stats only.
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+
+  /// Convenience conversions for reporting.
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.count();
+    return *this;
+  }
+  constexpr TimePoint& operator-=(Duration d) {
+    us_ -= d.count();
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return t += d; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t += d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return t -= d; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.us_ - b.us_};
+  }
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+/// The simulation epoch (t = 0).
+inline constexpr TimePoint kEpoch{};
+
+/// A far-future sentinel usable as "never" / "no deadline".
+inline constexpr TimePoint kTimeInfinity{Duration{std::int64_t{1} << 62}};
+
+/// Millisecond value of a duration as a double (for stats and printing).
+[[nodiscard]] constexpr double ToMs(Duration d) { return static_cast<double>(d.count()) / 1e3; }
+
+/// Seconds value of a duration as a double.
+[[nodiscard]] constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+/// Builds a Duration from a (possibly fractional) millisecond count.
+[[nodiscard]] constexpr Duration FromMs(double ms) {
+  return Duration{static_cast<std::int64_t>(ms * 1e3)};
+}
+
+/// Builds a Duration from a (possibly fractional) second count.
+[[nodiscard]] constexpr Duration FromSeconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e6)};
+}
+
+/// Human-readable rendering, e.g. "12.500ms".
+[[nodiscard]] std::string ToString(Duration d);
+[[nodiscard]] std::string ToString(TimePoint t);
+
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace athena::sim

@@ -1,0 +1,95 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace athena::stats {
+
+void Cdf::AddAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::Quantile(double q) const {
+  assert(!samples_.empty() && "quantile of an empty CDF");
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::FractionAtOrBelow(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Cdf::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<Cdf::Point> Cdf::Evaluate(std::size_t points) const {
+  std::vector<Point> out;
+  if (samples_.empty() || points < 2) return out;
+  EnsureSorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({x, FractionAtOrBelow(x)});
+  }
+  return out;
+}
+
+std::vector<Cdf::Point> Cdf::EvaluateAt(const std::vector<double>& xs) const {
+  std::vector<Point> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back({x, FractionAtOrBelow(x)});
+  return out;
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  EnsureSorted();
+  return samples_;
+}
+
+std::string Cdf::Summary() const {
+  if (samples_.empty()) return "n=0";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.3f p25=%.3f p50=%.3f p75=%.3f p95=%.3f p99=%.3f max=%.3f",
+                samples_.size(), Min(), P(25), P(50), P(75), P(95), P(99), Max());
+  return buf;
+}
+
+bool StochasticallyBelow(const Cdf& a, const Cdf& b, double slack) {
+  if (a.empty() || b.empty()) return false;
+  std::vector<double> grid = a.sorted_samples();
+  const auto& bs = b.sorted_samples();
+  grid.insert(grid.end(), bs.begin(), bs.end());
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  for (const double x : grid) {
+    if (a.FractionAtOrBelow(x) + slack < b.FractionAtOrBelow(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace athena::stats

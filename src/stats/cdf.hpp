@@ -1,0 +1,67 @@
+// Empirical CDFs and quantiles over collected samples — the workhorse of
+// every figure reproduction (the paper reports almost everything as CDFs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace athena::stats {
+
+/// Collects samples; sorts lazily on first query.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples) : samples_(std::move(samples)) { sorted_ = false; }
+
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void AddAll(const std::vector<double>& xs);
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Quantile by linear interpolation, q in [0, 1]. Precondition: !empty().
+  [[nodiscard]] double Quantile(double q) const;
+  [[nodiscard]] double Median() const { return Quantile(0.5); }
+  [[nodiscard]] double P(double percent) const { return Quantile(percent / 100.0); }
+
+  /// Fraction of samples <= x (the empirical CDF evaluated at x).
+  [[nodiscard]] double FractionAtOrBelow(double x) const;
+
+  [[nodiscard]] double Min() const { return Quantile(0.0); }
+  [[nodiscard]] double Max() const { return Quantile(1.0); }
+  [[nodiscard]] double Mean() const;
+
+  /// Evaluates the CDF on `points` evenly spaced x values across
+  /// [min, max]; returns (x, F(x)) pairs for plotting/printing.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> Evaluate(std::size_t points = 50) const;
+
+  /// Evaluates at caller-chosen x values.
+  [[nodiscard]] std::vector<Point> EvaluateAt(const std::vector<double>& xs) const;
+
+  /// The sorted samples (for exporting full ECDFs).
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+  /// One-line summary: "n=... min=... p25=... p50=... p75=... p95=... max=..."
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// True when `a` is (weakly) stochastically dominated by `b`, i.e.
+/// F_a(x) >= F_b(x) at every sampled x: a's values are "smaller". Checked
+/// on the merged support grid; `slack` tolerates sampling noise.
+[[nodiscard]] bool StochasticallyBelow(const Cdf& a, const Cdf& b, double slack = 0.0);
+
+}  // namespace athena::stats

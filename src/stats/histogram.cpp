@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace athena::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+  raw_.push_back(x);
+}
+
+double Histogram::bin_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::FractionOnGrid(double grid, double tolerance) const {
+  if (raw_.empty() || grid <= 0.0) return 0.0;
+  std::size_t hits = 0;
+  for (const double x : raw_) {
+    const double nearest = std::round(x / grid) * grid;
+    if (std::abs(x - nearest) <= tolerance) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(raw_.size());
+}
+
+std::size_t Histogram::ModeBin() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return it == counts_.end() ? 0 : static_cast<std::size_t>(it - counts_.begin());
+}
+
+std::string Histogram::Render(std::size_t max_width) const {
+  std::string out;
+  const std::uint64_t peak = counts_.empty() ? 0 : counts_[ModeBin()];
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) * static_cast<double>(max_width) /
+                                 static_cast<double>(peak));
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%8.3f, %8.3f) %8llu |", bin_low(i), bin_low(i) + width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += head;
+    out.append(std::max<std::size_t>(bar, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace athena::stats

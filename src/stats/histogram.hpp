@@ -1,0 +1,49 @@
+// Fixed-width-bin histogram. Used for delay-spread quantization analysis
+// (Fig. 5 / Fig. 9a: is the mass concentrated on a 2.5 ms grid?).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace athena::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets; out-of-range samples
+  /// land in underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Fraction of in-range samples lying within `tolerance` of an integer
+  /// multiple of `grid` (measures quantization onto a time grid).
+  [[nodiscard]] double FractionOnGrid(double grid, double tolerance) const;
+
+  /// Index of the fullest bin; 0 when empty.
+  [[nodiscard]] std::size_t ModeBin() const;
+
+  /// ASCII rendering, one line per (non-empty) bin.
+  [[nodiscard]] std::string Render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> raw_;  // retained for FractionOnGrid
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace athena::stats

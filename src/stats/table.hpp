@@ -1,0 +1,38 @@
+// Console table / CSV writers used by every bench binary so figure output
+// has one consistent, machine-parsable format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace athena::stats {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `%.*f`.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string Fmt(double v, int precision = 3);
+
+/// Section banner used between figure panels in bench output.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace athena::stats

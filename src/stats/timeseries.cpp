@@ -1,0 +1,66 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace athena::stats {
+
+namespace {
+
+// Shared windowing loop: `finish` maps (sum, count, window) to the stored value.
+template <typename Finish>
+std::vector<TimeSeries::WindowPoint> Windowed(const std::vector<TimeSeries::Sample>& samples,
+                                              sim::Duration window, Finish finish) {
+  std::vector<TimeSeries::WindowPoint> out;
+  if (samples.empty() || window.count() <= 0) return out;
+  auto sorted = samples;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.t < b.t; });
+  sim::TimePoint start = sorted.front().t;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : sorted) {
+    while (s.t >= start + window) {
+      if (count > 0) out.push_back({start, finish(sum, count), count});
+      start += window;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += s.value;
+    ++count;
+  }
+  if (count > 0) out.push_back({start, finish(sum, count), count});
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimeSeries::WindowPoint> TimeSeries::WindowedMean(sim::Duration window) const {
+  return Windowed(samples_, window, [](double sum, std::size_t n) {
+    return sum / static_cast<double>(n);
+  });
+}
+
+std::vector<TimeSeries::WindowPoint> TimeSeries::WindowedRatePerSecond(
+    sim::Duration window) const {
+  const double secs = sim::ToSeconds(window);
+  return Windowed(samples_, window,
+                  [secs](double sum, std::size_t) { return sum / secs; });
+}
+
+TimeSeries TimeSeries::Slice(sim::TimePoint from, sim::TimePoint to) const {
+  TimeSeries out;
+  for (const auto& s : samples_) {
+    if (s.t >= from && s.t < to) out.Add(s.t, s.value);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.value);
+  return v;
+}
+
+}  // namespace athena::stats

@@ -1,0 +1,48 @@
+// Timestamped sample series with windowed aggregation — used for the
+// paper's time-series figures (Figs. 3, 8, 9).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::stats {
+
+class TimeSeries {
+ public:
+  struct Sample {
+    sim::TimePoint t;
+    double value;
+  };
+
+  void Add(sim::TimePoint t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Mean value per fixed window of `window` duration starting at the
+  /// first sample; empty windows yield no point.
+  struct WindowPoint {
+    sim::TimePoint window_start;
+    double mean;
+    std::size_t count;
+  };
+  [[nodiscard]] std::vector<WindowPoint> WindowedMean(sim::Duration window) const;
+
+  /// Sum per window divided by window length in seconds — turns a series
+  /// of byte/bit counts into a rate series.
+  [[nodiscard]] std::vector<WindowPoint> WindowedRatePerSecond(sim::Duration window) const;
+
+  /// Samples whose timestamps fall in [from, to).
+  [[nodiscard]] TimeSeries Slice(sim::TimePoint from, sim::TimePoint to) const;
+
+  [[nodiscard]] std::vector<double> Values() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace athena::stats

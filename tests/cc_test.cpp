@@ -1,0 +1,448 @@
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.hpp"
+#include "cc/gcc.hpp"
+#include "cc/inter_arrival.hpp"
+#include "cc/nada.hpp"
+#include "cc/trendline.hpp"
+
+namespace athena::cc {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+// ---------- InterArrival ----------
+
+TEST(InterArrivalTest, FirstPacketsYieldNothing) {
+  InterArrival ia;
+  EXPECT_FALSE(ia.OnPacket(kEpoch, kEpoch + 50ms).has_value());
+}
+
+TEST(InterArrivalTest, DeltasBetweenGroups) {
+  InterArrival ia;
+  // Group 1 at send 0, group 2 at send 20 ms, group 3 at send 40 ms.
+  EXPECT_FALSE(ia.OnPacket(kEpoch, kEpoch + 50ms).has_value());
+  EXPECT_FALSE(ia.OnPacket(kEpoch + 20ms, kEpoch + 72ms).has_value());
+  const auto deltas = ia.OnPacket(kEpoch + 40ms, kEpoch + 90ms);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_EQ(deltas->send_delta, 20ms);
+  EXPECT_EQ(deltas->recv_delta, 22ms);  // 72 − 50
+}
+
+TEST(InterArrivalTest, BurstPacketsShareAGroup) {
+  InterArrival ia;
+  EXPECT_FALSE(ia.OnPacket(kEpoch, kEpoch + 50ms).has_value());
+  EXPECT_FALSE(ia.OnPacket(kEpoch + 2ms, kEpoch + 53ms).has_value());  // same burst
+  EXPECT_FALSE(ia.OnPacket(kEpoch + 4ms, kEpoch + 55ms).has_value());  // same burst
+  EXPECT_FALSE(ia.OnPacket(kEpoch + 20ms, kEpoch + 70ms).has_value());
+  const auto deltas = ia.OnPacket(kEpoch + 40ms, kEpoch + 90ms);
+  ASSERT_TRUE(deltas.has_value());
+  // Previous groups: last send 4 ms / last recv 55 ms vs 20 ms / 70 ms.
+  EXPECT_EQ(deltas->send_delta, 16ms);
+  EXPECT_EQ(deltas->recv_delta, 15ms);
+}
+
+TEST(InterArrivalTest, GroupPacketCountReported) {
+  InterArrival ia;
+  (void)ia.OnPacket(kEpoch, kEpoch);
+  (void)ia.OnPacket(kEpoch + 1ms, kEpoch + 1ms);
+  (void)ia.OnPacket(kEpoch + 20ms, kEpoch + 20ms);
+  const auto deltas = ia.OnPacket(kEpoch + 40ms, kEpoch + 40ms);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_EQ(deltas->packets, 1);  // the 20 ms group had one packet
+}
+
+TEST(InterArrivalTest, ResetForgetsHistory) {
+  InterArrival ia;
+  (void)ia.OnPacket(kEpoch, kEpoch);
+  (void)ia.OnPacket(kEpoch + 20ms, kEpoch + 20ms);
+  ia.Reset();
+  EXPECT_FALSE(ia.OnPacket(kEpoch + 40ms, kEpoch + 40ms).has_value());
+}
+
+// ---------- TrendlineEstimator ----------
+
+/// Feeds `n` groups with constant per-group delay growth of `slope_ms`.
+void FeedConstantGradient(TrendlineEstimator& est, int n, double slope_ms,
+                          sim::Duration send_spacing = 20ms) {
+  sim::TimePoint arrival = kEpoch;
+  for (int i = 0; i < n; ++i) {
+    arrival += send_spacing + sim::FromMs(slope_ms);
+    est.Update(send_spacing + sim::FromMs(slope_ms), send_spacing, arrival);
+  }
+}
+
+TEST(TrendlineTest, FlatDelayIsNormal) {
+  TrendlineEstimator est;
+  FeedConstantGradient(est, 100, 0.0);
+  EXPECT_EQ(est.State(), BandwidthUsage::kNormal);
+  EXPECT_NEAR(est.trend(), 0.0, 1e-6);
+}
+
+TEST(TrendlineTest, GrowingDelayTriggersOveruse) {
+  TrendlineEstimator est;
+  FeedConstantGradient(est, 100, 2.0);  // +2 ms per group: clear overuse
+  EXPECT_EQ(est.State(), BandwidthUsage::kOverusing);
+  EXPECT_GT(est.trend(), 0.0);
+}
+
+TEST(TrendlineTest, ShrinkingDelayTriggersUnderuse) {
+  TrendlineEstimator est;
+  // Build up a queue first, then drain it fast.
+  FeedConstantGradient(est, 40, 1.0);
+  FeedConstantGradient(est, 60, -3.0);
+  EXPECT_EQ(est.State(), BandwidthUsage::kUnderusing);
+}
+
+TEST(TrendlineTest, ThresholdAdaptsUpUnderSustainedNoise) {
+  TrendlineEstimator est;
+  const double initial = est.threshold_ms();
+  // A sustained moderate drift keeps the modified trend slightly above the
+  // threshold (not far enough to look like a spike) → the threshold adapts
+  // upwards toward it, learning to tolerate the condition.
+  sim::TimePoint arrival = kEpoch;
+  for (int i = 0; i < 200; ++i) {
+    arrival += 20ms + sim::FromMs(1.5);
+    est.Update(20ms + sim::FromMs(1.5), 20ms, arrival);
+  }
+  EXPECT_GT(est.threshold_ms(), initial);
+}
+
+TEST(TrendlineTest, ModifiedTrendScalesWithGain) {
+  TrendlineEstimator::Config config;
+  config.threshold_gain = 4.0;
+  TrendlineEstimator est{config};
+  FeedConstantGradient(est, 100, 1.0);
+  EXPECT_NEAR(est.modified_trend_ms(), est.trend() * 60.0 * 4.0, 1e-6);
+}
+
+TEST(TrendlineTest, OveruseRequiresPersistence) {
+  // A single spiky group must not trigger overuse (10 ms hysteresis).
+  TrendlineEstimator est;
+  FeedConstantGradient(est, 30, 0.0);
+  est.Update(20ms + 30ms, 20ms, kEpoch + 700ms);  // one 30 ms spike
+  EXPECT_NE(est.State(), BandwidthUsage::kOverusing);
+}
+
+// ---------- AckedBitrateEstimator ----------
+
+TEST(AckedBitrateTest, NeedsTwoSamples) {
+  AckedBitrateEstimator est;
+  EXPECT_FALSE(est.BitrateBps(kEpoch).has_value());
+  est.OnAckedBytes(1000, kEpoch);
+  EXPECT_FALSE(est.BitrateBps(kEpoch).has_value());
+}
+
+TEST(AckedBitrateTest, WindowedRate) {
+  AckedBitrateEstimator est{500ms};
+  // 10 packets × 1250 B over 500 ms = 25 kB / 0.5 s = 400 kbps.
+  for (int i = 0; i < 10; ++i) {
+    est.OnAckedBytes(1250, kEpoch + sim::Duration{i * 50'000});
+  }
+  const auto rate = est.BitrateBps(kEpoch + 450ms);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 200e3, 10e3);  // 12.5 kB in window / 0.5 s
+}
+
+TEST(AckedBitrateTest, OldSamplesExpire) {
+  AckedBitrateEstimator est{500ms};
+  est.OnAckedBytes(100'000, kEpoch);
+  for (int i = 0; i < 5; ++i) est.OnAckedBytes(1000, kEpoch + 2s + sim::Duration{i * 1000});
+  const auto rate = est.BitrateBps(kEpoch + 2s + 5ms);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_LT(*rate, 1e6);  // the 100 kB burst no longer counts
+}
+
+// ---------- AimdRateControl ----------
+
+TEST(AimdTest, IncreasesWhenNormal) {
+  AimdRateControl aimd;
+  const double initial = aimd.target_bps();
+  for (int i = 0; i < 10; ++i) {
+    aimd.Update(BandwidthUsage::kNormal, 2e6, kEpoch + sim::Duration{i * 200'000});
+  }
+  EXPECT_GT(aimd.target_bps(), initial);
+}
+
+TEST(AimdTest, OveruseDecreasesToBetaTimesAcked) {
+  AimdRateControl aimd;
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch);
+  aimd.Update(BandwidthUsage::kOverusing, 1e6, kEpoch + 200ms);
+  EXPECT_NEAR(aimd.target_bps(), 0.85 * 1e6, 1e3);
+  EXPECT_EQ(aimd.decreases(), 1u);
+}
+
+TEST(AimdTest, UnderuseHolds) {
+  AimdRateControl aimd;
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch);
+  const double before = aimd.target_bps();
+  aimd.Update(BandwidthUsage::kUnderusing, 1e6, kEpoch + 200ms);
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), before);
+}
+
+TEST(AimdTest, RespectsMinAndMax) {
+  AimdRateControl::Config config;
+  config.min_bps = 100e3;
+  config.max_bps = 900e3;
+  config.initial_bps = 500e3;
+  AimdRateControl aimd{config};
+  for (int i = 0; i < 50; ++i) {
+    aimd.Update(BandwidthUsage::kOverusing, 50e3, kEpoch + sim::Duration{i * 100'000});
+  }
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 100e3);
+  for (int i = 0; i < 500; ++i) {
+    aimd.Update(BandwidthUsage::kNormal, 10e6, kEpoch + sim::Duration{(50 + i) * 100'000});
+  }
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 900e3);
+}
+
+TEST(AimdTest, IncreaseCappedNearAckedRate) {
+  AimdRateControl aimd;
+  for (int i = 0; i < 100; ++i) {
+    aimd.Update(BandwidthUsage::kNormal, 500e3, kEpoch + sim::Duration{i * 200'000});
+  }
+  EXPECT_LE(aimd.target_bps(), 1.5 * 500e3 + 10e3 + 1);
+}
+
+TEST(AimdTest, NearConvergenceSwitchesToAdditive) {
+  AimdRateControl aimd;
+  // A decrease establishes the link estimate near 1 Mbps.
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch);
+  aimd.Update(BandwidthUsage::kOverusing, 1e6, kEpoch + 100ms);
+  // Growth from 850 kbps inside the ±3σ band around 1 Mbps is additive:
+  // bounded by additive_bps_per_s × dt, far below 8%/s multiplicative.
+  const double before = aimd.target_bps();
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch + 300ms);
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch + 500ms);
+  const double grown = aimd.target_bps() - before;
+  EXPECT_GT(grown, 0.0);
+  EXPECT_LE(grown, 2 * 0.2 * 40e3 + 1.0);  // two 0.2 s additive steps
+}
+
+TEST(AimdTest, HoldAfterDecreaseUntilNormal) {
+  AimdRateControl aimd;
+  aimd.Update(BandwidthUsage::kOverusing, 1e6, kEpoch);
+  EXPECT_EQ(aimd.state(), AimdRateControl::State::kHold);
+  const double held = aimd.target_bps();
+  aimd.Update(BandwidthUsage::kUnderusing, 1e6, kEpoch + 100ms);
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), held);  // underuse keeps holding
+  aimd.Update(BandwidthUsage::kNormal, 1e6, kEpoch + 200ms);
+  EXPECT_GT(aimd.target_bps(), held);  // normal resumes increase
+}
+
+// ---------- LossEstimator ----------
+
+TEST(LossEstimatorTest, NoLossWhenAllReceived) {
+  LossEstimator loss;
+  loss.OnBatch(0, 9, 10);
+  EXPECT_DOUBLE_EQ(loss.LossFraction(), 0.0);
+}
+
+TEST(LossEstimatorTest, HalfLoss) {
+  LossEstimator loss;
+  loss.OnBatch(0, 9, 5);
+  EXPECT_DOUBLE_EQ(loss.LossFraction(), 0.5);
+}
+
+TEST(LossEstimatorTest, SeqWrapHandled) {
+  LossEstimator loss;
+  loss.OnBatch(65'530, 3, 10);  // span of 10 across the wrap
+  EXPECT_DOUBLE_EQ(loss.LossFraction(), 0.0);
+}
+
+// ---------- GoogCc end-to-end ----------
+
+std::vector<rtp::PacketReport> CleanPathReports(int n, sim::TimePoint start,
+                                                sim::Duration owd, std::uint16_t first_seq,
+                                                sim::Duration spacing = 10ms) {
+  std::vector<rtp::PacketReport> out;
+  for (int i = 0; i < n; ++i) {
+    const auto send = start + sim::Duration{i * spacing.count()};
+    out.push_back(rtp::PacketReport{
+        .transport_seq = static_cast<std::uint16_t>(first_seq + i),
+        .send_ts = send,
+        .recv_ts = send + owd,
+        .size_bytes = 1200,
+    });
+  }
+  return out;
+}
+
+TEST(GoogCcTest, RampsUpOnCleanPath) {
+  GoogCc gcc;
+  const double initial = gcc.target_bps();
+  std::uint16_t seq = 0;
+  for (int batch = 0; batch < 100; ++batch) {
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    const auto reports = CleanPathReports(10, t0, 20ms, seq);
+    seq += 10;
+    gcc.OnFeedback(reports, t0 + 120ms);
+  }
+  EXPECT_GT(gcc.target_bps(), initial * 1.5);
+  EXPECT_EQ(gcc.overuse_events(), 0u);
+}
+
+TEST(GoogCcTest, GrowingQueueTriggersOveruseAndBackoff) {
+  GoogCc gcc;
+  std::uint16_t seq = 0;
+  double owd_ms = 20.0;
+  bool saw_overuse = false;
+  for (int batch = 0; batch < 80; ++batch) {
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    std::vector<rtp::PacketReport> reports;
+    for (int i = 0; i < 10; ++i) {
+      owd_ms += 1.0;  // steadily growing queue
+      const auto send = t0 + sim::Duration{i * 10'000};
+      reports.push_back(rtp::PacketReport{
+          .transport_seq = seq++,
+          .send_ts = send,
+          .recv_ts = send + sim::FromMs(owd_ms),
+          .size_bytes = 1200,
+      });
+    }
+    gcc.OnFeedback(reports, t0 + 120ms);
+    saw_overuse |= gcc.usage() == BandwidthUsage::kOverusing;
+  }
+  EXPECT_TRUE(saw_overuse);
+  EXPECT_GT(gcc.overuse_events(), 0u);
+}
+
+TEST(GoogCcTest, HistoryRecordsSnapshots) {
+  GoogCc gcc;
+  const auto reports = CleanPathReports(50, kEpoch, 20ms, 0);
+  gcc.OnFeedback(reports, kEpoch + 600ms);
+  EXPECT_FALSE(gcc.history().empty());
+  for (const auto& s : gcc.history()) {
+    EXPECT_GT(s.threshold_ms, 0.0);
+  }
+}
+
+TEST(GoogCcTest, LossBoundCapsTarget) {
+  GoogCc gcc;
+  // Batches with 50% loss (span 20, 10 received).
+  std::uint16_t base = 0;
+  for (int batch = 0; batch < 30; ++batch) {
+    std::vector<rtp::PacketReport> reports;
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    for (int i = 0; i < 10; ++i) {
+      const auto send = t0 + sim::Duration{i * 10'000};
+      reports.push_back(rtp::PacketReport{
+          .transport_seq = static_cast<std::uint16_t>(base + 2 * i),  // every other lost
+          .send_ts = send,
+          .recv_ts = send + 20ms,
+          .size_bytes = 1200,
+      });
+    }
+    base += 20;
+    gcc.OnFeedback(reports, t0 + 120ms);
+  }
+  EXPECT_GT(gcc.LossFraction(), 0.3);
+  EXPECT_LT(gcc.target_bps(), gcc.delay_based_bps() + 1.0);
+}
+
+TEST(GoogCcTest, EmptyFeedbackIsHarmless) {
+  GoogCc gcc;
+  const double before = gcc.target_bps();
+  EXPECT_DOUBLE_EQ(gcc.OnFeedback({}, kEpoch), before);
+}
+
+TEST(GoogCcTest, HistoryDisabledKeepsNoSnapshots) {
+  GoogCc::Config config;
+  config.keep_history = false;
+  GoogCc gcc{config};
+  gcc.OnFeedback(CleanPathReports(50, kEpoch, 20ms, 0), kEpoch + 600ms);
+  EXPECT_TRUE(gcc.history().empty());
+  EXPECT_GT(gcc.detector_updates(), 0u);
+}
+
+TEST(GoogCcTest, LossBoundRelaxesWhenLossClears) {
+  GoogCc gcc;
+  // Heavy loss clamps the loss-based bound...
+  std::uint16_t base = 0;
+  for (int batch = 0; batch < 25; ++batch) {
+    std::vector<rtp::PacketReport> reports;
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    for (int i = 0; i < 5; ++i) {
+      reports.push_back(rtp::PacketReport{
+          .transport_seq = static_cast<std::uint16_t>(base + 4 * i),  // 75% loss
+          .send_ts = t0 + sim::Duration{i * 10'000},
+          .recv_ts = t0 + sim::Duration{i * 10'000} + 20ms,
+          .size_bytes = 1200,
+      });
+    }
+    base += 20;
+    gcc.OnFeedback(reports, t0 + 120ms);
+  }
+  const double clamped = gcc.target_bps();
+  // ...then clean batches age the loss window out and the bound relaxes.
+  for (int batch = 0; batch < 60; ++batch) {
+    const auto t0 = kEpoch + 3s + sim::Duration{batch * 100'000};
+    const auto reports = CleanPathReports(10, t0, 20ms, base);
+    base += 10;
+    gcc.OnFeedback(reports, t0 + 120ms);
+  }
+  EXPECT_GT(gcc.target_bps(), clamped);
+  EXPECT_LT(gcc.LossFraction(), 0.02);
+}
+
+// ---------- NADA ----------
+
+TEST(NadaTest, RampsUpWhenUncongested) {
+  NadaController nada;
+  const double initial = nada.target_bps();
+  std::uint16_t seq = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    const auto reports = CleanPathReports(10, t0, 20ms, seq);
+    seq += 10;
+    nada.OnFeedback(reports, 0.0, t0 + 120ms);
+  }
+  EXPECT_GT(nada.target_bps(), initial);
+}
+
+TEST(NadaTest, BacksOffUnderQueuingDelay) {
+  NadaController nada;
+  std::uint16_t seq = 0;
+  // Establish the baseline delay.
+  nada.OnFeedback(CleanPathReports(10, kEpoch, 20ms, seq), 0.0, kEpoch + 120ms);
+  seq += 10;
+  const double before = nada.target_bps();
+  // Now 80 ms of standing queue.
+  for (int batch = 1; batch < 40; ++batch) {
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    nada.OnFeedback(CleanPathReports(10, t0, 100ms, seq), 0.0, t0 + 120ms);
+    seq += 10;
+  }
+  EXPECT_LT(nada.target_bps(), before);
+  EXPECT_GT(nada.queuing_delay_ms(), 10.0);
+}
+
+TEST(NadaTest, LossAddsPenalty) {
+  NadaController nada;
+  nada.OnFeedback(CleanPathReports(10, kEpoch, 20ms, 0), 0.0, kEpoch + 120ms);
+  nada.OnFeedback(CleanPathReports(10, kEpoch + 100ms, 20ms, 10), 0.05, kEpoch + 220ms);
+  EXPECT_GT(nada.congestion_signal_ms(), nada.queuing_delay_ms());
+}
+
+TEST(NadaTest, RespectsBounds) {
+  NadaController::Config config;
+  config.min_bps = 200e3;
+  config.max_bps = 700e3;
+  config.initial_bps = 500e3;
+  NadaController nada{config};
+  std::uint16_t seq = 0;
+  for (int batch = 0; batch < 200; ++batch) {
+    const auto t0 = kEpoch + sim::Duration{batch * 100'000};
+    nada.OnFeedback(CleanPathReports(5, t0, 20ms, seq), 0.0, t0 + 50ms);
+    seq += 5;
+  }
+  EXPECT_LE(nada.target_bps(), 700e3);
+  EXPECT_GE(nada.target_bps(), 200e3);
+}
+
+}  // namespace
+}  // namespace athena::cc

@@ -1,0 +1,331 @@
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "app/session.hpp"
+#include "core/analyzer.hpp"
+#include "core/correlator.hpp"
+#include "mitigation/app_aware_policy.hpp"
+#include "mitigation/phy_informed.hpp"
+#include "mitigation/traffic_predictor.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::mitigation {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+// ---------- AppAwareGrantPolicy (unit) ----------
+
+TEST(AppAwarePolicyTest, GrantsAtAnnouncedUnitTimes) {
+  const auto cell = ran::RanConfig::PaperCell();
+  AppAwareGrantPolicy policy{cell};
+  policy.Announce(StreamAnnouncement{
+      .stream_id = 1,
+      .next_unit_at = kEpoch + 4ms,
+      .unit_interval = 35'714us,
+      .unit_bytes = 4000,
+  });
+  // Slot at 2.5 ms: unit not generated yet → baseline proactive.
+  EXPECT_EQ(policy.OnUplinkSlot({kEpoch + 2500us, 100'000}).grant,
+            ran::GrantType::kProactive);
+  // Slot at 5 ms: the 4 ms unit cannot make it (processing delay 0.5 ms →
+  // cutoff 4.5 ms ≥ 4 ms, so actually it can). Grant sized ≥ unit bytes.
+  const auto d = policy.OnUplinkSlot({kEpoch + 5000us, 100'000});
+  EXPECT_EQ(d.grant, ran::GrantType::kRequested);
+  EXPECT_GE(d.tbs_bytes, 4000u);
+  EXPECT_EQ(policy.predicted_grants(), 1u);
+}
+
+TEST(AppAwarePolicyTest, PeriodicUnitsGetPeriodicGrants) {
+  const auto cell = ran::RanConfig::PaperCell();
+  AppAwareGrantPolicy policy{cell};
+  policy.Announce(StreamAnnouncement{
+      .stream_id = 1,
+      .next_unit_at = kEpoch + 1ms,
+      .unit_interval = 20ms,
+      .unit_bytes = 1000,
+  });
+  int predicted = 0;
+  for (int slot = 1; slot <= 40; ++slot) {  // 100 ms of slots
+    const auto d = policy.OnUplinkSlot(
+        {kEpoch + sim::Duration{slot * 2500}, 100'000});
+    if (d.grant == ran::GrantType::kRequested && d.tbs_bytes >= 1000) ++predicted;
+  }
+  EXPECT_EQ(predicted, 5);  // one per 20 ms unit in 100 ms
+}
+
+TEST(AppAwarePolicyTest, StaleAnnouncementExpires) {
+  const auto cell = ran::RanConfig::PaperCell();
+  AppAwareGrantPolicy policy{cell, AppAwareGrantPolicy::Config{
+                                       .size_margin = 1.25,
+                                       .announcement_ttl = 100ms,
+                                   }};
+  policy.Announce(StreamAnnouncement{
+      .stream_id = 1,
+      .next_unit_at = kEpoch + 1ms,
+      .unit_interval = 20ms,
+      .unit_bytes = 1000,
+  });
+  // Far beyond the TTL, prediction stops (falls back to proactive).
+  const auto d = policy.OnUplinkSlot({kEpoch + 10s, 100'000});
+  EXPECT_EQ(d.grant, ran::GrantType::kProactive);
+}
+
+TEST(AppAwarePolicyTest, CapacityClipsPredictedGrant) {
+  const auto cell = ran::RanConfig::PaperCell();
+  AppAwareGrantPolicy policy{cell};
+  policy.Announce(StreamAnnouncement{
+      .stream_id = 1,
+      .next_unit_at = kEpoch + 1ms,
+      .unit_interval = 20ms,
+      .unit_bytes = 50'000,
+  });
+  const auto d = policy.OnUplinkSlot({kEpoch + 2500us, 3000});
+  EXPECT_LE(d.tbs_bytes, 3000u);
+}
+
+// ---------- TrafficPredictorPolicy (unit) ----------
+
+TEST(TrafficPredictorTest, LearnsPeriodFromBursts) {
+  const auto cell = ran::RanConfig::PaperCell();
+  TrafficPredictorPolicy policy{cell};
+  // Simulate 20 bursts of ~4 kB every 40 ms (16 slots), each burst filling
+  // two consecutive slots.
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int slot = 0; slot < 16; ++slot) {
+      const auto t = kEpoch + sim::Duration{(burst * 16 + slot) * 2500};
+      const std::uint32_t used = slot < 2 ? 2000 : 0;
+      policy.OnTbFilled(t, {2500, ran::GrantType::kProactive}, used);
+    }
+  }
+  const auto period = policy.learned_period();
+  ASSERT_TRUE(period.has_value());
+  EXPECT_NEAR(sim::ToMs(*period), 40.0, 2.6);
+  EXPECT_NEAR(policy.learned_burst_bytes(), 4000.0, 500.0);
+}
+
+TEST(TrafficPredictorTest, NoPredictionWithoutHistory) {
+  TrafficPredictorPolicy policy{ran::RanConfig::PaperCell()};
+  EXPECT_FALSE(policy.learned_period().has_value());
+  const auto d = policy.OnUplinkSlot({kEpoch + 2500us, 100'000});
+  EXPECT_EQ(d.grant, ran::GrantType::kProactive);  // pure fallback
+}
+
+TEST(TrafficPredictorTest, PredictsAfterLearning) {
+  const auto cell = ran::RanConfig::PaperCell();
+  TrafficPredictorPolicy policy{cell};
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int slot = 0; slot < 16; ++slot) {
+      const auto t = kEpoch + sim::Duration{(burst * 16 + slot) * 2500};
+      policy.OnTbFilled(t, {2500, ran::GrantType::kProactive}, slot < 2 ? 2000 : 0);
+    }
+  }
+  // After the training window, slots near the predicted burst time get a
+  // right-sized grant.
+  int predicted = 0;
+  for (int slot = 320; slot < 352; ++slot) {
+    const auto d = policy.OnUplinkSlot({kEpoch + sim::Duration{slot * 2500}, 100'000});
+    if (d.grant == ran::GrantType::kRequested && d.tbs_bytes >= 3000) ++predicted;
+  }
+  EXPECT_GE(predicted, 1);
+  EXPECT_GT(policy.predicted_grants(), 0u);
+}
+
+// ---------- OnlineRanDelayEstimator (unit) ----------
+
+ran::TbRecord Tb(ran::TbId id, sim::TimePoint slot, std::uint32_t used, bool crc_ok = true,
+                 std::uint8_t round = 0, ran::TbId chain = 0) {
+  return ran::TbRecord{.tb_id = id,
+                       .chain_id = chain ? chain : id,
+                       .slot_time = slot,
+                       .grant = ran::GrantType::kProactive,
+                       .tbs_bytes = 2500,
+                       .used_bytes = used,
+                       .harq_round = round,
+                       .crc_ok = crc_ok};
+}
+
+TEST(OnlineEstimatorTest, ResolvesSimpleDelivery) {
+  OnlineRanDelayEstimator est;
+  est.OnPacketSent(1, 1000, kEpoch + 1ms);
+  est.OnTbRecord(Tb(1, kEpoch + 2500us, 1000));
+  EXPECT_EQ(est.resolved_packets(), 1u);
+  // The first resolved packet defines the running minimum → extra = 0.
+  const auto extra = est.ExtraDelay(1);
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_EQ(*extra, 0us);
+}
+
+TEST(OnlineEstimatorTest, RtxShowsAsExtraDelay) {
+  OnlineRanDelayEstimator est;
+  // Packet A: clean, 1.5 ms to slot. Packet B: retransmitted once.
+  est.OnPacketSent(1, 1000, kEpoch + 1ms);
+  est.OnTbRecord(Tb(1, kEpoch + 2500us, 1000));
+  est.OnPacketSent(2, 1000, kEpoch + 11ms);
+  est.OnTbRecord(Tb(2, kEpoch + 12'500us, 1000, /*crc_ok=*/false));
+  est.OnTbRecord(Tb(3, kEpoch + 22'500us, 1000, true, /*round=*/1, /*chain=*/2));
+  const auto extra = est.ExtraDelay(2);
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_EQ(*extra, 10ms);
+}
+
+TEST(OnlineEstimatorTest, SegmentedPacketResolvesAtLastByte) {
+  OnlineRanDelayEstimator est;
+  est.OnPacketSent(1, 3000, kEpoch + 1ms);
+  est.OnTbRecord(Tb(1, kEpoch + 2500us, 2500));
+  EXPECT_EQ(est.resolved_packets(), 0u);  // 500 bytes still queued
+  est.OnTbRecord(Tb(2, kEpoch + 5000us, 500));
+  EXPECT_EQ(est.resolved_packets(), 1u);
+}
+
+TEST(OnlineEstimatorTest, UnknownSeqHasNoDelay) {
+  OnlineRanDelayEstimator est;
+  EXPECT_FALSE(est.ExtraDelay(7).has_value());
+}
+
+// ---------- §5.2 end-to-end: app-aware grants cut frame delay ----------
+
+class MitigationEndToEndTest : public ::testing::Test {
+ protected:
+  /// Runs a session and returns the median video frame-level delay (ms).
+  struct Result {
+    double median_frame_delay_ms = 0.0;
+    double p95_frame_delay_ms = 0.0;
+    std::uint64_t overuse_events = 0;
+  };
+
+  Result Run(app::SessionConfig config, sim::Duration span = 20s) {
+    sim::Simulator sim;
+    app::Session session{sim, std::move(config)};
+
+    // The application announces its media pattern to the RAN if the
+    // session uses the app-aware policy (§5.2: RTP-extension metadata).
+    if (announce_) {
+      announcer_ = std::make_unique<sim::PeriodicTimer>(sim, 100ms, [&] {
+        auto* policy = dynamic_cast<AppAwareGrantPolicy*>(&session.ran_uplink()->policy());
+        ASSERT_NE(policy, nullptr);
+        auto& enc = session.sender().video_encoder();
+        const double fps = media::NominalFps(enc.mode());
+        policy->Announce(StreamAnnouncement{
+            .stream_id = 1,
+            .next_unit_at = sim.Now(),  // frames are already flowing
+            .unit_interval = enc.frame_interval(),
+            .unit_bytes = static_cast<std::uint32_t>(enc.target_bitrate() / fps / 8.0) +
+                          3 * net::kRtpHeaderOverheadBytes,
+        });
+        policy->Announce(StreamAnnouncement{
+            .stream_id = 2,
+            .next_unit_at = sim.Now(),
+            .unit_interval = 20ms,
+            .unit_bytes = 160 + net::kRtpHeaderOverheadBytes,
+        });
+      });
+      announcer_->Start(sim::Duration{0});
+    }
+
+    session.Run(span);
+    announcer_.reset();
+
+    const auto dataset = core::Correlator::Correlate(session.BuildCorrelatorInput());
+    const auto delays = core::Analyzer::FrameDelayCdf(dataset);
+    Result r;
+    r.median_frame_delay_ms = delays.Median();
+    r.p95_frame_delay_ms = delays.P(95);
+    return r;
+  }
+
+  bool announce_ = false;
+  std::unique_ptr<sim::PeriodicTimer> announcer_;
+};
+
+TEST_F(MitigationEndToEndTest, AppAwareGrantsCutFrameDelay) {
+  app::SessionConfig baseline;
+  baseline.seed = 3;
+  const auto base = Run(baseline);
+
+  app::SessionConfig aware = baseline;
+  aware.grant_policy = [](const ran::RanConfig& cell) {
+    return std::make_unique<AppAwareGrantPolicy>(cell);
+  };
+  announce_ = true;
+  const auto mitigated = Run(aware);
+
+  // §5.2: "Either approach has the potential to cut the delay inflation
+  // experienced by frames in half."
+  EXPECT_LT(mitigated.median_frame_delay_ms, 0.7 * base.median_frame_delay_ms)
+      << "baseline " << base.median_frame_delay_ms << " ms vs mitigated "
+      << mitigated.median_frame_delay_ms << " ms";
+}
+
+TEST_F(MitigationEndToEndTest, TrafficPredictorAlsoHelps) {
+  app::SessionConfig baseline;
+  baseline.seed = 4;
+  const auto base = Run(baseline, 30s);
+
+  app::SessionConfig predictor = baseline;
+  predictor.grant_policy = [](const ran::RanConfig& cell) {
+    return std::make_unique<TrafficPredictorPolicy>(cell);
+  };
+  const auto mitigated = Run(predictor, 30s);
+
+  EXPECT_LT(mitigated.median_frame_delay_ms, base.median_frame_delay_ms);
+}
+
+// ---------- §5.3 end-to-end: PHY-informed GCC removes phantom overuse ----
+
+TEST(PhyInformedEndToEndTest, MasksPhantomOveruseOnIdleCell) {
+  auto run = [](bool phy_informed) {
+    sim::Simulator sim;
+    app::SessionConfig config;
+    config.seed = 11;
+    config.channel = ran::ChannelModel::FadingRadio();
+
+    mitigation::PhyInformedController* phy_ctrl = nullptr;
+    cc::GoogCc* plain = nullptr;
+    if (phy_informed) {
+      config.controller_factory = [&phy_ctrl]() {
+        auto c = std::make_unique<PhyInformedController>();
+        phy_ctrl = c.get();
+        return c;
+      };
+    }
+    app::Session session{sim, config};
+    if (phy_informed) {
+      session.ran_uplink()->set_telemetry_listener(
+          [phy_ctrl](const ran::TbRecord& tb) { phy_ctrl->OnTbRecord(tb); });
+    } else {
+      plain = &dynamic_cast<app::GccController&>(session.sender().controller()).gcc();
+    }
+    session.Run(30s);
+    return phy_informed ? phy_ctrl->gcc().overuse_events() : plain->overuse_events();
+  };
+
+  const auto baseline_overuse = run(false);
+  const auto masked_overuse = run(true);
+  // The idle 5G uplink makes plain GCC see phantom overuse (Fig. 10); the
+  // §5.3 mask removes most of it.
+  EXPECT_GT(baseline_overuse, 0u);
+  EXPECT_LT(masked_overuse, baseline_overuse);
+}
+
+TEST(PhyInformedTest, MaskedReportsCounted) {
+  sim::Simulator sim;
+  app::SessionConfig config;
+  PhyInformedController* ctrl = nullptr;
+  config.controller_factory = [&ctrl]() {
+    auto c = std::make_unique<PhyInformedController>();
+    ctrl = c.get();
+    return c;
+  };
+  app::Session session{sim, config};
+  session.ran_uplink()->set_telemetry_listener(
+      [&](const ran::TbRecord& tb) { ctrl->OnTbRecord(tb); });
+  session.Run(5s);
+  EXPECT_GT(ctrl->masked_reports(), 100u);
+  EXPECT_GT(ctrl->estimator().resolved_packets(), 100u);
+}
+
+}  // namespace
+}  // namespace athena::mitigation

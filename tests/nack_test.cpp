@@ -1,0 +1,173 @@
+// Tests for RFC 4585-style NACK generation and retransmission recovery.
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "app/session.hpp"
+#include "rtp/nack.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::rtp {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+net::Packet MediaPacket(std::uint32_t ssrc, std::uint16_t seq) {
+  net::Packet p;
+  p.id = seq + 1;
+  p.kind = net::PacketKind::kRtpVideo;
+  p.size_bytes = 1200;
+  p.rtp = net::RtpMeta{.ssrc = ssrc, .seq = seq};
+  return p;
+}
+
+class NackGeneratorTest : public ::testing::Test {
+ protected:
+  NackGeneratorTest() : nack_(sim_, {}, ids_) {
+    nack_.set_feedback_path([this](const net::Packet& p) { sent_.push_back(p); });
+  }
+
+  sim::Simulator sim_;
+  net::PacketIdGenerator ids_;
+  NackGenerator nack_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(NackGeneratorTest, InOrderStreamProducesNoNacks) {
+  nack_.Start();
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    sim_.ScheduleAfter(sim::Duration{i * 10'000},
+                       [this, i] { nack_.OnMediaPacket(MediaPacket(1, i)); });
+  }
+  sim_.RunUntil(kEpoch + 1s);
+  nack_.Stop();
+  EXPECT_TRUE(sent_.empty());
+  EXPECT_EQ(nack_.gaps_detected(), 0u);
+}
+
+TEST_F(NackGeneratorTest, GapIsNackedAfterHold) {
+  nack_.Start();
+  sim_.ScheduleAfter(1ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 0)); });
+  // seq 1 missing.
+  sim_.ScheduleAfter(2ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 2)); });
+  sim_.RunUntil(kEpoch + 100ms);
+  nack_.Stop();
+  ASSERT_GE(sent_.size(), 1u);
+  ASSERT_TRUE(sent_[0].nack.has_value());
+  EXPECT_EQ(sent_[0].nack->ssrc, 1u);
+  EXPECT_EQ(sent_[0].nack->seqs, std::vector<std::uint16_t>{1});
+  EXPECT_EQ(nack_.gaps_detected(), 1u);
+}
+
+TEST_F(NackGeneratorTest, RecoveryClearsTheMiss) {
+  nack_.Start();
+  sim_.ScheduleAfter(1ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 0)); });
+  sim_.ScheduleAfter(2ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 2)); });
+  // The retransmission arrives before the first retry interval expires.
+  sim_.ScheduleAfter(40ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 1)); });
+  sim_.RunUntil(kEpoch + 2s);
+  nack_.Stop();
+  EXPECT_EQ(nack_.recovered(), 1u);
+  // Only the initial NACK round went out, no endless retries.
+  EXPECT_LE(sent_.size(), 1u);
+}
+
+TEST_F(NackGeneratorTest, GivesUpAfterMaxRetries) {
+  nack_.Start();
+  sim_.ScheduleAfter(1ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 0)); });
+  sim_.ScheduleAfter(2ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 2)); });
+  sim_.RunUntil(kEpoch + 3s);  // nothing ever fills the hole
+  nack_.Stop();
+  EXPECT_EQ(nack_.abandoned(), 1u);
+  EXPECT_EQ(sent_.size(), 4u);  // max_retries rounds
+}
+
+TEST_F(NackGeneratorTest, SsrcsAreIndependent) {
+  nack_.Start();
+  sim_.ScheduleAfter(1ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 0)); });
+  sim_.ScheduleAfter(2ms, [this] { nack_.OnMediaPacket(MediaPacket(2, 0)); });
+  sim_.ScheduleAfter(3ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 2)); });
+  sim_.ScheduleAfter(4ms, [this] { nack_.OnMediaPacket(MediaPacket(2, 1)); });  // in order
+  sim_.RunUntil(kEpoch + 100ms);
+  nack_.Stop();
+  ASSERT_GE(sent_.size(), 1u);
+  for (const auto& p : sent_) {
+    EXPECT_EQ(p.nack->ssrc, 1u);  // only SSRC 1 has a gap
+  }
+}
+
+TEST_F(NackGeneratorTest, SequenceWrapHandled) {
+  nack_.Start();
+  sim_.ScheduleAfter(1ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 65'534)); });
+  sim_.ScheduleAfter(2ms, [this] { nack_.OnMediaPacket(MediaPacket(1, 1)); });  // skips 65535, 0
+  sim_.RunUntil(kEpoch + 100ms);
+  nack_.Stop();
+  EXPECT_EQ(nack_.gaps_detected(), 2u);
+  ASSERT_GE(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].nack->seqs, (std::vector<std::uint16_t>{0, 65'535}));
+}
+
+// ---------- RtxCache ----------
+
+TEST(RtxCacheTest, FindAfterInsert) {
+  RtxCache cache{4};
+  cache.Insert(MediaPacket(1, 10));
+  ASSERT_NE(cache.Find(1, 10), nullptr);
+  EXPECT_EQ(cache.Find(1, 10)->rtp->seq, 10);
+  EXPECT_EQ(cache.Find(1, 11), nullptr);
+  EXPECT_EQ(cache.Find(2, 10), nullptr);
+}
+
+TEST(RtxCacheTest, FifoEviction) {
+  RtxCache cache{3};
+  for (std::uint16_t i = 0; i < 5; ++i) cache.Insert(MediaPacket(1, i));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Find(1, 0), nullptr);  // evicted
+  EXPECT_EQ(cache.Find(1, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Find(1, 4), nullptr);
+}
+
+// ---------- end-to-end recovery ----------
+
+TEST(NackEndToEndTest, RanLossesAreRecoveredByRetransmission) {
+  // Heavy HARQ dropping: without NACK these packets (and their frames)
+  // are gone; with NACK the sender repairs them within ~an RTT.
+  auto run = [](bool nack_on) {
+    sim::Simulator sim;
+    app::SessionConfig config;
+    config.seed = 91;
+    config.channel.base_bler = 0.6;      // frequent chain drops
+    config.channel.rtx_bler_factor = 1.0;
+    config.cell.max_harq_rounds = 2;
+    config.sender.nack_enabled = nack_on;
+    config.receiver.nack_enabled = nack_on;
+    app::Session session{sim, config};
+    session.Run(20s);
+    struct Out {
+      double delivery;
+      std::uint64_t rtx;
+    };
+    return Out{session.qoe().VideoDeliveryRatio(), session.sender().retransmissions()};
+  };
+
+  const auto without = run(false);
+  const auto with = run(true);
+  EXPECT_LT(without.delivery, 0.9);  // the RAN genuinely loses frames here
+  EXPECT_GT(with.delivery, without.delivery + 0.05);
+  EXPECT_GT(with.rtx, 100u);
+}
+
+TEST(NackEndToEndTest, CleanNetworkSendsNoNacks) {
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = 92;
+  config.channel.base_bler = 0.0;
+  app::Session session{sim, config};
+  session.Run(10s);
+  EXPECT_EQ(session.receiver().nack_generator().nacks_sent(), 0u);
+  EXPECT_EQ(session.sender().retransmissions(), 0u);
+}
+
+}  // namespace
+}  // namespace athena::rtp

@@ -1,0 +1,177 @@
+// Property sweeps over the extension components: NACK recovery, L4S
+// marking, the downlink model, the Wi-Fi correlator decomposition, and
+// the trace-replay cycle — invariants that must hold across seeds and
+// parameter ranges.
+#include <chrono>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "app/session.hpp"
+#include "app/two_party.hpp"
+#include "core/analyzer.hpp"
+#include "core/wifi_correlator.hpp"
+#include "net/trace_link.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+// ---------- NACK never hurts delivery, across seeds × loss levels ----------
+
+class NackRecoveryProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(NackRecoveryProperty, DeliveryRatioNeverWorseWithNack) {
+  const auto [seed, bler] = GetParam();
+  auto run = [&](bool nack) {
+    sim::Simulator sim;
+    app::SessionConfig config;
+    config.seed = seed;
+    config.channel.base_bler = bler;
+    config.channel.rtx_bler_factor = 1.0;
+    config.cell.max_harq_rounds = 2;
+    config.sender.nack_enabled = nack;
+    config.receiver.nack_enabled = nack;
+    app::Session session{sim, config};
+    session.Run(10s);
+    return session.qoe().VideoDeliveryRatio();
+  };
+  EXPECT_GE(run(true) + 0.02, run(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndLoss, NackRecoveryProperty,
+                         ::testing::Combine(::testing::Values(201u, 202u),
+                                            ::testing::Values(0.0, 0.3, 0.6)));
+
+// ---------- L4S on clean cells never brakes, across seeds ----------
+
+class L4sCalmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(L4sCalmProperty, NoBackoffWithoutCongestion) {
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = GetParam();
+  config.controller = app::SessionConfig::Controller::kL4s;
+  config.channel.base_bler = 0.0;
+  app::Session session{sim, config};
+  session.Run(15s);
+  const auto& l4s =
+      dynamic_cast<app::L4sRateController&>(session.sender().controller()).l4s();
+  EXPECT_EQ(l4s.backoffs(), 0u);
+  EXPECT_EQ(session.ran_uplink()->counters().ecn_marked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, L4sCalmProperty, ::testing::Values(211u, 212u, 213u));
+
+// ---------- Downlink stays below uplink delay across seeds ----------
+
+class DirectionAsymmetryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectionAsymmetryProperty, DownlinkMedianBelowUplinkMedian) {
+  sim::Simulator sim;
+  app::TwoPartyConfig config;
+  config.seed = GetParam();
+  config.channel.base_bler = 0.08;
+  app::TwoPartySession session{sim, config};
+  session.Run(15s);
+  const auto up = core::Correlator::Correlate(session.BuildUplinkCorrelatorInput());
+  const auto down = core::Correlator::Correlate(session.BuildDownlinkCorrelatorInput());
+  stats::Cdf up_owd{core::Analyzer::UplinkOwdSeries(up).Values()};
+  stats::Cdf down_owd{core::Analyzer::UplinkOwdSeries(down).Values()};
+  ASSERT_FALSE(up_owd.empty());
+  ASSERT_FALSE(down_owd.empty());
+  EXPECT_LT(down_owd.Median(), up_owd.Median());
+  // The downlink never wastes a granted byte.
+  EXPECT_DOUBLE_EQ(session.downlink().counters().GrantUtilization(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectionAsymmetryProperty,
+                         ::testing::Values(221u, 222u, 223u));
+
+// ---------- Wi-Fi decomposition bounds, across loads ----------
+
+class WifiDecompositionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(WifiDecompositionProperty, ComponentsNeverExceedTotal) {
+  const auto [seed, load] = GetParam();
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = seed;
+  config.access = app::SessionConfig::Access::kWifiLike;
+  config.wifi.channel_load = load;
+  app::Session session{sim, config};
+  session.Run(10s);
+  const auto data = core::WifiCorrelator::Correlate(session.BuildWifiCorrelatorInput());
+  ASSERT_GT(data.packets.size(), 500u);
+  for (const auto& p : data.packets) {
+    if (!p.delivered || p.attempts == 0) continue;
+    EXPECT_GE(p.total_delay.count(), 0);
+    EXPECT_LE(p.hol_wait + p.retry_overhead, p.total_delay + sim::Duration{1});
+    EXPECT_GE(p.attempts, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndLoad, WifiDecompositionProperty,
+                         ::testing::Combine(::testing::Values(231u, 232u),
+                                            ::testing::Values(0.1, 0.5, 0.8)));
+
+// ---------- Trace replay: delays within the recorded envelope ----------
+
+class TraceReplayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceReplayProperty, ReplayedDelaysStayInRecordedRange) {
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = GetParam();
+  config.channel.base_bler = 0.1;
+  app::Session session{sim, config};
+  session.Run(8s);
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  const auto trace = core::Analyzer::BuildDelayTrace(data);
+  ASSERT_FALSE(trace.empty());
+
+  sim::Duration lo = trace.samples().front().delay;
+  sim::Duration hi = lo;
+  for (const auto& s : trace.samples()) {
+    lo = std::min(lo, s.delay);
+    hi = std::max(hi, s.delay);
+  }
+  sim::Rng rng{GetParam()};
+  for (int i = 0; i < 500; ++i) {
+    const auto elapsed = sim::Duration{rng.UniformInt(0, 20'000'000)};
+    const auto d = trace.DelayAt(elapsed);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceReplayProperty, ::testing::Values(241u, 242u));
+
+// ---------- E-model sanity across its whole input plane ----------
+
+class EModelPlaneProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EModelPlaneProperty, MosAlwaysInValidBand) {
+  sim::Rng rng{GetParam()};
+  media::EModel model;
+  for (int i = 0; i < 2000; ++i) {
+    const double delay = rng.Uniform(0.0, 3000.0);
+    const double loss = rng.Uniform(0.0, 1.0);
+    const double mos = model.Mos(delay, loss);
+    EXPECT_GE(mos, 1.0);
+    EXPECT_LE(mos, 4.5);
+    // Monotone in each argument (spot-check against a perturbation).
+    EXPECT_LE(model.Mos(delay + 50.0, loss), mos + 1e-9);
+    EXPECT_LE(model.Mos(delay, std::min(1.0, loss + 0.05)), mos + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EModelPlaneProperty, ::testing::Values(251u, 252u));
+
+}  // namespace
+}  // namespace athena

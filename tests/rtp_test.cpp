@@ -1,0 +1,231 @@
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "rtp/packetizer.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::rtp {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+class PacketizerTest : public ::testing::Test {
+ protected:
+  net::PacketIdGenerator ids_;
+  TransportSequencer seq_;
+  Packetizer packetizer_{Packetizer::Config{.ssrc = 0x10, .flow = 1}, ids_, seq_};
+};
+
+TEST_F(PacketizerTest, SmallUnitIsOnePacket) {
+  const auto packets = packetizer_.Packetize(
+      MediaUnit{.frame_id = 1, .payload_bytes = 500, .is_audio = true}, kEpoch);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].rtp->marker);
+  EXPECT_EQ(packets[0].kind, net::PacketKind::kRtpAudio);
+  EXPECT_EQ(packets[0].size_bytes, 500 + net::kRtpHeaderOverheadBytes);
+}
+
+TEST_F(PacketizerTest, LargeFrameSplitsAtMtu) {
+  const std::uint32_t payload = net::kRtpPayloadMtuBytes * 3 + 100;
+  const auto packets = packetizer_.Packetize(
+      MediaUnit{.frame_id = 3, .payload_bytes = payload,
+                .layer = net::SvcLayer::kBase},
+      kEpoch);
+  ASSERT_EQ(packets.size(), 4u);
+  // Byte conservation: payload splits exactly.
+  std::uint32_t total = 0;
+  for (const auto& p : packets) total += p.size_bytes - net::kRtpHeaderOverheadBytes;
+  EXPECT_EQ(total, payload);
+}
+
+TEST_F(PacketizerTest, OnlyLastPacketHasMarker) {
+  const auto packets = packetizer_.Packetize(
+      MediaUnit{.frame_id = 1, .payload_bytes = net::kRtpPayloadMtuBytes * 2}, kEpoch);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_FALSE(packets[0].rtp->marker);
+  EXPECT_TRUE(packets[1].rtp->marker);
+}
+
+TEST_F(PacketizerTest, PacketIndexAndCountAreStamped) {
+  const auto packets = packetizer_.Packetize(
+      MediaUnit{.frame_id = 9, .payload_bytes = net::kRtpPayloadMtuBytes * 3}, kEpoch);
+  ASSERT_EQ(packets.size(), 3u);
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].rtp->packets_in_frame, 3u);
+    EXPECT_EQ(packets[i].rtp->packet_index_in_frame, i);
+    EXPECT_EQ(packets[i].rtp->frame_id, 9u);
+  }
+}
+
+TEST_F(PacketizerTest, RtpSequenceIsContiguous) {
+  const auto a = packetizer_.Packetize(MediaUnit{.frame_id = 1, .payload_bytes = 3000}, kEpoch);
+  const auto b = packetizer_.Packetize(MediaUnit{.frame_id = 2, .payload_bytes = 3000}, kEpoch);
+  EXPECT_EQ(b.front().rtp->seq, a.back().rtp->seq + 1);
+}
+
+TEST_F(PacketizerTest, SvcLayerIsCarried) {
+  const auto packets = packetizer_.Packetize(
+      MediaUnit{.frame_id = 1, .payload_bytes = 100,
+                .layer = net::SvcLayer::kHighFpsEnhancement},
+      kEpoch);
+  EXPECT_EQ(packets[0].rtp->layer, net::SvcLayer::kHighFpsEnhancement);
+}
+
+TEST(TransportSequencerTest, SharedAcrossPacketizers) {
+  net::PacketIdGenerator ids;
+  TransportSequencer seq;
+  Packetizer video{Packetizer::Config{.ssrc = 1, .flow = 1}, ids, seq};
+  Packetizer audio{Packetizer::Config{.ssrc = 2, .flow = 1}, ids, seq};
+  const auto v = video.Packetize(MediaUnit{.frame_id = 1, .payload_bytes = 100}, kEpoch);
+  const auto a = audio.Packetize(
+      MediaUnit{.frame_id = 2, .payload_bytes = 100, .is_audio = true}, kEpoch);
+  EXPECT_EQ(a[0].rtp->transport_seq, v[0].rtp->transport_seq + 1);
+}
+
+TEST(TransportSequencerTest, WrapsAt16Bits) {
+  TransportSequencer seq;
+  for (int i = 0; i < 65535; ++i) (void)seq.Next();
+  EXPECT_EQ(seq.Next(), 65535);
+  EXPECT_EQ(seq.Next(), 0);  // wraps
+}
+
+// ---------- TWCC ----------
+
+class TwccTest : public ::testing::Test {
+ protected:
+  net::Packet MediaPacket(std::uint16_t tseq, std::uint32_t size = 1200) {
+    net::Packet p;
+    p.id = next_id_++;
+    p.kind = net::PacketKind::kRtpVideo;
+    p.size_bytes = size;
+    p.rtp = net::RtpMeta{.transport_seq = tseq};
+    return p;
+  }
+
+  sim::Simulator sim_;
+  net::PacketIdGenerator ids_;
+  net::PacketId next_id_ = 1;
+};
+
+TEST_F(TwccTest, FeedbackCarriesArrivals) {
+  TwccReceiver receiver{sim_, {.feedback_interval = 50ms}, ids_};
+  std::vector<net::Packet> feedback;
+  receiver.set_feedback_path([&](const net::Packet& p) { feedback.push_back(p); });
+  receiver.Start();
+  sim_.ScheduleAfter(10ms, [&] { receiver.OnMediaPacket(MediaPacket(0)); });
+  sim_.ScheduleAfter(20ms, [&] { receiver.OnMediaPacket(MediaPacket(1)); });
+  sim_.RunUntil(kEpoch + 60ms);
+  receiver.Stop();
+  ASSERT_EQ(feedback.size(), 1u);
+  ASSERT_TRUE(feedback[0].feedback.has_value());
+  ASSERT_EQ(feedback[0].feedback->arrivals.size(), 2u);
+  EXPECT_EQ(feedback[0].feedback->arrivals[0].transport_seq, 0);
+  EXPECT_EQ(feedback[0].feedback->arrivals[0].recv_ts, kEpoch + 10ms);
+}
+
+TEST_F(TwccTest, NoFeedbackWithoutArrivals) {
+  TwccReceiver receiver{sim_, {.feedback_interval = 50ms}, ids_};
+  int count = 0;
+  receiver.set_feedback_path([&](const net::Packet&) { ++count; });
+  receiver.Start();
+  sim_.RunUntil(kEpoch + 500ms);
+  receiver.Stop();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(TwccTest, FeedbackSeqIncrements) {
+  TwccReceiver receiver{sim_, {.feedback_interval = 50ms}, ids_};
+  std::vector<std::uint32_t> seqs;
+  receiver.set_feedback_path(
+      [&](const net::Packet& p) { seqs.push_back(p.feedback->feedback_seq); });
+  receiver.Start();
+  sim_.ScheduleAfter(10ms, [&] { receiver.OnMediaPacket(MediaPacket(0)); });
+  sim_.ScheduleAfter(60ms, [&] { receiver.OnMediaPacket(MediaPacket(1)); });
+  sim_.RunUntil(kEpoch + 150ms);
+  receiver.Stop();
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST_F(TwccTest, SenderResolvesReports) {
+  TwccSender sender;
+  const auto p0 = MediaPacket(10, 900);
+  const auto p1 = MediaPacket(11, 1100);
+  sender.OnPacketSent(p0, kEpoch + 1ms);
+  sender.OnPacketSent(p1, kEpoch + 2ms);
+
+  net::Packet fb;
+  fb.kind = net::PacketKind::kRtcpFeedback;
+  fb.feedback = net::FeedbackMeta{
+      0, {{10, kEpoch + 21ms}, {11, kEpoch + 23ms}}};
+  const auto reports = sender.OnFeedback(fb);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].transport_seq, 10);
+  EXPECT_EQ(reports[0].send_ts, kEpoch + 1ms);
+  EXPECT_EQ(reports[0].recv_ts, kEpoch + 21ms);
+  EXPECT_EQ(reports[0].size_bytes, 900u);
+  EXPECT_EQ(reports[1].size_bytes, 1100u);
+}
+
+TEST_F(TwccTest, UnknownSeqIsSkipped) {
+  TwccSender sender;
+  sender.OnPacketSent(MediaPacket(1), kEpoch);
+  net::Packet fb;
+  fb.feedback = net::FeedbackMeta{0, {{99, kEpoch + 1ms}}};
+  EXPECT_TRUE(sender.OnFeedback(fb).empty());
+}
+
+TEST_F(TwccTest, ReportsSortedByReceiveTime) {
+  TwccSender sender;
+  sender.OnPacketSent(MediaPacket(1), kEpoch);
+  sender.OnPacketSent(MediaPacket(2), kEpoch + 1ms);
+  net::Packet fb;
+  // Out-of-order arrivals in the feedback message.
+  fb.feedback = net::FeedbackMeta{0, {{2, kEpoch + 30ms}, {1, kEpoch + 25ms}}};
+  const auto reports = sender.OnFeedback(fb);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].transport_seq, 1);
+  EXPECT_EQ(reports[1].transport_seq, 2);
+}
+
+TEST_F(TwccTest, HistoryEviction) {
+  TwccSender sender{4};
+  for (std::uint16_t i = 0; i < 10; ++i) sender.OnPacketSent(MediaPacket(i), kEpoch);
+  EXPECT_EQ(sender.history_size(), 4u);
+  net::Packet fb;
+  fb.feedback = net::FeedbackMeta{0, {{0, kEpoch + 1ms}, {9, kEpoch + 2ms}}};
+  const auto reports = sender.OnFeedback(fb);
+  ASSERT_EQ(reports.size(), 1u);  // seq 0 was evicted, seq 9 survives
+  EXPECT_EQ(reports[0].transport_seq, 9);
+}
+
+TEST_F(TwccTest, AudioFlagPropagates) {
+  TwccSender sender;
+  net::Packet p = MediaPacket(5);
+  p.kind = net::PacketKind::kRtpAudio;
+  sender.OnPacketSent(p, kEpoch);
+  net::Packet fb;
+  fb.feedback = net::FeedbackMeta{0, {{5, kEpoch + 5ms}}};
+  const auto reports = sender.OnFeedback(fb);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].is_audio);
+}
+
+TEST_F(TwccTest, FeedbackPacketSizeGrowsWithReports) {
+  TwccReceiver receiver{sim_, {.feedback_interval = 50ms}, ids_};
+  std::vector<net::Packet> feedback;
+  receiver.set_feedback_path([&](const net::Packet& p) { feedback.push_back(p); });
+  receiver.Start();
+  sim_.ScheduleAfter(1ms, [&] {
+    for (std::uint16_t i = 0; i < 20; ++i) receiver.OnMediaPacket(MediaPacket(i));
+  });
+  sim_.RunUntil(kEpoch + 60ms);
+  receiver.Stop();
+  ASSERT_EQ(feedback.size(), 1u);
+  EXPECT_GT(feedback[0].size_bytes, 80u);
+}
+
+}  // namespace
+}  // namespace athena::rtp

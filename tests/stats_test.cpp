@@ -1,0 +1,320 @@
+#include <chrono>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/cdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace athena::stats {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+// ---------- RunningStats ----------
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStatsTest, MinMaxTrack) {
+  RunningStats s;
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3;
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+// ---------- Cdf ----------
+
+TEST(CdfTest, QuantilesOfKnownData) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(i);
+  EXPECT_DOUBLE_EQ(cdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 100.0);
+  EXPECT_NEAR(cdf.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(cdf.P(25), 25.75, 1e-9);
+  EXPECT_NEAR(cdf.P(95), 95.05, 1e-9);
+}
+
+TEST(CdfTest, FractionAtOrBelow) {
+  Cdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(10.0), 1.0);
+}
+
+TEST(CdfTest, MeanMatches) {
+  Cdf cdf{{1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 2.0);
+}
+
+TEST(CdfTest, EvaluateIsMonotoneNondecreasing) {
+  Cdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.Add((i * 37) % 101);
+  const auto pts = cdf.Evaluate(40);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].f, pts[i - 1].f);
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+TEST(CdfTest, EvaluateAtCustomGrid) {
+  Cdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  const auto pts = cdf.EvaluateAt({0.0, 2.5, 5.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].f, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].f, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].f, 1.0);
+}
+
+TEST(CdfTest, SortedSamplesAreSorted) {
+  Cdf cdf{{3.0, 1.0, 2.0}};
+  EXPECT_EQ(cdf.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(CdfTest, AddAfterQueryResorts) {
+  Cdf cdf{{3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(cdf.Max(), 3.0);
+  cdf.Add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 10.0);
+}
+
+TEST(CdfTest, SummaryMentionsCount) {
+  Cdf cdf{{1.0, 2.0}};
+  EXPECT_NE(cdf.Summary().find("n=2"), std::string::npos);
+  EXPECT_EQ(Cdf{}.Summary(), "n=0");
+}
+
+TEST(CdfTest, StochasticDominance) {
+  Cdf small;
+  Cdf large;
+  for (int i = 0; i < 100; ++i) {
+    small.Add(i);
+    large.Add(i + 50);
+  }
+  EXPECT_TRUE(StochasticallyBelow(small, large));
+  EXPECT_FALSE(StochasticallyBelow(large, small));
+}
+
+TEST(CdfTest, StochasticDominanceSlackTolerates) {
+  Cdf a{{1.0, 2.0, 3.0}};
+  Cdf b{{1.5, 2.5, 2.9}};  // crosses slightly at the top
+  EXPECT_FALSE(StochasticallyBelow(a, b));
+  EXPECT_TRUE(StochasticallyBelow(a, b, 0.4));
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, BinsAndCounts) {
+  Histogram h{0.0, 10.0, 10};
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h{0.0, 10.0, 10};
+  h.Add(-1.0);
+  h.Add(10.0);  // hi is exclusive
+  h.Add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, BinLowAndWidth) {
+  Histogram h{0.0, 10.0, 10};
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+}
+
+TEST(HistogramTest, ModeBin) {
+  Histogram h{0.0, 10.0, 10};
+  h.Add(5.5);
+  h.Add(5.6);
+  h.Add(1.0);
+  EXPECT_EQ(h.ModeBin(), 5u);
+}
+
+TEST(HistogramTest, FractionOnGridDetectsQuantization) {
+  Histogram h{0.0, 50.0, 100};
+  // Everything on a 2.5 grid:
+  for (int i = 0; i < 20; ++i) h.Add(2.5 * (i % 8));
+  EXPECT_DOUBLE_EQ(h.FractionOnGrid(2.5, 0.1), 1.0);
+  // Add off-grid mass:
+  for (int i = 0; i < 20; ++i) h.Add(1.3);
+  EXPECT_NEAR(h.FractionOnGrid(2.5, 0.1), 0.5, 1e-9);
+}
+
+TEST(HistogramTest, RenderShowsNonEmptyBins) {
+  Histogram h{0.0, 10.0, 10};
+  h.Add(1.5);
+  const auto text = h.Render();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_EQ(Histogram(0, 1, 4).Render(), "(empty histogram)\n");
+}
+
+// ---------- TimeSeries ----------
+
+TEST(TimeSeriesTest, WindowedMeanAveragesPerWindow) {
+  TimeSeries ts;
+  ts.Add(kEpoch + 100ms, 1.0);
+  ts.Add(kEpoch + 200ms, 3.0);
+  ts.Add(kEpoch + 1100ms, 10.0);
+  const auto w = ts.WindowedMean(1s);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].mean, 2.0);
+  EXPECT_EQ(w[0].count, 2u);
+  EXPECT_DOUBLE_EQ(w[1].mean, 10.0);
+}
+
+TEST(TimeSeriesTest, WindowedRateConvertsToPerSecond) {
+  TimeSeries ts;
+  ts.Add(kEpoch + 100ms, 500.0);   // bytes
+  ts.Add(kEpoch + 900ms, 500.0);
+  const auto w = ts.WindowedRatePerSecond(1s);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0].mean, 1000.0);  // 1000 bytes over 1 s
+}
+
+TEST(TimeSeriesTest, EmptyWindowsAreSkipped) {
+  TimeSeries ts;
+  ts.Add(kEpoch, 1.0);
+  ts.Add(kEpoch + 5s, 1.0);
+  const auto w = ts.WindowedMean(1s);
+  EXPECT_EQ(w.size(), 2u);  // windows 1..4 are empty and absent
+}
+
+TEST(TimeSeriesTest, UnsortedInputIsHandled) {
+  TimeSeries ts;
+  ts.Add(kEpoch + 900ms, 3.0);
+  ts.Add(kEpoch + 100ms, 1.0);
+  const auto w = ts.WindowedMean(1s);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0].mean, 2.0);
+}
+
+TEST(TimeSeriesTest, SliceSelectsHalfOpenRange) {
+  TimeSeries ts;
+  ts.Add(kEpoch + 1s, 1.0);
+  ts.Add(kEpoch + 2s, 2.0);
+  ts.Add(kEpoch + 3s, 3.0);
+  const auto sliced = ts.Slice(kEpoch + 2s, kEpoch + 3s);
+  ASSERT_EQ(sliced.size(), 1u);
+  EXPECT_DOUBLE_EQ(sliced.samples()[0].value, 2.0);
+}
+
+TEST(TimeSeriesTest, ValuesExtract) {
+  TimeSeries ts;
+  ts.Add(kEpoch, 1.0);
+  ts.Add(kEpoch + 1ms, 2.0);
+  EXPECT_EQ(ts.Values(), (std::vector<double>{1.0, 2.0}));
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, PrintAlignsColumnsAndCsvIsParsable) {
+  Table t{{"name", "value"}};
+  t.AddRow({"alpha", "1"});
+  t.AddNumericRow({2.5, 3.25}, 2);
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream text;
+  t.Print(text);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("name"), std::string::npos);
+
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("2.50,3.25"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.AddRow({"only-one"});
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_NE(csv.str().find("only-one,,"), std::string::npos);
+}
+
+TEST(TableTest, FmtFormatsPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+}
+
+TEST(TableTest, BannerContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 5");
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace athena::stats

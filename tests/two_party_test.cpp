@@ -1,0 +1,184 @@
+// Tests for the bidirectional two-party session: the mobile party's media
+// climbs the 5G uplink while the wired party's media descends the full
+// downlink model — the complete Fig. 2 picture plus the reverse direction.
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "app/two_party.hpp"
+#include "core/analyzer.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::app {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::kEpoch;
+
+// ---------- RanDownlink in isolation ----------
+
+class RanDownlinkTest : public ::testing::Test {
+ protected:
+  void Build(ran::RanConfig cell, ran::ChannelModel::Config channel = {.base_bler = 0.0}) {
+    cell_ = cell;
+    downlink_ = std::make_unique<ran::RanDownlink>(
+        sim_, cell, ran::ChannelModel{channel, sim::Rng{5}},
+        ran::CrossTraffic::Idle(sim::Rng{6}));
+    downlink_->set_ue_sink([this](const net::Packet& p) {
+      deliveries_.emplace_back(p.id, sim_.Now());
+    });
+    downlink_->Start();
+  }
+
+  void SendAt(sim::Duration when, net::PacketId id, std::uint32_t bytes) {
+    sim_.ScheduleAt(kEpoch + when, [this, id, bytes] {
+      net::Packet p;
+      p.id = id;
+      p.size_bytes = bytes;
+      p.created_at = sim_.Now();
+      downlink_->SendFromCore(p);
+    });
+  }
+
+  sim::Simulator sim_;
+  ran::RanConfig cell_;
+  std::unique_ptr<ran::RanDownlink> downlink_;
+  std::vector<std::pair<net::PacketId, sim::TimePoint>> deliveries_;
+};
+
+TEST_F(RanDownlinkTest, SlotGridIsFourTimesDenser) {
+  Build(ran::RanConfig::PaperCell());
+  EXPECT_EQ(downlink_->slot_period(), 625us);
+}
+
+TEST_F(RanDownlinkTest, SinglePacketRidesNextSlot) {
+  Build(ran::RanConfig::PaperCell());
+  SendAt(1ms, 1, 1200);
+  sim_.RunUntil(kEpoch + 50ms);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  // Next DL slot after 1 ms is 1.25 ms; plus the UE pipeline delay.
+  EXPECT_EQ(deliveries_[0].second, kEpoch + 1250us + cell_.gnb_to_core_delay);
+}
+
+TEST_F(RanDownlinkTest, NoGrantCycleMeansWholeBurstInOneSlot) {
+  // The §3.1 pathology cannot happen downlink: the gNB grants itself the
+  // whole backlog immediately. A 6 kB burst fits one DL slot at 25 Mbps?
+  // Slot budget = 25e6 × 0.625 ms / 8 ≈ 1953 B → the burst takes a few
+  // *dense* slots, still finishing far faster than an uplink BSR cycle.
+  Build(ran::RanConfig::PaperCell());
+  for (int i = 0; i < 5; ++i) SendAt(1ms, static_cast<net::PacketId>(i + 1), 1200);
+  sim_.RunUntil(kEpoch + 100ms);
+  ASSERT_EQ(deliveries_.size(), 5u);
+  const auto last = deliveries_.back().second - cell_.gnb_to_core_delay;
+  EXPECT_LE(last, kEpoch + 4ms);  // vs ~12.5 ms on the uplink
+}
+
+TEST_F(RanDownlinkTest, HarqAddsRtxDelay) {
+  Build(ran::RanConfig::PaperCell(), {.base_bler = 1.0, .rtx_bler_factor = 0.0});
+  SendAt(1ms, 1, 1000);
+  sim_.RunUntil(kEpoch + 100ms);
+  ASSERT_EQ(deliveries_.size(), 1u);
+  // First tx at 1.25 ms fails; rtx 10 ms later (grid-aligned) succeeds.
+  EXPECT_GE(deliveries_[0].second, kEpoch + 11ms);
+  EXPECT_GT(downlink_->counters().tb_rtx, 0u);
+}
+
+TEST_F(RanDownlinkTest, ChainDropLosesPacket) {
+  Build(ran::RanConfig::PaperCell(), {.base_bler = 1.0, .rtx_bler_factor = 1.0});
+  SendAt(1ms, 1, 1000);
+  sim_.RunUntil(kEpoch + 500ms);
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(downlink_->counters().packets_lost, 1u);
+}
+
+TEST_F(RanDownlinkTest, TelemetryByteConservation) {
+  Build(ran::RanConfig::PaperCell());
+  for (int i = 0; i < 20; ++i) {
+    SendAt(sim::Duration{i * 5'000}, static_cast<net::PacketId>(i + 1), 900);
+  }
+  sim_.RunUntil(kEpoch + 1s);
+  std::uint64_t used = 0;
+  for (const auto& tb : downlink_->telemetry()) {
+    if (tb.harq_round == 0) used += tb.used_bytes;
+  }
+  EXPECT_EQ(used, 20u * 900u);
+  EXPECT_EQ(downlink_->queue_bytes(), 0u);
+}
+
+// ---------- the full two-party call ----------
+
+class TwoPartyTest : public ::testing::Test {
+ protected:
+  void Run(TwoPartyConfig config, sim::Duration span = 20s) {
+    session_ = std::make_unique<TwoPartySession>(sim_, std::move(config));
+    session_->Run(span);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<TwoPartySession> session_;
+};
+
+TEST_F(TwoPartyTest, BothDirectionsDeliverVideo) {
+  TwoPartyConfig config;
+  config.channel.base_bler = 0.08;
+  Run(config);
+  EXPECT_GT(session_->qoe_at_b().video_frames_rendered(), 400u);  // A → B
+  EXPECT_GT(session_->qoe_at_a().video_frames_rendered(), 400u);  // B → A
+  EXPECT_GT(session_->sender_a().feedback_received(), 100u);
+  EXPECT_GT(session_->sender_b().feedback_received(), 100u);
+}
+
+TEST_F(TwoPartyTest, UplinkJittersDownlinkDoesNot) {
+  // The paper's takeaway (c), demonstrated with full machinery on both
+  // paths: same cell, same radio, same HARQ — the *grant cycle* is what
+  // makes the uplink jittery.
+  TwoPartyConfig config;
+  config.channel = ran::ChannelModel::FadingRadio();
+  Run(config, 30s);
+
+  const auto up = core::Correlator::Correlate(session_->BuildUplinkCorrelatorInput());
+  const auto down = core::Correlator::Correlate(session_->BuildDownlinkCorrelatorInput());
+  stats::Cdf up_owd{core::Analyzer::UplinkOwdSeries(up).Values()};
+  stats::Cdf down_owd{core::Analyzer::UplinkOwdSeries(down).Values()};
+  ASSERT_GT(up_owd.size(), 1000u);
+  ASSERT_GT(down_owd.size(), 1000u);
+
+  EXPECT_LT(down_owd.Median(), up_owd.Median());
+  const double up_jitter = up_owd.P(95) - up_owd.P(5);
+  const double down_jitter = down_owd.P(95) - down_owd.P(5);
+  EXPECT_LT(down_jitter, up_jitter);
+}
+
+TEST_F(TwoPartyTest, DownlinkCorrelatorConservesBytes) {
+  TwoPartyConfig config;
+  config.channel.base_bler = 0.1;
+  Run(config);
+  const auto down = core::Correlator::Correlate(session_->BuildDownlinkCorrelatorInput());
+  EXPECT_EQ(down.unmatched_tb_bytes, 0u);
+  EXPECT_LT(down.unmatched_packet_bytes, 20'000u);  // shutdown in-flight only
+}
+
+TEST_F(TwoPartyTest, UplinkCorrelatorSeesFeedbackSharingTheQueue) {
+  // A's RTCP about B's media is uplink traffic: the correlator must see
+  // non-media packets in the uplink dataset.
+  TwoPartyConfig config;
+  Run(config, 10s);
+  const auto up = core::Correlator::Correlate(session_->BuildUplinkCorrelatorInput());
+  std::size_t rtcp = 0;
+  for (const auto& p : up.packets) {
+    if (p.kind == net::PacketKind::kRtcpFeedback) ++rtcp;
+  }
+  EXPECT_GT(rtcp, 50u);
+  EXPECT_EQ(up.unmatched_tb_bytes, 0u);  // byte conservation incl. RTCP
+}
+
+TEST_F(TwoPartyTest, DownlinkHasNoGrantWaste) {
+  TwoPartyConfig config;
+  Run(config, 10s);
+  // The gNB self-schedules: granted == used, no padding, no over-grant.
+  EXPECT_DOUBLE_EQ(session_->downlink().counters().GrantUtilization(), 1.0);
+  EXPECT_LT(session_->uplink().counters().GrantUtilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace athena::app
