@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gcc.dir/bench_ablation_gcc.cpp.o"
+  "CMakeFiles/bench_ablation_gcc.dir/bench_ablation_gcc.cpp.o.d"
+  "bench_ablation_gcc"
+  "bench_ablation_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ran.dir/bench_ablation_ran.cpp.o"
+  "CMakeFiles/bench_ablation_ran.dir/bench_ablation_ran.cpp.o.d"
+  "bench_ablation_ran"
+  "bench_ablation_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

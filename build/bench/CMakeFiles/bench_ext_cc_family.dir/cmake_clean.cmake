@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cc_family.dir/bench_ext_cc_family.cpp.o"
+  "CMakeFiles/bench_ext_cc_family.dir/bench_ext_cc_family.cpp.o.d"
+  "bench_ext_cc_family"
+  "bench_ext_cc_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cc_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gcc_simulator.dir/bench_ext_gcc_simulator.cpp.o"
+  "CMakeFiles/bench_ext_gcc_simulator.dir/bench_ext_gcc_simulator.cpp.o.d"
+  "bench_ext_gcc_simulator"
+  "bench_ext_gcc_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gcc_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_three_options.dir/bench_ext_three_options.cpp.o"
+  "CMakeFiles/bench_ext_three_options.dir/bench_ext_three_options.cpp.o.d"
+  "bench_ext_three_options"
+  "bench_ext_three_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_three_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_two_party.dir/bench_ext_two_party.cpp.o"
+  "CMakeFiles/bench_ext_two_party.dir/bench_ext_two_party.cpp.o.d"
+  "bench_ext_two_party"
+  "bench_ext_two_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_two_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_qoe_5g_vs_emulated.dir/bench_fig07_qoe_5g_vs_emulated.cpp.o"
+  "CMakeFiles/bench_fig07_qoe_5g_vs_emulated.dir/bench_fig07_qoe_5g_vs_emulated.cpp.o.d"
+  "bench_fig07_qoe_5g_vs_emulated"
+  "bench_fig07_qoe_5g_vs_emulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_qoe_5g_vs_emulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_qoe_5g_vs_emulated.
+# This may be replaced when dependencies are built.

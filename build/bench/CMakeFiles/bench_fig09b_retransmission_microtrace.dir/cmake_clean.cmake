@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09b_retransmission_microtrace.dir/bench_fig09b_retransmission_microtrace.cpp.o"
+  "CMakeFiles/bench_fig09b_retransmission_microtrace.dir/bench_fig09b_retransmission_microtrace.cpp.o.d"
+  "bench_fig09b_retransmission_microtrace"
+  "bench_fig09b_retransmission_microtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09b_retransmission_microtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09b_retransmission_microtrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09b_retransmission_microtrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gcc_gradient.dir/bench_fig10_gcc_gradient.cpp.o"
+  "CMakeFiles/bench_fig10_gcc_gradient.dir/bench_fig10_gcc_gradient.cpp.o.d"
+  "bench_fig10_gcc_gradient"
+  "bench_fig10_gcc_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gcc_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_appaware_ran.dir/bench_sec52_appaware_ran.cpp.o"
+  "CMakeFiles/bench_sec52_appaware_ran.dir/bench_sec52_appaware_ran.cpp.o.d"
+  "bench_sec52_appaware_ran"
+  "bench_sec52_appaware_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_appaware_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

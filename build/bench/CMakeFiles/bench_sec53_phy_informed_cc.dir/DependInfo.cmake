@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec53_phy_informed_cc.cpp" "bench/CMakeFiles/bench_sec53_phy_informed_cc.dir/bench_sec53_phy_informed_cc.cpp.o" "gcc" "bench/CMakeFiles/bench_sec53_phy_informed_cc.dir/bench_sec53_phy_informed_cc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mitigation/CMakeFiles/athena_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/athena_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/athena_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/athena_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/athena_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/athena_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_phy_informed_cc.dir/bench_sec53_phy_informed_cc.cpp.o"
+  "CMakeFiles/bench_sec53_phy_informed_cc.dir/bench_sec53_phy_informed_cc.cpp.o.d"
+  "bench_sec53_phy_informed_cc"
+  "bench_sec53_phy_informed_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_phy_informed_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

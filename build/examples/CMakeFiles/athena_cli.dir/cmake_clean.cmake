@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_cli.dir/athena_cli.cpp.o"
+  "CMakeFiles/athena_cli.dir/athena_cli.cpp.o.d"
+  "athena_cli"
+  "athena_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcc_phantom_overuse.dir/gcc_phantom_overuse.cpp.o"
+  "CMakeFiles/gcc_phantom_overuse.dir/gcc_phantom_overuse.cpp.o.d"
+  "gcc_phantom_overuse"
+  "gcc_phantom_overuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcc_phantom_overuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

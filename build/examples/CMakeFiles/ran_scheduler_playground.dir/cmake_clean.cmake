@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_scheduler_playground.dir/ran_scheduler_playground.cpp.o"
+  "CMakeFiles/ran_scheduler_playground.dir/ran_scheduler_playground.cpp.o.d"
+  "ran_scheduler_playground"
+  "ran_scheduler_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_scheduler_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

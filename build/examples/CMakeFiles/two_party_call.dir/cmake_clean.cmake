@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_party_call.dir/two_party_call.cpp.o"
+  "CMakeFiles/two_party_call.dir/two_party_call.cpp.o.d"
+  "two_party_call"
+  "two_party_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_party_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

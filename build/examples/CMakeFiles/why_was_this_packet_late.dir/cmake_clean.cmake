@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/why_was_this_packet_late.dir/why_was_this_packet_late.cpp.o"
+  "CMakeFiles/why_was_this_packet_late.dir/why_was_this_packet_late.cpp.o.d"
+  "why_was_this_packet_late"
+  "why_was_this_packet_late.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/why_was_this_packet_late.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

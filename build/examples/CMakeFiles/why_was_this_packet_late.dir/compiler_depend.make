@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for why_was_this_packet_late.
+# This may be replaced when dependencies are built.

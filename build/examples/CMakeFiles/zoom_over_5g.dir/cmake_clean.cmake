@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_over_5g.dir/zoom_over_5g.cpp.o"
+  "CMakeFiles/zoom_over_5g.dir/zoom_over_5g.cpp.o.d"
+  "zoom_over_5g"
+  "zoom_over_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_over_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/adaptation.cpp" "src/app/CMakeFiles/athena_app.dir/adaptation.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/adaptation.cpp.o.d"
+  "/root/repo/src/app/pacer.cpp" "src/app/CMakeFiles/athena_app.dir/pacer.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/pacer.cpp.o.d"
+  "/root/repo/src/app/receiver.cpp" "src/app/CMakeFiles/athena_app.dir/receiver.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/receiver.cpp.o.d"
+  "/root/repo/src/app/sender.cpp" "src/app/CMakeFiles/athena_app.dir/sender.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/sender.cpp.o.d"
+  "/root/repo/src/app/session.cpp" "src/app/CMakeFiles/athena_app.dir/session.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/session.cpp.o.d"
+  "/root/repo/src/app/sfu.cpp" "src/app/CMakeFiles/athena_app.dir/sfu.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/sfu.cpp.o.d"
+  "/root/repo/src/app/two_party.cpp" "src/app/CMakeFiles/athena_app.dir/two_party.cpp.o" "gcc" "src/app/CMakeFiles/athena_app.dir/two_party.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/athena_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/athena_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/athena_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/athena_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

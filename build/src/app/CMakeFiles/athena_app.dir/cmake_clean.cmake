@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_app.dir/adaptation.cpp.o"
+  "CMakeFiles/athena_app.dir/adaptation.cpp.o.d"
+  "CMakeFiles/athena_app.dir/pacer.cpp.o"
+  "CMakeFiles/athena_app.dir/pacer.cpp.o.d"
+  "CMakeFiles/athena_app.dir/receiver.cpp.o"
+  "CMakeFiles/athena_app.dir/receiver.cpp.o.d"
+  "CMakeFiles/athena_app.dir/sender.cpp.o"
+  "CMakeFiles/athena_app.dir/sender.cpp.o.d"
+  "CMakeFiles/athena_app.dir/session.cpp.o"
+  "CMakeFiles/athena_app.dir/session.cpp.o.d"
+  "CMakeFiles/athena_app.dir/sfu.cpp.o"
+  "CMakeFiles/athena_app.dir/sfu.cpp.o.d"
+  "CMakeFiles/athena_app.dir/two_party.cpp.o"
+  "CMakeFiles/athena_app.dir/two_party.cpp.o.d"
+  "libathena_app.a"
+  "libathena_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

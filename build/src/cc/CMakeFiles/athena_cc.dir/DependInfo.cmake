@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/aimd.cpp" "src/cc/CMakeFiles/athena_cc.dir/aimd.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/aimd.cpp.o.d"
+  "/root/repo/src/cc/gcc.cpp" "src/cc/CMakeFiles/athena_cc.dir/gcc.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/gcc.cpp.o.d"
+  "/root/repo/src/cc/inter_arrival.cpp" "src/cc/CMakeFiles/athena_cc.dir/inter_arrival.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/inter_arrival.cpp.o.d"
+  "/root/repo/src/cc/l4s.cpp" "src/cc/CMakeFiles/athena_cc.dir/l4s.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/l4s.cpp.o.d"
+  "/root/repo/src/cc/nada.cpp" "src/cc/CMakeFiles/athena_cc.dir/nada.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/nada.cpp.o.d"
+  "/root/repo/src/cc/scream.cpp" "src/cc/CMakeFiles/athena_cc.dir/scream.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/scream.cpp.o.d"
+  "/root/repo/src/cc/trendline.cpp" "src/cc/CMakeFiles/athena_cc.dir/trendline.cpp.o" "gcc" "src/cc/CMakeFiles/athena_cc.dir/trendline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

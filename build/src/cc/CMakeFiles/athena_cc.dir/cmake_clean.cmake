@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_cc.dir/aimd.cpp.o"
+  "CMakeFiles/athena_cc.dir/aimd.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/gcc.cpp.o"
+  "CMakeFiles/athena_cc.dir/gcc.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/inter_arrival.cpp.o"
+  "CMakeFiles/athena_cc.dir/inter_arrival.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/l4s.cpp.o"
+  "CMakeFiles/athena_cc.dir/l4s.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/nada.cpp.o"
+  "CMakeFiles/athena_cc.dir/nada.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/scream.cpp.o"
+  "CMakeFiles/athena_cc.dir/scream.cpp.o.d"
+  "CMakeFiles/athena_cc.dir/trendline.cpp.o"
+  "CMakeFiles/athena_cc.dir/trendline.cpp.o.d"
+  "libathena_cc.a"
+  "libathena_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

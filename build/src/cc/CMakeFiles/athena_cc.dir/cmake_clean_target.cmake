@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libathena_cc.a"
+)

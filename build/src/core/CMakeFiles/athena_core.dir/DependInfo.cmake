@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/athena_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/clock_sync.cpp" "src/core/CMakeFiles/athena_core.dir/clock_sync.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/clock_sync.cpp.o.d"
+  "/root/repo/src/core/correlator.cpp" "src/core/CMakeFiles/athena_core.dir/correlator.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/correlator.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/athena_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/overuse_audit.cpp" "src/core/CMakeFiles/athena_core.dir/overuse_audit.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/overuse_audit.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/athena_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/wifi_correlator.cpp" "src/core/CMakeFiles/athena_core.dir/wifi_correlator.cpp.o" "gcc" "src/core/CMakeFiles/athena_core.dir/wifi_correlator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/athena_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/athena_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

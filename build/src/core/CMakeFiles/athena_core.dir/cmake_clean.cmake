@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_core.dir/analyzer.cpp.o"
+  "CMakeFiles/athena_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/athena_core.dir/clock_sync.cpp.o"
+  "CMakeFiles/athena_core.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/athena_core.dir/correlator.cpp.o"
+  "CMakeFiles/athena_core.dir/correlator.cpp.o.d"
+  "CMakeFiles/athena_core.dir/export.cpp.o"
+  "CMakeFiles/athena_core.dir/export.cpp.o.d"
+  "CMakeFiles/athena_core.dir/overuse_audit.cpp.o"
+  "CMakeFiles/athena_core.dir/overuse_audit.cpp.o.d"
+  "CMakeFiles/athena_core.dir/report.cpp.o"
+  "CMakeFiles/athena_core.dir/report.cpp.o.d"
+  "CMakeFiles/athena_core.dir/wifi_correlator.cpp.o"
+  "CMakeFiles/athena_core.dir/wifi_correlator.cpp.o.d"
+  "libathena_core.a"
+  "libathena_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

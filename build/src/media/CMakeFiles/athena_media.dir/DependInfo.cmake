@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/emodel.cpp" "src/media/CMakeFiles/athena_media.dir/emodel.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/emodel.cpp.o.d"
+  "/root/repo/src/media/encoder.cpp" "src/media/CMakeFiles/athena_media.dir/encoder.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/encoder.cpp.o.d"
+  "/root/repo/src/media/jitter_buffer.cpp" "src/media/CMakeFiles/athena_media.dir/jitter_buffer.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/jitter_buffer.cpp.o.d"
+  "/root/repo/src/media/qoe.cpp" "src/media/CMakeFiles/athena_media.dir/qoe.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/qoe.cpp.o.d"
+  "/root/repo/src/media/screen_capture.cpp" "src/media/CMakeFiles/athena_media.dir/screen_capture.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/screen_capture.cpp.o.d"
+  "/root/repo/src/media/ssim_model.cpp" "src/media/CMakeFiles/athena_media.dir/ssim_model.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/ssim_model.cpp.o.d"
+  "/root/repo/src/media/svc.cpp" "src/media/CMakeFiles/athena_media.dir/svc.cpp.o" "gcc" "src/media/CMakeFiles/athena_media.dir/svc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_media.dir/emodel.cpp.o"
+  "CMakeFiles/athena_media.dir/emodel.cpp.o.d"
+  "CMakeFiles/athena_media.dir/encoder.cpp.o"
+  "CMakeFiles/athena_media.dir/encoder.cpp.o.d"
+  "CMakeFiles/athena_media.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/athena_media.dir/jitter_buffer.cpp.o.d"
+  "CMakeFiles/athena_media.dir/qoe.cpp.o"
+  "CMakeFiles/athena_media.dir/qoe.cpp.o.d"
+  "CMakeFiles/athena_media.dir/screen_capture.cpp.o"
+  "CMakeFiles/athena_media.dir/screen_capture.cpp.o.d"
+  "CMakeFiles/athena_media.dir/ssim_model.cpp.o"
+  "CMakeFiles/athena_media.dir/ssim_model.cpp.o.d"
+  "CMakeFiles/athena_media.dir/svc.cpp.o"
+  "CMakeFiles/athena_media.dir/svc.cpp.o.d"
+  "libathena_media.a"
+  "libathena_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_mitigation.dir/app_aware_policy.cpp.o"
+  "CMakeFiles/athena_mitigation.dir/app_aware_policy.cpp.o.d"
+  "CMakeFiles/athena_mitigation.dir/phy_informed.cpp.o"
+  "CMakeFiles/athena_mitigation.dir/phy_informed.cpp.o.d"
+  "CMakeFiles/athena_mitigation.dir/traffic_predictor.cpp.o"
+  "CMakeFiles/athena_mitigation.dir/traffic_predictor.cpp.o.d"
+  "libathena_mitigation.a"
+  "libathena_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capacity_trace.cpp" "src/net/CMakeFiles/athena_net.dir/capacity_trace.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/capacity_trace.cpp.o.d"
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/athena_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/athena_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/athena_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/athena_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/trace_link.cpp" "src/net/CMakeFiles/athena_net.dir/trace_link.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/trace_link.cpp.o.d"
+  "/root/repo/src/net/wireless_links.cpp" "src/net/CMakeFiles/athena_net.dir/wireless_links.cpp.o" "gcc" "src/net/CMakeFiles/athena_net.dir/wireless_links.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

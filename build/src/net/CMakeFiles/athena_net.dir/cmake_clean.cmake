@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_net.dir/capacity_trace.cpp.o"
+  "CMakeFiles/athena_net.dir/capacity_trace.cpp.o.d"
+  "CMakeFiles/athena_net.dir/capture.cpp.o"
+  "CMakeFiles/athena_net.dir/capture.cpp.o.d"
+  "CMakeFiles/athena_net.dir/icmp.cpp.o"
+  "CMakeFiles/athena_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/athena_net.dir/link.cpp.o"
+  "CMakeFiles/athena_net.dir/link.cpp.o.d"
+  "CMakeFiles/athena_net.dir/packet.cpp.o"
+  "CMakeFiles/athena_net.dir/packet.cpp.o.d"
+  "CMakeFiles/athena_net.dir/trace_link.cpp.o"
+  "CMakeFiles/athena_net.dir/trace_link.cpp.o.d"
+  "CMakeFiles/athena_net.dir/wireless_links.cpp.o"
+  "CMakeFiles/athena_net.dir/wireless_links.cpp.o.d"
+  "libathena_net.a"
+  "libathena_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libathena_net.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/channel.cpp" "src/ran/CMakeFiles/athena_ran.dir/channel.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/channel.cpp.o.d"
+  "/root/repo/src/ran/cross_traffic.cpp" "src/ran/CMakeFiles/athena_ran.dir/cross_traffic.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/ran/downlink.cpp" "src/ran/CMakeFiles/athena_ran.dir/downlink.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/downlink.cpp.o.d"
+  "/root/repo/src/ran/downlink_ran.cpp" "src/ran/CMakeFiles/athena_ran.dir/downlink_ran.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/downlink_ran.cpp.o.d"
+  "/root/repo/src/ran/grant_policy.cpp" "src/ran/CMakeFiles/athena_ran.dir/grant_policy.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/grant_policy.cpp.o.d"
+  "/root/repo/src/ran/types.cpp" "src/ran/CMakeFiles/athena_ran.dir/types.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/types.cpp.o.d"
+  "/root/repo/src/ran/uplink.cpp" "src/ran/CMakeFiles/athena_ran.dir/uplink.cpp.o" "gcc" "src/ran/CMakeFiles/athena_ran.dir/uplink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

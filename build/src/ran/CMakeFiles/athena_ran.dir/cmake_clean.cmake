@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_ran.dir/channel.cpp.o"
+  "CMakeFiles/athena_ran.dir/channel.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/cross_traffic.cpp.o"
+  "CMakeFiles/athena_ran.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/downlink.cpp.o"
+  "CMakeFiles/athena_ran.dir/downlink.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/downlink_ran.cpp.o"
+  "CMakeFiles/athena_ran.dir/downlink_ran.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/grant_policy.cpp.o"
+  "CMakeFiles/athena_ran.dir/grant_policy.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/types.cpp.o"
+  "CMakeFiles/athena_ran.dir/types.cpp.o.d"
+  "CMakeFiles/athena_ran.dir/uplink.cpp.o"
+  "CMakeFiles/athena_ran.dir/uplink.cpp.o.d"
+  "libathena_ran.a"
+  "libathena_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/nack.cpp" "src/rtp/CMakeFiles/athena_rtp.dir/nack.cpp.o" "gcc" "src/rtp/CMakeFiles/athena_rtp.dir/nack.cpp.o.d"
+  "/root/repo/src/rtp/packetizer.cpp" "src/rtp/CMakeFiles/athena_rtp.dir/packetizer.cpp.o" "gcc" "src/rtp/CMakeFiles/athena_rtp.dir/packetizer.cpp.o.d"
+  "/root/repo/src/rtp/twcc.cpp" "src/rtp/CMakeFiles/athena_rtp.dir/twcc.cpp.o" "gcc" "src/rtp/CMakeFiles/athena_rtp.dir/twcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

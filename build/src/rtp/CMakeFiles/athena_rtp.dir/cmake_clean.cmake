@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_rtp.dir/nack.cpp.o"
+  "CMakeFiles/athena_rtp.dir/nack.cpp.o.d"
+  "CMakeFiles/athena_rtp.dir/packetizer.cpp.o"
+  "CMakeFiles/athena_rtp.dir/packetizer.cpp.o.d"
+  "CMakeFiles/athena_rtp.dir/twcc.cpp.o"
+  "CMakeFiles/athena_rtp.dir/twcc.cpp.o.d"
+  "libathena_rtp.a"
+  "libathena_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

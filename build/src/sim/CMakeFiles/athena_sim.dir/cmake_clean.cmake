@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/athena_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/athena_sim.dir/simulator.cpp.o"
+  "CMakeFiles/athena_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/athena_sim.dir/time.cpp.o"
+  "CMakeFiles/athena_sim.dir/time.cpp.o.d"
+  "libathena_sim.a"
+  "libathena_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

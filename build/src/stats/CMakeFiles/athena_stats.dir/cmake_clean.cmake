@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athena_stats.dir/cdf.cpp.o"
+  "CMakeFiles/athena_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/athena_stats.dir/histogram.cpp.o"
+  "CMakeFiles/athena_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/athena_stats.dir/table.cpp.o"
+  "CMakeFiles/athena_stats.dir/table.cpp.o.d"
+  "CMakeFiles/athena_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/athena_stats.dir/timeseries.cpp.o.d"
+  "libathena_stats.a"
+  "libathena_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athena_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

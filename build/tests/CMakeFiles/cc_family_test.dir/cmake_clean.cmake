@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_family_test.dir/cc_family_test.cpp.o"
+  "CMakeFiles/cc_family_test.dir/cc_family_test.cpp.o.d"
+  "cc_family_test"
+  "cc_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nack_test.dir/nack_test.cpp.o"
+  "CMakeFiles/nack_test.dir/nack_test.cpp.o.d"
+  "nack_test"
+  "nack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

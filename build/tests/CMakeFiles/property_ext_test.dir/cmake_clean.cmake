@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ext_test.dir/property_ext_test.cpp.o"
+  "CMakeFiles/property_ext_test.dir/property_ext_test.cpp.o.d"
+  "property_ext_test"
+  "property_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

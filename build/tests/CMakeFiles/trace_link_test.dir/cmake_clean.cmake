@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_link_test.dir/trace_link_test.cpp.o"
+  "CMakeFiles/trace_link_test.dir/trace_link_test.cpp.o.d"
+  "trace_link_test"
+  "trace_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

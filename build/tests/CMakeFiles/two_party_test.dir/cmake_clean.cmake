@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_party_test.dir/two_party_test.cpp.o"
+  "CMakeFiles/two_party_test.dir/two_party_test.cpp.o.d"
+  "two_party_test"
+  "two_party_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_party_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

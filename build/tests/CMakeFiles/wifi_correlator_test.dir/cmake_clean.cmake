@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_correlator_test.dir/wifi_correlator_test.cpp.o"
+  "CMakeFiles/wifi_correlator_test.dir/wifi_correlator_test.cpp.o.d"
+  "wifi_correlator_test"
+  "wifi_correlator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_correlator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

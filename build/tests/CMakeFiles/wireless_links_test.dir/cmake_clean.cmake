@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_links_test.dir/wireless_links_test.cpp.o"
+  "CMakeFiles/wireless_links_test.dir/wireless_links_test.cpp.o.d"
+  "wireless_links_test"
+  "wireless_links_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_links_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
