@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds and runs the observability perf baseline:
+#   - bench_micro_perf (hot-path microbenches, observability disabled) — the
+#     numbers the "<2% regression when tracing is off" bound is checked against
+#   - bench_obs — kernel self-profile + session tracing overhead, written to
+#     BENCH_obs.json at the repo root
+#
+# Usage: bench/run_bench_obs.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_micro_perf bench_obs -j "$(nproc)"
+
+echo "== bench_micro_perf (observability off) =="
+"$build_dir/bench/bench_micro_perf" --benchmark_min_time=0.2
+
+echo
+echo "== bench_obs (profiling hooks on) =="
+"$build_dir/bench/bench_obs" "$repo_root/BENCH_obs.json"

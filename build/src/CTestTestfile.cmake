@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("sim")
 subdirs("stats")
+subdirs("obs")
 subdirs("net")
 subdirs("rtp")
 subdirs("media")

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ran/CMakeFiles/athena_ran.dir/DependInfo.cmake"
   "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/athena_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
   )

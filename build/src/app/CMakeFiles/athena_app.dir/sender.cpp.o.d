@@ -262,4 +262,6 @@ src/app/CMakeFiles/athena_app.dir/sender.cpp.o: \
  /root/repo/src/rtp/nack.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/stats/histogram.hpp \
+ /root/repo/src/stats/running_stats.hpp /root/repo/src/obs/trace.hpp

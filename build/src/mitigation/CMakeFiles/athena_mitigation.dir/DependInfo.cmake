@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/athena_core.dir/DependInfo.cmake"
   "/root/repo/build/src/media/CMakeFiles/athena_media.dir/DependInfo.cmake"
   "/root/repo/build/src/rtp/CMakeFiles/athena_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/athena_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
   )
 

@@ -19,7 +19,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/athena_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

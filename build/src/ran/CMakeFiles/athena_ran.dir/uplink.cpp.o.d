@@ -252,4 +252,9 @@ src/ran/CMakeFiles/athena_ran.dir/uplink.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cassert /usr/include/assert.h
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/stats/histogram.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/stats/running_stats.hpp /root/repo/src/obs/trace.hpp

@@ -17,6 +17,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/athena_net.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/athena_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/athena_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/athena_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

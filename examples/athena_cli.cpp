@@ -12,14 +12,18 @@
 //     --fading                          enable the fading radio
 //     --out=DIR                         write packets/frames/telemetry/
 //                                       capture CSVs into DIR
+//     --trace=FILE                      write a Chrome trace-event JSON
+//                                       (open in Perfetto / chrome://tracing)
+//     --metrics=FILE                    write periodic metric snapshots as CSV
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
-//       --out=/tmp/athena_run
+//       --out=/tmp/athena_run --trace=/tmp/athena_run/trace.json
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "athena.hpp"
@@ -37,6 +41,8 @@ struct Options {
   double cross_mbps = 0.0;
   bool fading = false;
   std::string out_dir;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -63,12 +69,17 @@ Options Parse(int argc, char** argv) {
       opt.cross_mbps = std::stod(value);
     } else if (ParseFlag(arg, "out", &value)) {
       opt.out_dir = value;
+    } else if (ParseFlag(arg, "trace", &value)) {
+      opt.trace_path = value;
+    } else if (ParseFlag(arg, "metrics", &value)) {
+      opt.metrics_path = value;
     } else if (arg == "--fading") {
       opt.fading = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: athena_cli [--access=5g|emulated|wifi|leo] "
                    "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
-                   "[--cross-mbps=X] [--fading] [--out=DIR]\n";
+                   "[--cross-mbps=X] [--fading] [--out=DIR] [--trace=FILE] "
+                   "[--metrics=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -114,12 +125,49 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulator simulator;
+
+  // Observability: installed before the session is built so constructor-time
+  // events are captured too. The correlator runs inside the session scope so
+  // its core/pkt.uplink track lands in the same trace.
+  std::unique_ptr<obs::ObsSession> observability;
+  if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
+    observability = std::make_unique<obs::ObsSession>(
+        simulator, obs::ObsSession::Options{
+                       .trace = !opt.trace_path.empty(),
+                       .metrics = true,
+                       .metrics_period =
+                           opt.metrics_path.empty()
+                               ? sim::Duration{0}
+                               : sim::Duration{std::chrono::milliseconds{100}},
+                   });
+  }
+
   app::Session session{simulator, config};
   std::cout << "running " << opt.duration_s << " s over " << opt.access << " with "
             << opt.controller << " (seed " << opt.seed << ")...\n";
   session.Run(std::chrono::seconds{opt.duration_s});
 
   const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  if (observability) {
+    auto write = [&](const std::string& path, auto&& writer) {
+      std::ofstream os{path};
+      if (!os) {
+        std::cerr << "cannot write " << path << '\n';
+        std::exit(1);
+      }
+      writer(os);
+      std::cout << "wrote " << path << '\n';
+    };
+    if (!opt.trace_path.empty()) {
+      write(opt.trace_path,
+            [&](std::ostream& os) { observability->recorder().WriteJson(os); });
+    }
+    if (!opt.metrics_path.empty()) {
+      write(opt.metrics_path,
+            [&](std::ostream& os) { observability->registry().WriteCsv(os); });
+    }
+  }
 
   // --- the cross-layer report ---
   core::Report::Render(

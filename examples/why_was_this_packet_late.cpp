@@ -3,19 +3,37 @@
 // to, which transport blocks carried it, how long it waited for a grant,
 // how long it trickled across uplink slots, and how much HARQ added — the
 // per-packet root cause that no single layer can see on its own (Fig. 1).
+//
+// Pass a path to also dump the run as a Chrome trace-event JSON:
+//
+//   why_was_this_packet_late /tmp/late.json
+//
+// then open it in Perfetto (ui.perfetto.dev) — the "core (cross-layer
+// correlator)" track holds one `pkt.uplink` span per media packet whose
+// args (wait_ms / spread_ms / harq_ms / cause) are exactly the breakdown
+// printed below, and the RAN track shows the slots and HARQ chains that
+// caused it.
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "app/session.hpp"
 #include "core/analyzer.hpp"
+#include "obs/obs.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace athena;
   using namespace std::chrono_literals;
 
   sim::Simulator simulator;
+  std::unique_ptr<obs::ObsSession> observability;
+  if (argc > 1) {
+    observability = std::make_unique<obs::ObsSession>(simulator, obs::ObsSession::Options{});
+  }
+
   app::SessionConfig config;
   config.seed = 77;
   config.channel = ran::ChannelModel::FadingRadio();
@@ -25,6 +43,18 @@ int main() {
   session.Run(60s);
 
   auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+
+  if (observability != nullptr) {
+    std::ofstream os{argv[1]};
+    if (!os) {
+      std::cerr << "cannot write " << argv[1] << '\n';
+      return 1;
+    }
+    observability->recorder().WriteJson(os);
+    std::cout << "wrote trace to " << argv[1]
+              << " — open in ui.perfetto.dev and look for the pkt.uplink spans "
+                 "on the correlator track\n";
+  }
 
   // Rank delivered media packets by uplink one-way delay.
   std::vector<const core::CrossLayerRecord*> worst;

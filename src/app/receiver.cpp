@@ -1,5 +1,8 @@
 #include "app/receiver.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::app {
 
 VcaReceiver::Config VcaReceiver::DefaultConfig() {
@@ -42,6 +45,12 @@ void VcaReceiver::Stop() {
 void VcaReceiver::OnPacket(const net::Packet& p) {
   if (!p.is_media()) return;
   ++packets_received_;
+  obs::CountInc("app.media_packets_received");
+  // Sampled counter: one point every 16 packets keeps the track readable.
+  if (obs::trace_enabled() && packets_received_ % 16 == 0) {
+    obs::TraceCounter(obs::Layer::kApp, "app.recv_packets", sim_.Now(),
+                      static_cast<double>(packets_received_));
+  }
   qoe_.OnPacketReceived(p, sim_.Now());
   twcc_.OnMediaPacket(p);
   if (nack_enabled_) nack_.OnMediaPacket(p);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::app {
 
 VcaSender::VcaSender(sim::Simulator& sim, Config config,
@@ -67,6 +70,11 @@ void VcaSender::OnAudioTick() {
 void VcaSender::SendUnit(const media::EncodedUnit& unit, rtp::Packetizer& packetizer) {
   if (qoe_) qoe_->OnUnitSent(unit);
   const auto packets = packetizer.Packetize(unit.unit, sim_.Now());
+  obs::TraceInstant(obs::Layer::kApp,
+                    unit.unit.is_audio ? "audio.encoded" : "frame.encoded", sim_.Now(),
+                    {{"frame", static_cast<double>(unit.unit.frame_id)},
+                     {"bytes", static_cast<double>(unit.unit.payload_bytes)},
+                     {"packets", static_cast<double>(packets.size())}});
   for (const auto& p : packets) {
     twcc_.OnPacketSent(p, sim_.Now());
     controller_->OnPacketSent(p, sim_.Now());
@@ -78,6 +86,7 @@ void VcaSender::SendUnit(const media::EncodedUnit& unit, rtp::Packetizer& packet
       outbound_(p);
     }
   }
+  obs::CountInc("app.media_packets_sent", packets.size());
 }
 
 void VcaSender::OnFeedbackPacket(const net::Packet& p) {
@@ -95,11 +104,15 @@ void VcaSender::OnFeedbackPacket(const net::Packet& p) {
       twcc_.OnPacketSent(rtx, sim_.Now());
       controller_->OnPacketSent(rtx, sim_.Now());
       ++retransmissions_;
+      obs::CountInc("app.retransmissions");
+      obs::TraceInstant(obs::Layer::kApp, "rtx.sent", sim_.Now(),
+                        {{"seq", static_cast<double>(seq)}});
       if (outbound_) outbound_(rtx);
     }
   }
   if (!p.feedback) return;
   ++feedback_received_;
+  obs::CountInc("app.feedback_received");
   const auto reports = twcc_.OnFeedback(p);
   if (reports.empty()) return;
 

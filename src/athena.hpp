@@ -30,6 +30,9 @@
 #include "media/jitter_buffer.hpp"  // IWYU pragma: export
 #include "media/qoe.hpp"          // IWYU pragma: export
 #include "net/trace_link.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp"        // IWYU pragma: export
+#include "obs/obs.hpp"            // IWYU pragma: export
+#include "obs/trace.hpp"          // IWYU pragma: export
 #include "net/wireless_links.hpp" // IWYU pragma: export
 #include "rtp/nack.hpp"           // IWYU pragma: export
 #include "mitigation/app_aware_policy.hpp"   // IWYU pragma: export

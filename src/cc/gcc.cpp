@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::cc {
 
 void LossEstimator::OnBatch(std::uint16_t first_seq, std::uint16_t last_seq,
@@ -45,6 +48,10 @@ double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimeP
       if (trendline_.State() == BandwidthUsage::kOverusing &&
           prev_usage_ != BandwidthUsage::kOverusing) {
         ++overuse_events_;
+        obs::CountInc("cc.overuse_events");
+        obs::TraceInstant(obs::Layer::kCc, "cc.overuse", r.recv_ts,
+                          {{"trend_ms", trendline_.modified_trend_ms()},
+                           {"threshold_ms", trendline_.threshold_ms()}});
       }
       prev_usage_ = trendline_.State();
       if (config_.keep_history) {
@@ -74,6 +81,13 @@ double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimeP
     loss_based_bps_ = std::min(config_.aimd.max_bps, loss_based_bps_ * 1.02);
   }
 
+  obs::CountInc("cc.feedback_batches");
+  if (obs::trace_enabled()) {
+    obs::TraceCounter(obs::Layer::kCc, "cc.target_bps", now, target_bps());
+    obs::TraceCounter(obs::Layer::kCc, "cc.trend_ms", now,
+                      trendline_.modified_trend_ms());
+  }
+  obs::SetGauge("cc.target_bps", target_bps());
   return target_bps();
 }
 

@@ -5,6 +5,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::core {
 
 const char* ToString(RootCause cause) {
@@ -190,8 +193,20 @@ CrossLayerDataset Correlator::Correlate(const CorrelatorInput& input) {
     }
 
     r.primary_cause = Classify(r, input.cell);
+    // The "why was this packet late" track: one span per media packet from
+    // UE send to core arrival, annotated with the delay decomposition.
+    if (obs::trace_enabled() && r.reached_core &&
+        (r.kind == net::PacketKind::kRtpVideo || r.kind == net::PacketKind::kRtpAudio)) {
+      obs::TraceAsyncSpan(obs::Layer::kCore, "pkt.uplink", r.packet_id, r.sent_at,
+                          r.core_at,
+                          {{"wait_ms", sim::ToMs(r.sched_wait)},
+                           {"spread_ms", sim::ToMs(r.transmission_spread)},
+                           {"harq_ms", sim::ToMs(r.rtx_inflation)},
+                           {"cause", static_cast<double>(r.primary_cause)}});
+    }
     out.packets.push_back(std::move(r));
   }
+  obs::CountInc("core.packets_correlated", out.packets.size());
 
   // ---- Per-frame aggregation (L7). ----
   struct FrameScratch {
@@ -238,6 +253,10 @@ CrossLayerDataset Correlator::Correlate(const CorrelatorInput& input) {
     s.record.complete_at_core = s.expected > 0 && s.arrived_at_core >= s.expected;
     out.frames.push_back(s.record);
   }
+  obs::CountInc("core.frames_correlated", out.frames.size());
+  obs::SetGauge("core.unmatched_tb_bytes", static_cast<double>(out.unmatched_tb_bytes));
+  obs::SetGauge("core.unmatched_packet_bytes",
+                static_cast<double>(out.unmatched_packet_bytes));
 
   return out;
 }

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::media {
 
 namespace {
@@ -129,6 +132,15 @@ void JitterBuffer::OnFrameComplete(std::uint64_t frame_id, const PendingFrame& f
   ++frames_rendered_;
   if (late) ++frames_late_;
 
+  obs::CountInc("media.frames_rendered");
+  if (late) obs::CountInc("media.frames_late");
+  // The frame's jitter-buffer residency: first packet in → scheduled render.
+  obs::TraceAsyncSpan(obs::Layer::kMedia, frame.is_audio ? "sample.jb" : "frame.jb",
+                      frame_id, frame.first_packet_at, target,
+                      {{"late", late ? 1.0 : 0.0},
+                       {"bytes", static_cast<double>(frame.payload_bytes)},
+                       {"playout_delay_ms", sim::ToMs(playout_delay_)}});
+
   if (on_render_) {
     sim_.ScheduleAt(target, [cb = on_render_, rendered] { cb(rendered); });
   }
@@ -140,6 +152,7 @@ void JitterBuffer::GarbageCollect() {
     if (now - it->second.first_packet_at > config_.stale_frame_timeout) {
       it = pending_.erase(it);
       ++frames_abandoned_;
+      obs::CountInc("media.frames_abandoned");
     } else {
       ++it;
     }

@@ -1,5 +1,8 @@
 #include "net/capture.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::net {
 
 void CapturePoint::OnPacket(const Packet& p) {
@@ -14,6 +17,14 @@ void CapturePoint::OnPacket(const Packet& p) {
       .rtp = p.rtp,
       .icmp = p.icmp,
   });
+  if (obs::trace_enabled()) {
+    // One instant per tap, named after the capture point (Fig. 2 ①–④),
+    // so a packet's journey reads as a row of dots across the net track.
+    obs::TraceInstant(obs::Layer::kNet, name_, now,
+                      {{"packet", static_cast<double>(p.id)},
+                       {"bytes", static_cast<double>(p.size_bytes)}});
+  }
+  obs::CountInc("net.captured");
   if (sink_) sink_(p);
 }
 

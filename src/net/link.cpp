@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::net {
 
 FixedDelayLink::FixedDelayLink(sim::Simulator& sim, Config config, sim::Rng rng)
@@ -11,6 +14,7 @@ FixedDelayLink::FixedDelayLink(sim::Simulator& sim, Config config, sim::Rng rng)
 void FixedDelayLink::Send(const Packet& p) {
   if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
     ++dropped_;
+    obs::CountInc("net.wire_dropped");
     return;
   }
   sim::Duration delay = config_.delay;
@@ -20,12 +24,16 @@ void FixedDelayLink::Send(const Packet& p) {
         -static_cast<double>(config_.delay.count()));
     delay += sim::Duration{static_cast<std::int64_t>(jitter_us)};
   }
-  sim::TimePoint deliver_at = sim_.Now() + delay;
+  const sim::TimePoint sent_at = sim_.Now();
+  sim::TimePoint deliver_at = sent_at + delay;
   // FIFO: never deliver before a packet sent earlier.
   deliver_at = std::max(deliver_at, last_delivery_);
   last_delivery_ = deliver_at;
-  sim_.ScheduleAt(deliver_at, [this, p] {
+  sim_.ScheduleAt(deliver_at, [this, p, sent_at] {
     ++delivered_;
+    obs::CountInc("net.wire_delivered");
+    obs::TraceAsyncSpan(obs::Layer::kNet, "pkt.hop", p.id, sent_at, sim_.Now(),
+                        {{"bytes", static_cast<double>(p.size_bytes)}});
     if (sink_) sink_(p);
   });
 }
@@ -36,9 +44,14 @@ RateLimitedLink::RateLimitedLink(sim::Simulator& sim, Config config)
 void RateLimitedLink::Send(const Packet& p) {
   if (queue_.size() >= config_.max_queue_packets) {
     ++dropped_;
+    obs::CountInc("net.link_dropped");
+    obs::TraceInstant(obs::Layer::kNet, "link.drop", sim_.Now(),
+                      {{"packet", static_cast<double>(p.id)}});
     return;
   }
   queue_.push_back(p);
+  obs::TraceCounter(obs::Layer::kNet, "net.link_queue", sim_.Now(),
+                    static_cast<double>(queue_depth()));
   StartServiceIfIdle();
 }
 
@@ -52,6 +65,7 @@ void RateLimitedLink::ServeHead() {
   assert(busy_);
   if (queue_.empty()) {
     busy_ = false;
+    obs::TraceCounter(obs::Layer::kNet, "net.link_queue", sim_.Now(), 0.0);
     return;
   }
   const Packet p = queue_.front();
@@ -66,9 +80,14 @@ void RateLimitedLink::ServeHead() {
   }
   const double tx_seconds = static_cast<double>(p.size_bytes) * 8.0 / bps;
   const auto tx = sim::FromSeconds(tx_seconds);
+  // Service times are serialized by busy_, so a plain complete span is safe.
+  obs::TraceSpan(obs::Layer::kNet, "link.tx", sim_.Now(), sim_.Now() + tx,
+                 {{"packet", static_cast<double>(p.id)},
+                  {"bytes", static_cast<double>(p.size_bytes)}});
   sim_.ScheduleAfter(tx, [this, p] {
     sim_.ScheduleAfter(config_.propagation, [this, p] {
       ++delivered_;
+      obs::CountInc("net.link_delivered");
       if (sink_) sink_(p);
     });
     ServeHead();

@@ -1,0 +1,112 @@
+// One-stop observability bundle.
+//
+// `SimObsBridge` implements the kernel's `sim::SimHooks`, translating
+// kernel activity into trace events (a `sim.run` span per Run* call, a
+// sampled `sim.queue_depth` counter) and metrics gauges. It lives here —
+// not in src/sim/ — so the kernel stays dependency-free.
+//
+// `ObsSession` is what tools use: it owns a TraceRecorder and a
+// MetricsRegistry, installs both globals for its lifetime (RAII), hooks
+// the simulator, and optionally snapshots metrics on a virtual-time grid.
+//
+//   obs::ObsSession observability{sim, {.metrics_period = 100ms}};
+//   ... run the scenario ...
+//   observability.recorder().WriteJson(trace_file);
+//   observability.registry().WriteCsv(metrics_file);
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::obs {
+
+/// Kernel → obs adapter. Install with `sim.set_hooks(&bridge)`.
+class SimObsBridge final : public sim::SimHooks {
+ public:
+  /// `queue_sample_every`: emit the queue-depth trace counter every N
+  /// executed events (bounds trace volume; 0 disables the counter).
+  explicit SimObsBridge(sim::Simulator& sim, std::uint64_t queue_sample_every = 64)
+      : sim_(sim), queue_sample_every_(queue_sample_every) {}
+
+  void OnEventExecuted(sim::TimePoint t, std::size_t queue_depth) override {
+    if (queue_sample_every_ == 0) return;
+    if (++events_since_sample_ < queue_sample_every_) return;
+    events_since_sample_ = 0;
+    TraceCounter(Layer::kSim, "sim.queue_depth", t, static_cast<double>(queue_depth));
+  }
+
+  void OnRunCompleted(sim::TimePoint begin, sim::TimePoint end,
+                      std::uint64_t events) override {
+    TraceSpan(Layer::kSim, "sim.run", begin, end,
+              {{"events", static_cast<double>(events)}});
+    SetGauge("sim.events_executed", static_cast<double>(sim_.events_executed()));
+    SetGauge("sim.queue_depth", static_cast<double>(sim_.queue_depth()));
+    if (sim_.profiling()) {
+      const sim::SimProfile& p = sim_.profile();
+      SetGauge("sim.queue_high_water", static_cast<double>(p.queue_high_water));
+      SetGauge("sim.events_per_sec_wall", p.events_per_second());
+      SetGauge("sim.mean_callback_ns", p.mean_callback_ns());
+    }
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint64_t queue_sample_every_;
+  std::uint64_t events_since_sample_ = 0;
+};
+
+/// Owns recorder + registry, installs the globals and the kernel hooks
+/// for its lifetime. Everything is undone in the destructor, so tests
+/// and tools cannot leak observability state into each other.
+class ObsSession {
+ public:
+  struct Options {
+    bool trace = true;
+    bool metrics = true;
+    /// 0 = no periodic snapshots (metrics still collect final values).
+    sim::Duration metrics_period{0};
+    bool profile_sim = false;
+    std::uint64_t queue_sample_every = 64;
+  };
+
+  ObsSession(sim::Simulator& sim, Options options)
+      : sim_(sim),
+        options_(options),
+        bridge_(sim, options.queue_sample_every),
+        trace_scope_(options.trace ? &recorder_ : nullptr),
+        metrics_scope_(options.metrics ? &registry_ : nullptr) {
+    prev_hooks_ = sim.hooks();
+    sim.set_hooks(&bridge_);
+    if (options.profile_sim) sim.set_profiling(true);
+    if (options.metrics && options.metrics_period.count() > 0) {
+      registry_.StartSampling(sim, options.metrics_period);
+    }
+  }
+
+  ~ObsSession() {
+    registry_.StopSampling();
+    if (options_.profile_sim) sim_.set_profiling(false);
+    sim_.set_hooks(prev_hooks_);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  [[nodiscard]] TraceRecorder& recorder() { return recorder_; }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+
+ private:
+  sim::Simulator& sim_;
+  Options options_;
+  TraceRecorder recorder_;
+  MetricsRegistry registry_;
+  SimObsBridge bridge_;
+  sim::SimHooks* prev_hooks_ = nullptr;
+  ScopedTraceSink trace_scope_;
+  ScopedMetrics metrics_scope_;
+};
+
+}  // namespace athena::obs

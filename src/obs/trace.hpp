@@ -1,0 +1,204 @@
+// Cross-layer tracing: every layer of the stack emits events onto one
+// synchronized virtual-time timeline — the Athena thesis ("you can only
+// explain wireless-induced delay by seeing every layer at once") applied
+// to the framework itself.
+//
+// Design rules:
+//  - One global `TraceSink*`, null by default. Every emit helper is an
+//    inline function whose first instruction is a null check, so with
+//    tracing disabled the instrumentation costs one predictable branch
+//    and existing behaviour is untouched (no RNG draws, no scheduling).
+//  - Events carry virtual time (`sim::TimePoint`), one track (`Layer`)
+//    per subsystem, and a handful of numeric args.
+//  - Interval events that may overlap on a track (packet transits, HARQ
+//    chains, frame lifecycles) are emitted as *async* begin/end pairs
+//    keyed by an id, and always as a completed pair (`TraceAsyncSpan`),
+//    so a recorded trace never contains an unbalanced span.
+//  - `TraceRecorder` buffers events and serializes Chrome trace-event
+//    JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::obs {
+
+/// One trace track per layer of the stack (rendered as named threads).
+enum class Layer : std::uint8_t { kSim, kNet, kRan, kCc, kApp, kMedia, kCore, kOther };
+inline constexpr std::size_t kLayerCount = 8;
+
+[[nodiscard]] const char* ToString(Layer layer);
+
+/// A numeric key/value attached to an event. Keys must be string
+/// literals (or otherwise outlive the sink).
+struct TraceArg {
+  const char* key = "";
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  /// Chrome trace-event phases: complete span, async begin/end, instant,
+  /// counter.
+  enum class Phase : char {
+    kComplete = 'X',
+    kAsyncBegin = 'b',
+    kAsyncEnd = 'e',
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+
+  Phase phase = Phase::kInstant;
+  Layer layer = Layer::kOther;
+  std::string name;
+  sim::TimePoint ts;
+  sim::Duration dur{0};   ///< kComplete only
+  std::uint64_t id = 0;   ///< async-pair key (packet id, chain id, frame id)
+  std::array<TraceArg, 4> args{};
+  std::size_t arg_count = 0;
+};
+
+/// Where trace events go. Implementations must tolerate events arriving
+/// out of timestamp order (async pairs are emitted at completion time).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+namespace detail {
+/// The process-global sink. Null = tracing disabled (the default).
+inline TraceSink* g_trace_sink = nullptr;
+
+inline void FillArgs(TraceEvent& e, std::initializer_list<TraceArg> args) {
+  for (const TraceArg& a : args) {
+    if (e.arg_count == e.args.size()) break;
+    e.args[e.arg_count++] = a;
+  }
+}
+}  // namespace detail
+
+[[nodiscard]] inline TraceSink* trace_sink() { return detail::g_trace_sink; }
+[[nodiscard]] inline bool trace_enabled() { return detail::g_trace_sink != nullptr; }
+
+/// Installs `sink` as the global trace sink (null disables tracing).
+/// Returns the previous sink so scopes can restore it.
+inline TraceSink* set_trace_sink(TraceSink* sink) {
+  TraceSink* prev = detail::g_trace_sink;
+  detail::g_trace_sink = sink;
+  return prev;
+}
+
+/// A complete span [begin, end) on `layer`'s track. Use only for
+/// intervals that cannot overlap others of the same track (e.g. the
+/// serialized service times of a FIFO link, or a Run* call of the sim
+/// kernel); overlapping intervals must use TraceAsyncSpan.
+inline void TraceSpan(Layer layer, std::string_view name, sim::TimePoint begin,
+                      sim::TimePoint end, std::initializer_list<TraceArg> args = {}) {
+  TraceSink* sink = detail::g_trace_sink;
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.layer = layer;
+  e.name = name;
+  e.ts = begin;
+  e.dur = end - begin;
+  detail::FillArgs(e, args);
+  sink->Emit(e);
+}
+
+/// An async (possibly overlapping) span keyed by `id`, emitted as a
+/// balanced begin/end pair at completion time.
+inline void TraceAsyncSpan(Layer layer, std::string_view name, std::uint64_t id,
+                           sim::TimePoint begin, sim::TimePoint end,
+                           std::initializer_list<TraceArg> args = {}) {
+  TraceSink* sink = detail::g_trace_sink;
+  if (sink == nullptr) return;
+  TraceEvent b;
+  b.phase = TraceEvent::Phase::kAsyncBegin;
+  b.layer = layer;
+  b.name = name;
+  b.ts = begin;
+  b.id = id;
+  detail::FillArgs(b, args);
+  sink->Emit(b);
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kAsyncEnd;
+  e.layer = layer;
+  e.name = name;
+  e.ts = end < begin ? begin : end;
+  e.id = id;
+  sink->Emit(e);
+}
+
+/// A zero-duration marker on `layer`'s track.
+inline void TraceInstant(Layer layer, std::string_view name, sim::TimePoint t,
+                         std::initializer_list<TraceArg> args = {}) {
+  TraceSink* sink = detail::g_trace_sink;
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.layer = layer;
+  e.name = name;
+  e.ts = t;
+  detail::FillArgs(e, args);
+  sink->Emit(e);
+}
+
+/// A sampled counter series (rendered as a graph track).
+inline void TraceCounter(Layer layer, std::string_view name, sim::TimePoint t,
+                         double value) {
+  TraceSink* sink = detail::g_trace_sink;
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.layer = layer;
+  e.name = name;
+  e.ts = t;
+  e.args[0] = TraceArg{"value", value};
+  e.arg_count = 1;
+  sink->Emit(e);
+}
+
+/// Buffers events in memory and serializes them as Chrome trace-event
+/// JSON (`{"traceEvents": [...]}`), with one named track per Layer.
+class TraceRecorder final : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Number of events on a given layer's track (test/report helper).
+  [[nodiscard]] std::size_t CountLayer(Layer layer) const;
+
+  /// Writes the full Chrome trace-event JSON document. Events are sorted
+  /// by timestamp; track-naming metadata events are emitted first.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII: installs a sink for the current scope, restores the previous
+/// one on exit. Tests and tools use this so no global state leaks.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink) : prev_(set_trace_sink(sink)) {}
+  ~ScopedTraceSink() { set_trace_sink(prev_); }
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+}  // namespace athena::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace athena::ran {
 
 RanUplink::RanUplink(sim::Simulator& sim, RanConfig config, ChannelModel channel,
@@ -33,7 +36,7 @@ void RanUplink::Stop() {
 void RanUplink::SendFromUe(const net::Packet& p) {
   assert(started_ && "offer traffic only after Start()");
   queue_.push_back(QueuedPacket{p, p.size_bytes, sim_.Now()});
-  in_flight_.emplace(p.id, DeliveryState{p, p.size_bytes});
+  in_flight_.emplace(p.id, DeliveryState{p, p.size_bytes, sim_.Now()});
 }
 
 std::uint32_t RanUplink::EligibleBufferBytes(sim::TimePoint slot_time) const {
@@ -55,6 +58,10 @@ std::uint32_t RanUplink::buffer_bytes() const { return TotalBufferBytes(); }
 void RanUplink::OnUplinkSlot() {
   const sim::TimePoint slot_time = sim_.Now();
   channel_.Tick(config_.ul_slot_period);
+  if (obs::trace_enabled()) {
+    obs::TraceCounter(obs::Layer::kRan, "ran.rlc_bytes", slot_time,
+                      static_cast<double>(TotalBufferBytes()));
+  }
 
   // During a handover the UE has no serving cell: nothing transmits and
   // pending HARQ retransmissions slide to the next slot. Everything else
@@ -167,8 +174,10 @@ void RanUplink::TransmitNewTb(const GrantPolicy::Decision& grant, sim::TimePoint
 
 void RanUplink::Transmit(Tb tb, sim::TimePoint slot_time) {
   ++counters_.tb_transmissions;
+  obs::CountInc("ran.tb_transmissions");
   if (tb.round > 0) {
     ++counters_.tb_rtx;
+    obs::CountInc("ran.tb_rtx");
     if (tb.used == 0) ++counters_.empty_tb_rtx;
   }
   if (tb.used == 0) ++counters_.empty_tb_transmissions;
@@ -209,12 +218,25 @@ void RanUplink::OnTbDecoded(const Tb& tb, sim::TimePoint slot_time) {
     state.undelivered -= seg.bytes;
     if (state.undelivered == 0) {
       const net::Packet pkt = state.pkt;
+      const sim::TimePoint enqueued_at = state.enqueued_at;
       in_flight_.erase(it);
       ++counters_.packets_delivered;
-      sim_.ScheduleAfter(config_.gnb_to_core_delay, [this, pkt] {
+      obs::CountInc("ran.packets_delivered");
+      sim_.ScheduleAfter(config_.gnb_to_core_delay, [this, pkt, enqueued_at] {
+        obs::TraceAsyncSpan(obs::Layer::kRan, "ran.transit", pkt.id, enqueued_at,
+                            sim_.Now(), {{"bytes", static_cast<double>(pkt.size_bytes)}});
         if (core_sink_) core_sink_(pkt);
       });
     }
+  }
+
+  if (tb.round > 0) {
+    // The HARQ chain needed retransmissions: its whole first-tx → decode
+    // life is the "rtx inflation" the correlator will later blame.
+    obs::TraceAsyncSpan(obs::Layer::kRan, "harq.chain", tb.chain_id, tb.first_tx_slot,
+                        slot_time,
+                        {{"rounds", static_cast<double>(tb.round)},
+                         {"used_bytes", static_cast<double>(tb.used)}});
   }
 
   if (tb.has_bsr) policy_->OnBsrDecoded(slot_time, tb.bsr_bytes);
@@ -229,11 +251,15 @@ void RanUplink::OnTbDecoded(const Tb& tb, sim::TimePoint slot_time) {
 
 void RanUplink::OnChainDropped(const Tb& tb, sim::TimePoint slot_time) {
   ++counters_.tb_dropped_chains;
+  obs::TraceAsyncSpan(obs::Layer::kRan, "harq.chain", tb.chain_id, tb.first_tx_slot,
+                      slot_time,
+                      {{"rounds", static_cast<double>(tb.round)}, {"dropped", 1.0}});
   for (const auto& seg : tb.segments) {
     auto it = in_flight_.find(seg.packet_id);
     if (it == in_flight_.end()) continue;
     in_flight_.erase(it);
     ++counters_.packets_lost;
+    obs::CountInc("ran.packets_lost");
   }
   auto truth_it = truth_index_.find(tb.chain_id);
   if (truth_it != truth_index_.end()) {
@@ -258,6 +284,11 @@ void RanUplink::RecordTelemetry(const Tb& tb, sim::TimePoint slot_time, bool crc
       .crc_ok = crc_ok,
   });
   if (telemetry_listener_) telemetry_listener_(telemetry_.back());
+  obs::TraceInstant(obs::Layer::kRan, tb.round == 0 ? "tb.tx" : "tb.rtx", slot_time,
+                    {{"tbs", static_cast<double>(tb.tbs)},
+                     {"used", static_cast<double>(tb.used)},
+                     {"round", static_cast<double>(tb.round)},
+                     {"crc_ok", crc_ok ? 1.0 : 0.0}});
 }
 
 net::CapacityTrace RanUplink::ObservedCapacityTrace(sim::Duration window) const {

@@ -100,6 +100,7 @@ class RanUplink {
   struct DeliveryState {
     net::Packet pkt;
     std::uint32_t undelivered = 0;
+    sim::TimePoint enqueued_at;  ///< modem arrival (obs: ran.transit span)
   };
 
   void OnUplinkSlot();

@@ -1,8 +1,15 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace athena::sim {
 
 void Simulator::RunUntil(TimePoint deadline) {
+  if (hooks_ != nullptr || profiling_) {
+    RunUntilInstrumented(deadline);
+    return;
+  }
   std::uint64_t ran = 0;
   while (!queue_.empty()) {
     const TimePoint next = queue_.next_time();
@@ -16,12 +23,52 @@ void Simulator::RunUntil(TimePoint deadline) {
   if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
 }
 
+void Simulator::RunUntilInstrumented(TimePoint deadline) {
+  using WallClock = std::chrono::steady_clock;
+  const TimePoint virtual_begin = now_;
+  const auto run_start = WallClock::now();
+  const std::uint64_t executed_at_entry = executed_;
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const TimePoint next = queue_.next_time();
+    if (next > deadline) break;
+    profile_.queue_high_water = std::max(profile_.queue_high_water, queue_.size());
+    auto fired = queue_.PopNext();
+    now_ = fired.when;
+    if (profiling_) {
+      const auto cb_start = WallClock::now();
+      fired.cb();
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - cb_start)
+              .count());
+      profile_.callback_ns_total += ns;
+      profile_.callback_ns_max = std::max(profile_.callback_ns_max, ns);
+    } else {
+      fired.cb();
+    }
+    ++executed_;
+    if (hooks_ != nullptr) hooks_->OnEventExecuted(now_, queue_.size());
+    if (++ran > event_budget_) throw EventBudgetExceeded{};
+  }
+  if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
+  const std::uint64_t events = executed_ - executed_at_entry;
+  if (profiling_) {
+    profile_.events += events;
+    profile_.run_wall_seconds +=
+        std::chrono::duration<double>(WallClock::now() - run_start).count();
+  }
+  if (hooks_ != nullptr && events > 0) {
+    hooks_->OnRunCompleted(virtual_begin, now_, events);
+  }
+}
+
 bool Simulator::Step() {
   if (queue_.empty()) return false;
   auto fired = queue_.PopNext();
   now_ = fired.when;
   fired.cb();
   ++executed_;
+  if (hooks_ != nullptr) hooks_->OnEventExecuted(now_, queue_.size());
   return true;
 }
 

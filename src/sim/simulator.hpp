@@ -21,6 +21,38 @@ class EventBudgetExceeded : public std::runtime_error {
   EventBudgetExceeded() : std::runtime_error("simulation event budget exceeded") {}
 };
 
+/// Observer interface for the kernel's own activity (used by the obs
+/// subsystem to put the simulator on the trace timeline). Null by
+/// default; when unset the kernel runs its uninstrumented hot loop.
+class SimHooks {
+ public:
+  virtual ~SimHooks() = default;
+  /// After each executed event: the event's virtual time and the queue
+  /// depth remaining after the callback ran.
+  virtual void OnEventExecuted(TimePoint t, std::size_t queue_depth) = 0;
+  /// After each Run* call that executed at least one event.
+  virtual void OnRunCompleted(TimePoint begin, TimePoint end, std::uint64_t events) = 0;
+};
+
+/// Wall-clock self-profile of the kernel, filled while profiling is
+/// enabled: how fast the simulator itself is, independent of what it
+/// simulates. This is the `BENCH_obs.json` baseline.
+struct SimProfile {
+  std::uint64_t events = 0;              ///< events executed while profiling
+  std::uint64_t callback_ns_total = 0;   ///< wall time inside callbacks
+  std::uint64_t callback_ns_max = 0;     ///< worst single callback
+  double run_wall_seconds = 0.0;         ///< wall time inside Run* (incl. queue ops)
+  std::size_t queue_high_water = 0;      ///< max observed pending-event count
+
+  [[nodiscard]] double events_per_second() const {
+    return run_wall_seconds > 0.0 ? static_cast<double>(events) / run_wall_seconds : 0.0;
+  }
+  [[nodiscard]] double mean_callback_ns() const {
+    return events > 0 ? static_cast<double>(callback_ns_total) / static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -62,14 +94,37 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Number of pending (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
   /// Caps the number of events a single Run* call may execute.
   void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
 
+  // --- observability (see src/obs/) ---
+
+  /// Installs kernel hooks (null disables). While hooks or profiling are
+  /// active, Run*/Step take an instrumented path; otherwise the hot loop
+  /// is the same as before these features existed.
+  void set_hooks(SimHooks* hooks) { hooks_ = hooks; }
+  [[nodiscard]] SimHooks* hooks() const { return hooks_; }
+
+  /// Enables wall-clock self-profiling (per-callback timing, queue
+  /// high-water mark, events/sec) accumulated into profile().
+  void set_profiling(bool enabled) { profiling_ = enabled; }
+  [[nodiscard]] bool profiling() const { return profiling_; }
+  [[nodiscard]] const SimProfile& profile() const { return profile_; }
+  void ResetProfile() { profile_ = SimProfile{}; }
+
  private:
+  void RunUntilInstrumented(TimePoint deadline);
+
   TimePoint now_ = kEpoch;
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   std::uint64_t event_budget_ = 500'000'000;
+  SimHooks* hooks_ = nullptr;
+  bool profiling_ = false;
+  SimProfile profile_;
 };
 
 /// A repeating timer bound to a Simulator. Restartable and cancellable;
