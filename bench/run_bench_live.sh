@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the live-diagnosis perf baseline:
+#   - bench_live — the same stressed session second with detectors off,
+#     detectors on, and recorder+detectors through the fanout, written to
+#     BENCH_live.json at the repo root. The binary exits non-zero if the
+#     detectors perturb the simulation (event-count mismatch).
+#   - a smoke run of `athena_cli --diagnose` so the end-to-end path the
+#     numbers describe is exercised too.
+#
+# Usage: bench/run_bench_live.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_live athena_cli -j "$(nproc)"
+
+echo "== bench_live (detector-path overhead) =="
+"$build_dir/bench/bench_live" "$repo_root/BENCH_live.json"
+
+echo
+echo "== athena_cli --diagnose (smoke) =="
+"$build_dir/examples/athena_cli" --duration=5 --fading --cross-mbps=16 --diagnose \
+  | sed -n '/=== session health ===/,$p'

@@ -15,10 +15,15 @@
 //     --trace=FILE                      write a Chrome trace-event JSON
 //                                       (open in Perfetto / chrome://tracing)
 //     --metrics=FILE                    write periodic metric snapshots as CSV
+//     --diagnose                        run the live anomaly detectors and
+//                                       print the ranked health report
+//     --expose=FILE                     write metrics + live detector state in
+//                                       Prometheus text format
+//     --anomalies=FILE                  write the structured event log as JSONL
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
-//       --out=/tmp/athena_run --trace=/tmp/athena_run/trace.json
+//       --out=/tmp/athena_run --trace=/tmp/athena_run/trace.json --diagnose
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -28,6 +33,8 @@
 
 #include "athena.hpp"
 #include "core/report.hpp"
+#include "obs/live/exposition.hpp"
+#include "obs/live/health.hpp"
 
 namespace {
 
@@ -43,6 +50,9 @@ struct Options {
   std::string out_dir;
   std::string trace_path;
   std::string metrics_path;
+  bool diagnose = false;
+  std::string expose_path;
+  std::string anomalies_path;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -73,13 +83,20 @@ Options Parse(int argc, char** argv) {
       opt.trace_path = value;
     } else if (ParseFlag(arg, "metrics", &value)) {
       opt.metrics_path = value;
+    } else if (ParseFlag(arg, "expose", &value)) {
+      opt.expose_path = value;
+    } else if (ParseFlag(arg, "anomalies", &value)) {
+      opt.anomalies_path = value;
+    } else if (arg == "--diagnose") {
+      opt.diagnose = true;
     } else if (arg == "--fading") {
       opt.fading = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: athena_cli [--access=5g|emulated|wifi|leo] "
                    "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
                    "[--cross-mbps=X] [--fading] [--out=DIR] [--trace=FILE] "
-                   "[--metrics=FILE]\n";
+                   "[--metrics=FILE] [--diagnose] [--expose=FILE] "
+                   "[--anomalies=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -129,17 +146,18 @@ int main(int argc, char** argv) {
   // Observability: installed before the session is built so constructor-time
   // events are captured too. The correlator runs inside the session scope so
   // its core/pkt.uplink track lands in the same trace.
+  const bool live =
+      opt.diagnose || !opt.expose_path.empty() || !opt.anomalies_path.empty();
   std::unique_ptr<obs::ObsSession> observability;
-  if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
-    observability = std::make_unique<obs::ObsSession>(
-        simulator, obs::ObsSession::Options{
-                       .trace = !opt.trace_path.empty(),
-                       .metrics = true,
-                       .metrics_period =
-                           opt.metrics_path.empty()
-                               ? sim::Duration{0}
-                               : sim::Duration{std::chrono::milliseconds{100}},
-                   });
+  if (!opt.trace_path.empty() || !opt.metrics_path.empty() || live) {
+    obs::ObsSession::Options obs_options;
+    obs_options.trace = !opt.trace_path.empty();
+    obs_options.metrics = true;
+    obs_options.metrics_period = opt.metrics_path.empty()
+                                     ? sim::Duration{0}
+                                     : sim::Duration{std::chrono::milliseconds{100}};
+    obs_options.live = live;
+    observability = std::make_unique<obs::ObsSession>(simulator, obs_options);
   }
 
   app::Session session{simulator, config};
@@ -166,6 +184,19 @@ int main(int argc, char** argv) {
     if (!opt.metrics_path.empty()) {
       write(opt.metrics_path,
             [&](std::ostream& os) { observability->registry().WriteCsv(os); });
+    }
+    if (!opt.expose_path.empty()) {
+      write(opt.expose_path, [&](std::ostream& os) {
+        obs::live::WritePrometheus(os, observability->registry(),
+                                   observability->live());
+      });
+    }
+    if (!opt.anomalies_path.empty() && observability->live() != nullptr) {
+      write(opt.anomalies_path,
+            [&](std::ostream& os) { observability->live()->log().WriteJsonl(os); });
+    }
+    if (opt.diagnose && observability->live() != nullptr) {
+      obs::live::HealthReport::Build(*observability->live()).Render(std::cout);
     }
   }
 

@@ -21,6 +21,7 @@
 
 #include "app/session.hpp"
 #include "core/analyzer.hpp"
+#include "obs/live/health.hpp"
 #include "obs/obs.hpp"
 #include "stats/table.hpp"
 
@@ -29,10 +30,13 @@ int main(int argc, char** argv) {
   using namespace std::chrono_literals;
 
   sim::Simulator simulator;
-  std::unique_ptr<obs::ObsSession> observability;
-  if (argc > 1) {
-    observability = std::make_unique<obs::ObsSession>(simulator, obs::ObsSession::Options{});
-  }
+  // Always run with the live diagnosis engine: the detectors watch the same
+  // emit stream the recorder would, and the closing health report shows what
+  // they concluded *during* the run — before the offline correlator confirms.
+  obs::ObsSession::Options obs_options;
+  obs_options.trace = argc > 1;
+  obs_options.live = true;
+  auto observability = std::make_unique<obs::ObsSession>(simulator, obs_options);
 
   app::SessionConfig config;
   config.seed = 77;
@@ -44,7 +48,7 @@ int main(int argc, char** argv) {
 
   auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
 
-  if (observability != nullptr) {
+  if (argc > 1) {
     std::ofstream os{argv[1]};
     if (!os) {
       std::cerr << "cannot write " << argv[1] << '\n';
@@ -94,5 +98,10 @@ int main(int argc, char** argv) {
   for (const auto& [cause, count] : core::Analyzer::RootCauseBreakdown(data)) {
     std::cout << "  " << core::ToString(cause) << ": " << count << '\n';
   }
+
+  // The same verdicts, reached live: the streaming detectors saw only the
+  // trace stream, with no access to the ground-truth correlator dataset.
+  stats::PrintBanner(std::cout, "live diagnosis (streaming detectors)");
+  obs::live::HealthReport::Build(*observability->live()).Render(std::cout);
   return 0;
 }

@@ -1,0 +1,115 @@
+// The output schema of the live diagnosis engine (obs/live/): typed
+// anomaly verdicts with layer attribution, and a bounded structured
+// event log that unifies them with the span/metric streams.
+//
+// An `AnomalyEvent` is one *verdict*: "between window_begin and
+// window_end, the evidence says artifact X happened at layer Y, with
+// confidence C". The five kinds mirror the paper's wireless delay
+// artifacts (§3): slot-grid delay-spread quantization, HARQ
+// retransmission inflation, BSR grant-wait, over-granting, and
+// cross-traffic queue buildup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace athena::obs::live {
+
+/// One anomaly class per paper artifact. Keep ToString/SlugFor in
+/// anomaly.cpp in sync when extending.
+enum class AnomalyKind : std::uint8_t {
+  kDelaySpreadQuantization,  ///< core arrivals concentrated on the UL slot grid (§2, Fig. 5)
+  kHarqRtxInflation,         ///< OWD steps explained by HARQ retransmission rounds (§3.2)
+  kBsrGrantWait,             ///< bursts wait ~a BSR RTT for their first serving grant (§3.1)
+  kOverGranting,             ///< requested grants sized from stale BSRs go unused (§3.1)
+  kQueueBuildup,             ///< RLC backlog never drains: capacity contention (§2)
+};
+inline constexpr std::size_t kAnomalyKindCount = 5;
+
+/// Human-readable name, e.g. "HARQ retransmission inflation".
+[[nodiscard]] const char* ToString(AnomalyKind kind);
+
+/// Prometheus-label-safe slug, e.g. "harq_rtx_inflation".
+[[nodiscard]] const char* SlugFor(AnomalyKind kind);
+
+/// A numeric evidence key/value. Keys must be string literals.
+using Evidence = TraceArg;
+
+struct AnomalyEvent {
+  AnomalyKind kind = AnomalyKind::kDelaySpreadQuantization;
+  Layer layer = Layer::kOther;       ///< attributed layer
+  sim::TimePoint window_begin;       ///< evidence window
+  sim::TimePoint window_end;
+  double confidence = 0.0;           ///< 0..1
+  const char* detector = "";         ///< emitting detector's name (literal)
+  std::string message;               ///< one-line human description
+  std::array<Evidence, 6> evidence{};
+  std::size_t evidence_count = 0;
+
+  void AddEvidence(const char* key, double value) {
+    if (evidence_count < evidence.size()) evidence[evidence_count++] = {key, value};
+  }
+};
+
+/// Serializes one anomaly as a single JSON object (one JSONL line,
+/// without the trailing newline).
+void WriteJson(std::ostream& os, const AnomalyEvent& event);
+
+/// Bounded structured event log: a ring buffer of the most recent
+/// records plus an optional append-only JSONL sink. Anomalies, trace
+/// spans and metric samples share one record shape so a session's
+/// "what happened" stream is a single ordered log.
+class EventLog {
+ public:
+  struct Record {
+    enum class Kind : std::uint8_t { kAnomaly, kSpan, kMetric };
+    Kind kind = Kind::kAnomaly;
+    sim::TimePoint t;            ///< anomaly: window_end; span: end; metric: sample time
+    AnomalyEvent anomaly;        ///< kAnomaly only
+    Layer layer = Layer::kOther; ///< kSpan/kMetric
+    std::string name;            ///< kSpan/kMetric
+    double value = 0.0;          ///< span: duration ms; metric: sample value
+  };
+
+  /// `capacity` bounds the in-memory ring; the oldest records are
+  /// overwritten once it fills (dropped_count() tracks how many).
+  explicit EventLog(std::size_t capacity = 1024);
+
+  void PushAnomaly(const AnomalyEvent& event);
+  void PushSpan(Layer layer, std::string_view name, sim::TimePoint end, double duration_ms);
+  void PushMetric(std::string_view name, sim::TimePoint t, double value);
+
+  /// Streams every record to `os` as JSONL the moment it is pushed
+  /// (null disables). The ring keeps buffering regardless.
+  void set_jsonl_sink(std::ostream* os) { jsonl_ = os; }
+
+  /// Records currently buffered, oldest first.
+  [[nodiscard]] std::vector<const Record*> Ordered() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t dropped_count() const {
+    return pushed_ - static_cast<std::uint64_t>(size_);
+  }
+
+  /// All buffered records as JSONL, oldest first.
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  void Push(Record record);
+
+  std::vector<Record> ring_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::ostream* jsonl_ = nullptr;
+};
+
+}  // namespace athena::obs::live

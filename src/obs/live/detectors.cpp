@@ -1,0 +1,336 @@
+#include "obs/live/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace athena::obs::live {
+
+namespace {
+
+std::string Format(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+bool Detector::Emit(AnomalyEvent event) {
+  const sim::TimePoint now = event.window_end;
+  if (emitted_once_ && now - last_emit_ < config_.cooldown) return false;
+  emitted_once_ = true;
+  last_emit_ = now;
+  ++emitted_;
+  max_confidence_ = std::max(max_confidence_, event.confidence);
+  event.detector = name();
+  if (emitter_) emitter_(event);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SlotQuantizationDetector
+// ---------------------------------------------------------------------------
+
+void SlotQuantizationDetector::OnDelivery(const Delivery& d) {
+  if (have_last_) {
+    const std::int64_t delta = (d.delivered_at - last_delivery_).count();
+    // Zero deltas are packets sharing one slot's TB — trivially grid-
+    // aligned; only the spacing *between* slots carries information.
+    if (delta > 0) {
+      deltas_.push_back({delta, d.delivered_at});
+      while (deltas_.size() > config_.quant_window) deltas_.pop_front();
+      if (++since_eval_ >= 16) {
+        since_eval_ = 0;
+        Evaluate(d.delivered_at);
+      }
+    }
+  }
+  last_delivery_ = d.delivered_at;
+  have_last_ = true;
+}
+
+void SlotQuantizationDetector::Evaluate(sim::TimePoint now) {
+  if (deltas_.size() < config_.quant_min_samples) return;
+  const std::int64_t period = config_.cell.ul_slot_period.count();
+  if (period <= 0) return;
+
+  // Phase histogram of delta mod slot-period. A quantized arrival
+  // process piles into one bin; under a smooth wire the phases spread
+  // uniformly (expected max share ≈ 1/bins).
+  std::vector<std::uint32_t> bins(config_.quant_bins, 0);
+  for (const DeltaSample& s : deltas_) {
+    const std::int64_t phase = s.delta_us % period;
+    const auto idx = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(phase) * bins.size()) / static_cast<std::uint64_t>(period));
+    ++bins[std::min(idx, bins.size() - 1)];
+  }
+  const std::uint32_t peak = *std::max_element(bins.begin(), bins.end());
+  const double share = static_cast<double>(peak) / static_cast<double>(deltas_.size());
+  if (share < config_.quant_concentration) return;
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = deltas_.front().t;
+  e.window_end = now;
+  e.confidence = share;
+  e.message = Format("core arrivals quantized onto the %.1f ms UL slot grid "
+                     "(%.0f%% of inter-arrival phases in one bin)",
+                     sim::ToMs(config_.cell.ul_slot_period), share * 100.0);
+  e.AddEvidence("concentration", share);
+  e.AddEvidence("samples", static_cast<double>(deltas_.size()));
+  e.AddEvidence("grid_ms", sim::ToMs(config_.cell.ul_slot_period));
+  Emit(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// HarqRtxDetector
+// ---------------------------------------------------------------------------
+
+void HarqRtxDetector::OnHarqChain(const HarqChainObservation& c) {
+  if (c.rounds == 0) return;
+  chain_ends_.push_back(c.done);
+  while (chain_ends_.size() > 64) chain_ends_.pop_front();
+}
+
+void HarqRtxDetector::OnDelivery(const Delivery& d) {
+  const sim::Duration owd = d.delivered_at - d.enqueued_at;
+
+  // Sliding-window floor = the uncongested baseline this packet's delay
+  // is compared against. Needs a few samples before steps mean anything.
+  sim::Duration floor = owd;
+  for (const sim::Duration w : owds_) floor = std::min(floor, w);
+  owds_.push_back(owd);
+  while (owds_.size() > config_.rtx_window) owds_.pop_front();
+  if (owds_.size() < 16) return;
+
+  const auto step_threshold = sim::Duration{static_cast<std::int64_t>(
+      config_.rtx_step_fraction * static_cast<double>(config_.cell.rtx_delay.count()))};
+  if (owd - floor < step_threshold) return;
+
+  if (window_suspect_ == 0) window_begin_ = d.delivered_at;
+  ++suspect_;
+  ++window_suspect_;
+
+  // Attributed iff a retransmitted HARQ chain completed within the last
+  // couple of slots before this delivery (decode → core hop is short).
+  const sim::Duration attr_window = 2 * config_.cell.ul_slot_period;
+  const bool explained =
+      std::any_of(chain_ends_.begin(), chain_ends_.end(), [&](sim::TimePoint end) {
+        return end <= d.delivered_at && d.delivered_at - end <= attr_window;
+      });
+  if (explained) {
+    ++attributed_;
+    ++window_attributed_;
+    window_inflation_ms_ += sim::ToMs(owd - floor);
+  }
+
+  if (window_attributed_ < config_.rtx_min_attributed) return;
+  const double share =
+      static_cast<double>(window_attributed_) / static_cast<double>(window_suspect_);
+  if (share < config_.rtx_min_share) return;
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = window_begin_;
+  e.window_end = d.delivered_at;
+  e.confidence = share;
+  e.message = Format("HARQ retransmissions inflating per-packet delay "
+                     "(~%.1f ms mean step, %.0f%% of late packets explained)",
+                     window_inflation_ms_ / static_cast<double>(window_attributed_),
+                     share * 100.0);
+  e.AddEvidence("attributed", static_cast<double>(window_attributed_));
+  e.AddEvidence("suspect", static_cast<double>(window_suspect_));
+  e.AddEvidence("mean_inflation_ms",
+                window_inflation_ms_ / static_cast<double>(window_attributed_));
+  e.AddEvidence("rtx_delay_ms", sim::ToMs(config_.cell.rtx_delay));
+  if (Emit(std::move(e))) {
+    window_suspect_ = 0;
+    window_attributed_ = 0;
+    window_inflation_ms_ = 0.0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BsrGrantWaitDetector
+// ---------------------------------------------------------------------------
+
+void BsrGrantWaitDetector::OnBacklog(const BacklogSample& s) {
+  if (s.bytes > 0.0) {
+    if (!waiting_) {
+      waiting_ = true;
+      wait_begin_ = s.t;
+    }
+  } else {
+    waiting_ = false;  // drained without us seeing the serving TB
+  }
+}
+
+void BsrGrantWaitDetector::OnTb(const TbObservation& tb) {
+  if (!waiting_ || tb.used_bytes == 0 || tb.harq_round != 0) return;
+  waiting_ = false;
+  const double wait_ms = sim::ToMs(tb.slot_time - wait_begin_);
+  ++episodes_;
+  if (wait_ms >= config_.bsr_wait_threshold_ms) ++slow_episodes_;
+  episodes_window_.push_back({wait_ms, tb.slot_time});
+  while (episodes_window_.size() > 32) episodes_window_.pop_front();
+
+  if (episodes_window_.size() < config_.bsr_min_episodes) return;
+  double sum = 0.0;
+  double worst = 0.0;
+  for (const Episode& ep : episodes_window_) {
+    sum += ep.wait_ms;
+    worst = std::max(worst, ep.wait_ms);
+  }
+  const double mean = sum / static_cast<double>(episodes_window_.size());
+  if (mean < config_.bsr_wait_threshold_ms) return;
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = episodes_window_.front().served_at;
+  e.window_end = tb.slot_time;
+  e.confidence =
+      std::min(1.0, mean / sim::ToMs(config_.cell.bsr_scheduling_delay));
+  e.message = Format("bursts wait %.1f ms on average for their first serving "
+                     "grant (worst %.1f ms) — BSR scheduling delay",
+                     mean, worst);
+  e.AddEvidence("mean_wait_ms", mean);
+  e.AddEvidence("max_wait_ms", worst);
+  e.AddEvidence("episodes", static_cast<double>(episodes_window_.size()));
+  e.AddEvidence("bsr_delay_ms", sim::ToMs(config_.cell.bsr_scheduling_delay));
+  Emit(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// OverGrantingDetector
+// ---------------------------------------------------------------------------
+
+void OverGrantingDetector::OnTb(const TbObservation& tb) {
+  if (tb.harq_round != 0 || !tb.requested_grant) return;
+  window_.push_back({tb.tbs_bytes, tb.used_bytes, tb.slot_time});
+  while (window_.size() > config_.grant_window_tbs) window_.pop_front();
+  granted_total_ += tb.tbs_bytes;
+  wasted_total_ += tb.tbs_bytes - tb.used_bytes;
+  if (++since_eval_ >= 32) {
+    since_eval_ = 0;
+    Evaluate(tb.slot_time);
+  }
+}
+
+void OverGrantingDetector::Evaluate(sim::TimePoint now) {
+  std::uint64_t granted = 0;
+  std::uint64_t used = 0;
+  for (const Grant& g : window_) {
+    granted += g.tbs;
+    used += g.used;
+  }
+  if (granted < config_.grant_min_requested_bytes) return;
+  const double utilization = static_cast<double>(used) / static_cast<double>(granted);
+  if (utilization > config_.grant_utilization_threshold) return;
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = window_.front().t;
+  e.window_end = now;
+  e.confidence = 1.0 - utilization;
+  e.message = Format("requested grants only %.0f%% utilized (%.0f kB granted "
+                     "from stale BSRs went out as padding)",
+                     utilization * 100.0,
+                     static_cast<double>(granted - used) / 1000.0);
+  e.AddEvidence("utilization", utilization);
+  e.AddEvidence("granted_bytes", static_cast<double>(granted));
+  e.AddEvidence("wasted_bytes", static_cast<double>(granted - used));
+  e.AddEvidence("window_tbs", static_cast<double>(window_.size()));
+  Emit(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// QueueBuildupDetector
+// ---------------------------------------------------------------------------
+
+void QueueBuildupDetector::OnBacklog(const BacklogSample& s) {
+  window_.push_back(s);
+  while (window_.size() > config_.queue_window) window_.pop_front();
+  if (++since_eval_ < 8 || window_.size() < config_.queue_window) return;
+  since_eval_ = 0;
+
+  double lo = window_.front().bytes;
+  double hi = lo;
+  double sum = 0.0;
+  for (const BacklogSample& b : window_) {
+    lo = std::min(lo, b.bytes);
+    hi = std::max(hi, b.bytes);
+    sum += b.bytes;
+  }
+  if (lo < config_.queue_floor_bytes) return;  // the buffer still drains
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = window_.front().t;
+  e.window_end = s.t;
+  e.confidence = std::min(1.0, lo / (4.0 * config_.queue_floor_bytes));
+  e.message = Format("RLC backlog never drained below %.0f kB over the last "
+                     "%.0f ms — capacity contention (cross traffic?)",
+                     lo / 1000.0, sim::ToMs(s.t - window_.front().t));
+  e.AddEvidence("min_backlog_bytes", lo);
+  e.AddEvidence("max_backlog_bytes", hi);
+  e.AddEvidence("mean_backlog_bytes", sum / static_cast<double>(window_.size()));
+  e.AddEvidence("window_ms", sim::ToMs(s.t - window_.front().t));
+  Emit(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// DetectorBank
+// ---------------------------------------------------------------------------
+
+DetectorBank::DetectorBank(DetectorConfig config) : config_(config) {
+  Add(std::make_unique<SlotQuantizationDetector>());
+  Add(std::make_unique<HarqRtxDetector>());
+  Add(std::make_unique<BsrGrantWaitDetector>());
+  Add(std::make_unique<OverGrantingDetector>());
+  Add(std::make_unique<QueueBuildupDetector>());
+}
+
+void DetectorBank::Add(std::unique_ptr<Detector> detector) {
+  detector->set_config(config_);
+  detector->set_emitter([this](const AnomalyEvent& e) { Route(e); });
+  detectors_.push_back(std::move(detector));
+}
+
+void DetectorBank::set_on_anomaly(std::function<void(const AnomalyEvent&)> cb) {
+  on_anomaly_ = std::move(cb);
+}
+
+void DetectorBank::Route(const AnomalyEvent& event) {
+  ++anomaly_count_;
+  ++counts_by_kind_[static_cast<std::size_t>(event.kind)];
+  if (on_anomaly_) on_anomaly_(event);
+}
+
+void DetectorBank::OnDelivery(const Delivery& d) {
+  for (const auto& det : detectors_) det->OnDelivery(d);
+}
+
+void DetectorBank::OnTb(const TbObservation& tb) {
+  for (const auto& det : detectors_) det->OnTb(tb);
+}
+
+void DetectorBank::OnHarqChain(const HarqChainObservation& c) {
+  for (const auto& det : detectors_) det->OnHarqChain(c);
+}
+
+void DetectorBank::OnBacklog(const BacklogSample& s) {
+  for (const auto& det : detectors_) det->OnBacklog(s);
+}
+
+void DetectorBank::OnOveruse(const OveruseObservation& o) {
+  for (const auto& det : detectors_) det->OnOveruse(o);
+}
+
+}  // namespace athena::obs::live

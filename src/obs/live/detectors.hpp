@@ -1,0 +1,326 @@
+// Streaming detectors: online tests that turn the instrumentation
+// stream into AnomalyEvents *while the session runs* — one detector per
+// paper artifact (§§2–3). Detectors are pure consumers: they never
+// schedule simulator events, never mutate component state, and work
+// only from the same observations the trace sink sees, so enabling them
+// cannot change a run's behaviour.
+//
+// Each detector receives typed observations (decoded from trace events
+// by the LiveEngine, or fed directly in tests), maintains a bounded
+// sliding window, and emits through the DetectorBank when its test
+// trips. Emission is rate-limited per detector (config.cooldown) so a
+// persistent condition produces a bounded anomaly stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/live/anomaly.hpp"
+#include "sim/time.hpp"
+
+namespace athena::obs::live {
+
+// --- typed observations (decoded from the PR-1 emit points) ---
+
+/// One packet through the RAN: modem arrival → mobile-core delivery
+/// (the `ran.transit` async span).
+struct Delivery {
+  std::uint64_t packet_id = 0;
+  sim::TimePoint enqueued_at;
+  sim::TimePoint delivered_at;
+  std::uint32_t bytes = 0;
+};
+
+/// One TB transmission on the control channel (the `tb.tx`/`tb.rtx`
+/// instants; mirrors ran::TbRecord without depending on ran/).
+struct TbObservation {
+  sim::TimePoint slot_time;
+  std::uint32_t tbs_bytes = 0;
+  std::uint32_t used_bytes = 0;
+  std::uint8_t harq_round = 0;
+  bool crc_ok = true;
+  bool requested_grant = false;  ///< false = proactive
+};
+
+/// A completed HARQ chain that needed at least one retransmission
+/// (the `harq.chain` async span).
+struct HarqChainObservation {
+  sim::TimePoint first_tx;
+  sim::TimePoint done;
+  std::uint8_t rounds = 0;
+  bool dropped = false;
+};
+
+/// UE RLC buffer occupancy sampled at an uplink slot (the
+/// `ran.rlc_bytes` trace counter).
+struct BacklogSample {
+  sim::TimePoint t;
+  double bytes = 0.0;
+};
+
+/// A GCC overuse instant (the `cc.overuse` trace instant).
+struct OveruseObservation {
+  sim::TimePoint t;
+  double trend_ms = 0.0;
+};
+
+/// Timing constants of the observed cell the tests key on. Defaults
+/// match ran::RanConfig::PaperCell().
+struct CellTiming {
+  sim::Duration ul_slot_period{std::chrono::microseconds{2500}};
+  sim::Duration rtx_delay{std::chrono::milliseconds{10}};
+  sim::Duration bsr_scheduling_delay{std::chrono::milliseconds{10}};
+};
+
+/// Tunables shared by the bank's detectors. The defaults are calibrated
+/// for the paper cell; tests exercise both firing and quiet scenarios
+/// against them.
+struct DetectorConfig {
+  CellTiming cell;
+
+  /// Suppress re-emission of the same anomaly kind for this long.
+  sim::Duration cooldown{std::chrono::milliseconds{500}};
+
+  // -- slot quantization --
+  std::size_t quant_window = 96;       ///< inter-arrival deltas per test
+  std::size_t quant_min_samples = 64;
+  std::size_t quant_bins = 10;         ///< phase bins over one slot period
+  double quant_concentration = 0.5;    ///< fire when max-bin share ≥ this
+
+  // -- HARQ rtx inflation --
+  std::size_t rtx_window = 128;        ///< OWD samples tracked for the floor
+  double rtx_step_fraction = 0.7;      ///< step threshold = fraction × rtx_delay
+  std::uint32_t rtx_min_attributed = 5;
+  double rtx_min_share = 0.5;          ///< attributed / suspect late packets
+
+  // -- BSR grant wait --
+  std::size_t bsr_min_episodes = 8;
+  double bsr_wait_threshold_ms = 6.0;  ///< mean first-grant wait to fire
+
+  // -- over-granting --
+  std::uint64_t grant_min_requested_bytes = 50'000;
+  double grant_utilization_threshold = 0.6;
+  std::size_t grant_window_tbs = 256;
+
+  // -- queue buildup --
+  std::size_t queue_window = 64;       ///< backlog samples (one per UL slot)
+  double queue_floor_bytes = 15'000;   ///< fire when min over window ≥ this
+};
+
+/// Base class. Override only the observation kinds the detector needs.
+class Detector {
+ public:
+  using Emitter = std::function<void(const AnomalyEvent&)>;
+
+  virtual ~Detector() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual AnomalyKind kind() const = 0;
+
+  virtual void OnDelivery(const Delivery&) {}
+  virtual void OnTb(const TbObservation&) {}
+  virtual void OnHarqChain(const HarqChainObservation&) {}
+  virtual void OnBacklog(const BacklogSample&) {}
+  virtual void OnOveruse(const OveruseObservation&) {}
+
+  /// Attribution tally for the health report: of the samples this
+  /// detector flagged as suspicious, how many did it explain?
+  struct Attribution {
+    std::uint64_t suspect = 0;
+    std::uint64_t attributed = 0;
+  };
+  [[nodiscard]] virtual Attribution attribution() const { return {}; }
+
+  [[nodiscard]] std::uint64_t anomalies_emitted() const { return emitted_; }
+  [[nodiscard]] double max_confidence() const { return max_confidence_; }
+
+  void set_emitter(Emitter emitter) { emitter_ = std::move(emitter); }
+  void set_config(const DetectorConfig& config) { config_ = config; }
+
+ protected:
+  /// Rate-limited emission; drops the event (returning false) inside the
+  /// cooldown window following the previous emission.
+  bool Emit(AnomalyEvent event);
+
+  DetectorConfig config_{};
+
+ private:
+  Emitter emitter_;
+  std::uint64_t emitted_ = 0;
+  double max_confidence_ = 0.0;
+  sim::TimePoint last_emit_;
+  bool emitted_once_ = false;
+};
+
+/// §2 / Fig. 5: are core arrival times quantized onto the UL slot grid?
+/// Online mod-grid concentration test: bin successive non-zero core
+/// inter-arrival deltas by their phase within one slot period; a slotted
+/// RAN concentrates the mass in one phase bin, a wire spreads it evenly.
+class SlotQuantizationDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "slot_quantization"; }
+  [[nodiscard]] AnomalyKind kind() const override {
+    return AnomalyKind::kDelaySpreadQuantization;
+  }
+
+  void OnDelivery(const Delivery& d) override;
+
+ private:
+  void Evaluate(sim::TimePoint now);
+
+  struct DeltaSample {
+    std::int64_t delta_us = 0;
+    sim::TimePoint t;
+  };
+  std::deque<DeltaSample> deltas_;
+  sim::TimePoint last_delivery_;
+  bool have_last_ = false;
+  std::size_t since_eval_ = 0;
+};
+
+/// §3.2: ~10 ms OWD steps on per-packet RAN transit correlated with
+/// HARQ retransmission rounds. A packet is *suspect* when its transit
+/// exceeds the sliding-window floor by ≥ rtx_step_fraction × rtx_delay;
+/// it is *attributed* when a retransmitted HARQ chain completed just
+/// before its delivery.
+class HarqRtxDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "harq_rtx"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kHarqRtxInflation; }
+
+  void OnDelivery(const Delivery& d) override;
+  void OnHarqChain(const HarqChainObservation& c) override;
+
+  [[nodiscard]] Attribution attribution() const override {
+    return {suspect_, attributed_};
+  }
+
+ private:
+  std::deque<sim::Duration> owds_;          ///< sliding window for the floor
+  std::deque<sim::TimePoint> chain_ends_;   ///< recent rtx-chain completion times
+  std::uint64_t suspect_ = 0;
+  std::uint64_t attributed_ = 0;
+  std::uint64_t window_suspect_ = 0;        ///< since last emission
+  std::uint64_t window_attributed_ = 0;
+  double window_inflation_ms_ = 0.0;
+  sim::TimePoint window_begin_;
+};
+
+/// §3.1: bursts wait for a BSR-requested grant. Measures, per backlog
+/// episode (buffer leaves zero → first TB that carries data), the wait
+/// before service; proactive-served bursts wait ≤ one slot, BSR-served
+/// bursts wait ~bsr_scheduling_delay.
+class BsrGrantWaitDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "bsr_grant_wait"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kBsrGrantWait; }
+
+  void OnBacklog(const BacklogSample& s) override;
+  void OnTb(const TbObservation& tb) override;
+
+  [[nodiscard]] Attribution attribution() const override {
+    return {episodes_, slow_episodes_};
+  }
+
+ private:
+  struct Episode {
+    double wait_ms = 0.0;
+    sim::TimePoint served_at;
+  };
+
+  bool waiting_ = false;
+  sim::TimePoint wait_begin_;
+  std::deque<Episode> episodes_window_;
+  std::uint64_t episodes_ = 0;
+  std::uint64_t slow_episodes_ = 0;
+};
+
+/// §3.1's other half: requested grants are sized from stale BSRs, so
+/// granted ≫ used. Watches utilization of *requested* grants over a
+/// sliding TB window (proactive grants idle-wasting is by design, so
+/// they are excluded — a quiet cell must not fire).
+class OverGrantingDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "over_granting"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kOverGranting; }
+
+  void OnTb(const TbObservation& tb) override;
+
+  [[nodiscard]] Attribution attribution() const override {
+    return {granted_total_ / 1000, wasted_total_ / 1000};  // kB granted vs wasted
+  }
+
+ private:
+  void Evaluate(sim::TimePoint now);
+
+  struct Grant {
+    std::uint32_t tbs = 0;
+    std::uint32_t used = 0;
+    sim::TimePoint t;
+  };
+  std::deque<Grant> window_;
+  std::uint64_t granted_total_ = 0;
+  std::uint64_t wasted_total_ = 0;
+  std::size_t since_eval_ = 0;
+};
+
+/// §2: the RLC buffer never drains — competing traffic (or an undersized
+/// cell) has turned the modem into a standing queue. Fires when the
+/// *minimum* backlog over the sliding window stays above the floor:
+/// bursty-but-draining traffic (BSR waits) keeps touching zero, a
+/// contended cell does not.
+class QueueBuildupDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "queue_buildup"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kQueueBuildup; }
+
+  void OnBacklog(const BacklogSample& s) override;
+
+ private:
+  std::deque<BacklogSample> window_;
+  std::size_t since_eval_ = 0;
+};
+
+/// Owns the detector set, fans observations out, and funnels emitted
+/// anomalies into one callback (the LiveEngine's event log).
+class DetectorBank {
+ public:
+  /// Constructs the five paper-artifact detectors.
+  explicit DetectorBank(DetectorConfig config = {});
+
+  /// Adds a custom detector (EXTENDING.md). The bank re-points its
+  /// emitter and config.
+  void Add(std::unique_ptr<Detector> detector);
+
+  void OnDelivery(const Delivery& d);
+  void OnTb(const TbObservation& tb);
+  void OnHarqChain(const HarqChainObservation& c);
+  void OnBacklog(const BacklogSample& s);
+  void OnOveruse(const OveruseObservation& o);
+
+  /// Invoked (synchronously) for every anomaly any detector emits.
+  void set_on_anomaly(std::function<void(const AnomalyEvent&)> cb);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Detector>>& detectors() const {
+    return detectors_;
+  }
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t anomaly_count() const { return anomaly_count_; }
+  [[nodiscard]] std::uint64_t anomaly_count(AnomalyKind kind) const {
+    return counts_by_kind_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  void Route(const AnomalyEvent& event);
+
+  DetectorConfig config_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::function<void(const AnomalyEvent&)> on_anomaly_;
+  std::uint64_t anomaly_count_ = 0;
+  std::array<std::uint64_t, kAnomalyKindCount> counts_by_kind_{};
+};
+
+}  // namespace athena::obs::live

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) for the MetricsRegistry and
+// the live detector state, so the framework's own health is scrapeable:
+// write to a file on a period (athena_cli --expose) and point a
+// node-exporter-style textfile collector at it.
+//
+// Mapping:
+//   counter           → `<prefix><name> <value>` with `# TYPE ... counter`
+//   gauge             → `# TYPE ... gauge`
+//   RunningStats      → `_count`/`_sum` summary + `_mean`/`_min`/`_max` gauges
+//   stats::Histogram  → cumulative `_bucket{le="..."}` series ending in
+//                       `le="+Inf"`, plus `_sum` and `_count`
+//   live detectors    → `athena_anomalies_total{kind=...,layer=...}`,
+//                       per-detector confidence gauges, event-log depth
+//
+// Metric names are sanitized to Prometheus' [a-zA-Z_:][a-zA-Z0-9_:]*
+// (dots and dashes become underscores); non-finite values serialize as
+// the tokens `+Inf` / `-Inf` / `NaN`, which the text format allows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace athena::obs::live {
+
+class LiveEngine;
+
+/// `athena.cc.target-bps` → `athena_cc_target_bps`. Prepends '_' when
+/// the first character would be invalid (e.g. a digit).
+[[nodiscard]] std::string SanitizeMetricName(std::string_view name);
+
+struct ExpositionOptions {
+  std::string prefix = "athena_";
+};
+
+/// Renders everything in `registry` (and, when given, `live`'s detector
+/// state) in Prometheus text format. An empty registry yields only the
+/// header comment — still a valid exposition.
+void WritePrometheus(std::ostream& os, const MetricsRegistry& registry,
+                     const LiveEngine* live = nullptr, ExpositionOptions options = {});
+
+}  // namespace athena::obs::live

@@ -1,0 +1,144 @@
+#include "obs/live/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/live/detectors.hpp"
+#include "obs/live/live.hpp"
+
+namespace athena::obs::live {
+namespace {
+
+/// Mirrors core::RootCause (obs/live must not depend on core/).
+constexpr const char* kCoreCauseNames[] = {
+    "none",       "slot_alignment",      "bsr_wait",
+    "harq_rtx",   "capacity_contention", "cause5",
+    "cause6",     "cause7",
+};
+
+std::string Percent(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string SummaryFor(const HealthReport::Cause& c) {
+  std::string s = std::to_string(c.anomalies);
+  s += c.anomalies == 1 ? " anomaly" : " anomalies";
+  switch (c.kind) {
+    case AnomalyKind::kDelaySpreadQuantization:
+      s += ", arrival phases concentrated on the UL slot grid (peak confidence " +
+           Percent(c.max_confidence) + ")";
+      break;
+    case AnomalyKind::kHarqRtxInflation:
+      if (c.suspect > 0) {
+        s += ", " + Percent(c.share) + " of late packets attributable to HARQ RTX (" +
+             std::to_string(c.attributed) + "/" + std::to_string(c.suspect) + ")";
+      }
+      break;
+    case AnomalyKind::kBsrGrantWait:
+      if (c.suspect > 0) {
+        s += ", " + Percent(c.share) + " of backlog episodes waited on a BSR grant (" +
+             std::to_string(c.attributed) + "/" + std::to_string(c.suspect) + ")";
+      }
+      break;
+    case AnomalyKind::kOverGranting:
+      if (c.suspect > 0) {
+        s += ", " + Percent(c.share) + " of requested-grant bytes unused (" +
+             std::to_string(c.attributed) + "/" + std::to_string(c.suspect) + " kB)";
+      }
+      break;
+    case AnomalyKind::kQueueBuildup:
+      s += ", RLC queue never drained over the detection window";
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+HealthReport HealthReport::Build(const LiveEngine& live) {
+  HealthReport report;
+  report.deliveries = live.deliveries();
+  report.frames_rendered = live.frames_rendered();
+  report.frames_late = live.frames_late();
+  report.overuse_events = live.overuse_events();
+  report.link_drops = live.link_drops();
+  report.anomalies_total = live.bank().anomaly_count();
+  report.log_dropped = live.log().dropped_count();
+  report.core_cause_counts = live.core_cause_counts();
+
+  for (const auto& detector : live.bank().detectors()) {
+    if (detector->anomalies_emitted() == 0) continue;
+    Cause cause;
+    cause.kind = detector->kind();
+    cause.layer = Layer::kRan;
+    cause.detector = detector->name();
+    cause.anomalies = detector->anomalies_emitted();
+    const auto attribution = detector->attribution();
+    cause.suspect = attribution.suspect;
+    cause.attributed = attribution.attributed;
+    cause.share = attribution.suspect > 0
+                      ? static_cast<double>(attribution.attributed) /
+                            static_cast<double>(attribution.suspect)
+                      : 0.0;
+    cause.max_confidence = detector->max_confidence();
+    cause.summary = SummaryFor(cause);
+    report.causes.push_back(std::move(cause));
+  }
+
+  std::sort(report.causes.begin(), report.causes.end(),
+            [](const Cause& a, const Cause& b) {
+              if (a.anomalies != b.anomalies) return a.anomalies > b.anomalies;
+              return a.max_confidence > b.max_confidence;
+            });
+  return report;
+}
+
+void HealthReport::Render(std::ostream& os) const {
+  os << "=== session health ===\n";
+  os << "deliveries: " << deliveries << ", frames rendered: " << frames_rendered
+     << " (" << frames_late << " late)";
+  if (frames_rendered > 0) {
+    os << " ["
+       << Percent(static_cast<double>(frames_late) /
+                  static_cast<double>(frames_rendered))
+       << " late]";
+  }
+  os << '\n';
+  os << "cc overuse events: " << overuse_events << ", link drops: " << link_drops
+     << '\n';
+
+  if (healthy()) {
+    os << "no anomalies detected — channel looks healthy\n";
+    return;
+  }
+
+  os << "anomalies: " << anomalies_total;
+  if (log_dropped > 0) os << " (" << log_dropped << " evicted from the log ring)";
+  os << '\n';
+  os << "root causes, ranked:\n";
+  std::size_t rank = 1;
+  for (const Cause& c : causes) {
+    os << "  " << rank++ << ". " << ToString(c.kind) << " [" << ToString(c.layer)
+       << "] — " << c.summary << '\n';
+  }
+
+  std::uint64_t core_total = 0;
+  for (std::size_t i = 1; i < core_cause_counts.size(); ++i) {
+    core_total += core_cause_counts[i];
+  }
+  if (core_total > 0) {
+    os << "correlator corroboration (per-packet primary causes):\n";
+    for (std::size_t i = 1; i < core_cause_counts.size(); ++i) {
+      if (core_cause_counts[i] == 0) continue;
+      os << "  " << kCoreCauseNames[i] << ": " << core_cause_counts[i] << " ("
+         << Percent(static_cast<double>(core_cause_counts[i]) /
+                    static_cast<double>(core_total))
+         << ")\n";
+    }
+  }
+}
+
+}  // namespace athena::obs::live

@@ -1,0 +1,60 @@
+// Per-session health report: rolls the live engine's anomalies and
+// attribution tallies up into a ranked root-cause list ("61% of late
+// frames attributable to HARQ RTX"). Built on demand from a LiveEngine
+// (athena_cli --diagnose, why_was_this_packet_late) — no extra state is
+// kept during the run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/live/anomaly.hpp"
+
+namespace athena::obs::live {
+
+class LiveEngine;
+
+struct HealthReport {
+  /// One ranked root-cause line. `share` is the fraction of suspect
+  /// samples the detector attributed (0 when it tracks no attribution).
+  struct Cause {
+    AnomalyKind kind{};
+    Layer layer = Layer::kRan;
+    std::string detector;
+    std::uint64_t anomalies = 0;
+    std::uint64_t suspect = 0;
+    std::uint64_t attributed = 0;
+    double share = 0.0;
+    double max_confidence = 0.0;
+    std::string summary;  ///< human-readable one-liner
+  };
+
+  /// Sorted most-culpable first (anomaly count, then confidence).
+  std::vector<Cause> causes;
+
+  // Session rollups.
+  std::uint64_t deliveries = 0;
+  std::uint64_t frames_rendered = 0;
+  std::uint64_t frames_late = 0;
+  std::uint64_t overuse_events = 0;
+  std::uint64_t link_drops = 0;
+  std::uint64_t anomalies_total = 0;
+  std::uint64_t log_dropped = 0;
+
+  /// The offline correlator's per-packet verdicts (when Correlate ran in
+  /// scope), indexed by core::RootCause — corroborates the live ranking.
+  std::array<std::uint64_t, 8> core_cause_counts{};
+
+  [[nodiscard]] static HealthReport Build(const LiveEngine& live);
+
+  /// `healthy()` is true when no detector fired.
+  [[nodiscard]] bool healthy() const { return anomalies_total == 0; }
+
+  /// Renders the ranked report as indented text.
+  void Render(std::ostream& os) const;
+};
+
+}  // namespace athena::obs::live

@@ -1,0 +1,85 @@
+#include "obs/live/live.hpp"
+
+namespace athena::obs::live {
+
+LiveEngine::LiveEngine(Options options)
+    : options_(options), bank_(options.detectors), log_(options.log_capacity) {
+  bank_.set_on_anomaly([this](const AnomalyEvent& e) { log_.PushAnomaly(e); });
+}
+
+void LiveEngine::Emit(const TraceEvent& event) {
+  switch (event.phase) {
+    case TraceEvent::Phase::kAsyncBegin:
+      pending_begin_ = event;
+      have_pending_ = true;
+      return;
+
+    case TraceEvent::Phase::kAsyncEnd:
+      if (have_pending_ && pending_begin_.layer == event.layer &&
+          pending_begin_.id == event.id && pending_begin_.name == event.name) {
+        have_pending_ = false;
+        OnSpan(pending_begin_, event);
+      }
+      return;
+
+    case TraceEvent::Phase::kInstant:
+      if (event.layer == Layer::kRan &&
+          (event.name == "tb.tx" || event.name == "tb.rtx")) {
+        bank_.OnTb(TbObservation{
+            .slot_time = event.ts,
+            .tbs_bytes = static_cast<std::uint32_t>(event.Arg("tbs")),
+            .used_bytes = static_cast<std::uint32_t>(event.Arg("used")),
+            .harq_round = static_cast<std::uint8_t>(event.Arg("round")),
+            .crc_ok = event.Arg("crc_ok") != 0.0,
+            .requested_grant = event.Arg("grant") != 0.0,
+        });
+      } else if (event.layer == Layer::kCc && event.name == "cc.overuse") {
+        ++overuse_events_;
+        bank_.OnOveruse(OveruseObservation{event.ts, event.Arg("trend_ms")});
+      } else if (event.layer == Layer::kNet && event.name == "link.drop") {
+        ++link_drops_;
+      }
+      return;
+
+    case TraceEvent::Phase::kCounter:
+      if (event.layer == Layer::kRan && event.name == "ran.rlc_bytes") {
+        bank_.OnBacklog(BacklogSample{event.ts, event.Arg("value")});
+      }
+      return;
+
+    case TraceEvent::Phase::kComplete:
+      return;
+  }
+}
+
+void LiveEngine::OnSpan(const TraceEvent& begin, const TraceEvent& end) {
+  if (begin.layer == Layer::kRan && begin.name == "ran.transit") {
+    ++deliveries_;
+    bank_.OnDelivery(Delivery{
+        .packet_id = begin.id,
+        .enqueued_at = begin.ts,
+        .delivered_at = end.ts,
+        .bytes = static_cast<std::uint32_t>(begin.Arg("bytes")),
+    });
+  } else if (begin.layer == Layer::kRan && begin.name == "harq.chain") {
+    bank_.OnHarqChain(HarqChainObservation{
+        .first_tx = begin.ts,
+        .done = end.ts,
+        .rounds = static_cast<std::uint8_t>(begin.Arg("rounds")),
+        .dropped = begin.Arg("dropped") != 0.0,
+    });
+  } else if (begin.layer == Layer::kMedia &&
+             (begin.name == "frame.jb" || begin.name == "sample.jb")) {
+    ++frames_rendered_;
+    if (begin.Arg("late") != 0.0) ++frames_late_;
+  } else if (begin.layer == Layer::kCore && begin.name == "pkt.uplink") {
+    const auto cause = static_cast<std::size_t>(begin.Arg("cause"));
+    if (cause < core_causes_.size()) ++core_causes_[cause];
+  }
+
+  if (options_.log_span_every > 0 && ++span_counter_ % options_.log_span_every == 0) {
+    log_.PushSpan(begin.layer, begin.name, end.ts, sim::ToMs(end.ts - begin.ts));
+  }
+}
+
+}  // namespace athena::obs::live

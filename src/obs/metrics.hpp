@@ -43,6 +43,22 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t CounterValue(std::string_view name) const;
   [[nodiscard]] double GaugeValue(std::string_view name) const;
 
+  // Read-only iteration over everything registered (exporters: CSV/JSON
+  // writers below, Prometheus text exposition in obs/live/exposition.hpp).
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, stats::RunningStats, std::less<>>& stats() const {
+    return stats_;
+  }
+  [[nodiscard]] const std::map<std::string, stats::Histogram, std::less<>>& histograms()
+      const {
+    return histograms_;
+  }
+
   /// Appends one sample row per counter and gauge at virtual time `t`.
   void Snapshot(sim::TimePoint t);
 

@@ -16,14 +16,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "obs/live/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace athena::obs {
 
-/// Kernel → obs adapter. Install with `sim.set_hooks(&bridge)`.
+/// Kernel → obs adapter. Install with `sim.AddHooks(&bridge)`.
 class SimObsBridge final : public sim::SimHooks {
  public:
   /// `queue_sample_every`: emit the queue-depth trace counter every N
@@ -70,16 +72,21 @@ class ObsSession {
     sim::Duration metrics_period{0};
     bool profile_sim = false;
     std::uint64_t queue_sample_every = 64;
+    /// Run the live diagnosis engine (obs/live/) alongside the recorder;
+    /// both consume the same emit points through a TraceFanout.
+    bool live = false;
+    live::LiveEngine::Options live_options{};
   };
 
   ObsSession(sim::Simulator& sim, Options options)
       : sim_(sim),
         options_(options),
         bridge_(sim, options.queue_sample_every),
-        trace_scope_(options.trace ? &recorder_ : nullptr),
+        live_(options.live ? std::make_unique<live::LiveEngine>(options.live_options)
+                           : nullptr),
+        trace_scope_(PickSink()),
         metrics_scope_(options.metrics ? &registry_ : nullptr) {
-    prev_hooks_ = sim.hooks();
-    sim.set_hooks(&bridge_);
+    sim.AddHooks(&bridge_);
     if (options.profile_sim) sim.set_profiling(true);
     if (options.metrics && options.metrics_period.count() > 0) {
       registry_.StartSampling(sim, options.metrics_period);
@@ -89,7 +96,7 @@ class ObsSession {
   ~ObsSession() {
     registry_.StopSampling();
     if (options_.profile_sim) sim_.set_profiling(false);
-    sim_.set_hooks(prev_hooks_);
+    sim_.RemoveHooks(&bridge_);
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -97,14 +104,33 @@ class ObsSession {
 
   [[nodiscard]] TraceRecorder& recorder() { return recorder_; }
   [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  /// Null unless Options::live was set.
+  [[nodiscard]] live::LiveEngine* live() { return live_.get(); }
+  [[nodiscard]] const live::LiveEngine* live() const { return live_.get(); }
 
  private:
+  /// Called after live_ is constructed (declaration order) to decide the
+  /// installed global sink: recorder, live engine, or a fanout of both.
+  [[nodiscard]] TraceSink* PickSink() {
+    const bool trace = options_.trace;
+    const bool live = live_ != nullptr;
+    if (trace && live) {
+      fanout_.Add(&recorder_);
+      fanout_.Add(live_.get());
+      return &fanout_;
+    }
+    if (trace) return &recorder_;
+    if (live) return live_.get();
+    return nullptr;
+  }
+
   sim::Simulator& sim_;
   Options options_;
   TraceRecorder recorder_;
   MetricsRegistry registry_;
   SimObsBridge bridge_;
-  sim::SimHooks* prev_hooks_ = nullptr;
+  std::unique_ptr<live::LiveEngine> live_;
+  TraceFanout fanout_;
   ScopedTraceSink trace_scope_;
   ScopedMetrics metrics_scope_;
 };

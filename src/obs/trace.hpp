@@ -60,8 +60,16 @@ struct TraceEvent {
   sim::TimePoint ts;
   sim::Duration dur{0};   ///< kComplete only
   std::uint64_t id = 0;   ///< async-pair key (packet id, chain id, frame id)
-  std::array<TraceArg, 4> args{};
+  std::array<TraceArg, 6> args{};
   std::size_t arg_count = 0;
+
+  /// Value of the arg named `key`, or `fallback` when absent.
+  [[nodiscard]] double Arg(std::string_view key, double fallback = 0.0) const {
+    for (std::size_t i = 0; i < arg_count; ++i) {
+      if (key == args[i].key) return args[i].value;
+    }
+    return fallback;
+  }
 };
 
 /// Where trace events go. Implementations must tolerate events arriving
@@ -185,6 +193,25 @@ class TraceRecorder final : public TraceSink {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+/// Forwards every event to a small list of sinks, so independent
+/// consumers (a TraceRecorder and the live anomaly detectors, say) can
+/// observe the same emit points without knowing about each other.
+class TraceFanout final : public TraceSink {
+ public:
+  void Add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void Emit(const TraceEvent& event) override {
+    for (TraceSink* s : sinks_) s->Emit(event);
+  }
+
+  [[nodiscard]] std::size_t size() const { return sinks_.size(); }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 /// RAII: installs a sink for the current scope, restores the previous

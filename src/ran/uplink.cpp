@@ -288,7 +288,8 @@ void RanUplink::RecordTelemetry(const Tb& tb, sim::TimePoint slot_time, bool crc
                     {{"tbs", static_cast<double>(tb.tbs)},
                      {"used", static_cast<double>(tb.used)},
                      {"round", static_cast<double>(tb.round)},
-                     {"crc_ok", crc_ok ? 1.0 : 0.0}});
+                     {"crc_ok", crc_ok ? 1.0 : 0.0},
+                     {"grant", tb.grant == GrantType::kRequested ? 1.0 : 0.0}});
 }
 
 net::CapacityTrace RanUplink::ObservedCapacityTrace(sim::Duration window) const {

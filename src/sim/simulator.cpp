@@ -6,7 +6,7 @@
 namespace athena::sim {
 
 void Simulator::RunUntil(TimePoint deadline) {
-  if (hooks_ != nullptr || profiling_) {
+  if (!hooks_.empty() || profiling_) {
     RunUntilInstrumented(deadline);
     return;
   }
@@ -47,7 +47,7 @@ void Simulator::RunUntilInstrumented(TimePoint deadline) {
       fired.cb();
     }
     ++executed_;
-    if (hooks_ != nullptr) hooks_->OnEventExecuted(now_, queue_.size());
+    for (SimHooks* h : hooks_) h->OnEventExecuted(now_, queue_.size());
     if (++ran > event_budget_) throw EventBudgetExceeded{};
   }
   if (deadline != kTimeInfinity && deadline > now_) now_ = deadline;
@@ -57,8 +57,8 @@ void Simulator::RunUntilInstrumented(TimePoint deadline) {
     profile_.run_wall_seconds +=
         std::chrono::duration<double>(WallClock::now() - run_start).count();
   }
-  if (hooks_ != nullptr && events > 0) {
-    hooks_->OnRunCompleted(virtual_begin, now_, events);
+  if (events > 0) {
+    for (SimHooks* h : hooks_) h->OnRunCompleted(virtual_begin, now_, events);
   }
 }
 
@@ -68,7 +68,7 @@ bool Simulator::Step() {
   now_ = fired.when;
   fired.cb();
   ++executed_;
-  if (hooks_ != nullptr) hooks_->OnEventExecuted(now_, queue_.size());
+  for (SimHooks* h : hooks_) h->OnEventExecuted(now_, queue_.size());
   return true;
 }
 

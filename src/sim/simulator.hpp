@@ -5,9 +5,11 @@
 // the same instant fire in FIFO order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -22,8 +24,9 @@ class EventBudgetExceeded : public std::runtime_error {
 };
 
 /// Observer interface for the kernel's own activity (used by the obs
-/// subsystem to put the simulator on the trace timeline). Null by
-/// default; when unset the kernel runs its uninstrumented hot loop.
+/// subsystem to put the simulator on the trace timeline). The kernel
+/// holds a small fan-out list of these; while the list is empty it runs
+/// its uninstrumented hot loop.
 class SimHooks {
  public:
   virtual ~SimHooks() = default;
@@ -102,11 +105,28 @@ class Simulator {
 
   // --- observability (see src/obs/) ---
 
-  /// Installs kernel hooks (null disables). While hooks or profiling are
-  /// active, Run*/Step take an instrumented path; otherwise the hot loop
-  /// is the same as before these features existed.
-  void set_hooks(SimHooks* hooks) { hooks_ = hooks; }
-  [[nodiscard]] SimHooks* hooks() const { return hooks_; }
+  /// Registers a kernel observer. Multiple observers may coexist (trace
+  /// bridge, metrics, live detectors); they are notified in registration
+  /// order. While any observer or profiling is active, Run*/Step take an
+  /// instrumented path; otherwise the hot loop is the same as before
+  /// these features existed. Null and duplicate pointers are ignored.
+  void AddHooks(SimHooks* hooks) {
+    if (hooks == nullptr || HasHooks(hooks)) return;
+    hooks_.push_back(hooks);
+  }
+
+  /// Unregisters an observer; no-op if it was never added.
+  bool RemoveHooks(SimHooks* hooks) {
+    const auto it = std::find(hooks_.begin(), hooks_.end(), hooks);
+    if (it == hooks_.end()) return false;
+    hooks_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool HasHooks(const SimHooks* hooks) const {
+    return std::find(hooks_.begin(), hooks_.end(), hooks) != hooks_.end();
+  }
+  [[nodiscard]] const std::vector<SimHooks*>& hooks() const { return hooks_; }
 
   /// Enables wall-clock self-profiling (per-callback timing, queue
   /// high-water mark, events/sec) accumulated into profile().
@@ -122,7 +142,7 @@ class Simulator {
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   std::uint64_t event_budget_ = 500'000'000;
-  SimHooks* hooks_ = nullptr;
+  std::vector<SimHooks*> hooks_;
   bool profiling_ = false;
   SimProfile profile_;
 };

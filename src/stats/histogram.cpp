@@ -14,6 +14,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::Add(double x) {
   ++total_;
+  sum_ += x;
   if (x < lo_) {
     ++underflow_;
     return;

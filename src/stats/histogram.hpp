@@ -20,6 +20,9 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return total_; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// Sum of every sample ever added, including under/overflow (the
+  /// Prometheus `_sum` series).
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] double bin_low(std::size_t i) const;
@@ -41,6 +44,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::vector<double> raw_;  // retained for FractionOnGrid
+  double sum_ = 0.0;
   std::uint64_t total_ = 0;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;

@@ -447,7 +447,7 @@ TEST(Obs, SimHooksObserveEveryEvent) {
 
   sim::Simulator sim;
   CountingHooks hooks;
-  sim.set_hooks(&hooks);
+  sim.AddHooks(&hooks);
   for (int i = 0; i < 100; ++i) {
     sim.ScheduleAfter(sim::Duration{i * 10}, [] {});
   }
@@ -459,7 +459,44 @@ TEST(Obs, SimHooksObserveEveryEvent) {
   sim.ScheduleAfter(sim::Duration{1}, [] {});
   EXPECT_TRUE(sim.Step());
   EXPECT_EQ(hooks.executed, 101u);
-  sim.set_hooks(nullptr);
+  EXPECT_TRUE(sim.RemoveHooks(&hooks));
+  EXPECT_FALSE(sim.RemoveHooks(&hooks));  // already gone
+}
+
+TEST(Obs, SimHooksFanOutToEveryObserver) {
+  struct CountingHooks final : sim::SimHooks {
+    std::uint64_t executed = 0;
+    std::uint64_t runs = 0;
+    void OnEventExecuted(sim::TimePoint, std::size_t) override { ++executed; }
+    void OnRunCompleted(sim::TimePoint, sim::TimePoint, std::uint64_t) override {
+      ++runs;
+    }
+  };
+
+  sim::Simulator sim;
+  CountingHooks first;
+  CountingHooks second;
+  sim.AddHooks(&first);
+  sim.AddHooks(&second);
+  sim.AddHooks(&second);  // duplicate registration is a no-op
+  EXPECT_EQ(sim.hooks().size(), 2u);
+
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleAfter(sim::Duration{i * 10}, [] {});
+  }
+  sim.RunAll();
+  EXPECT_EQ(first.executed, 50u);
+  EXPECT_EQ(second.executed, 50u);
+  EXPECT_EQ(first.runs, 1u);
+  EXPECT_EQ(second.runs, 1u);
+
+  // Removing one observer must not disturb the other.
+  EXPECT_TRUE(sim.RemoveHooks(&first));
+  sim.ScheduleAfter(sim::Duration{1}, [] {});
+  sim.RunAll();
+  EXPECT_EQ(first.executed, 50u);
+  EXPECT_EQ(second.executed, 51u);
+  EXPECT_TRUE(sim.RemoveHooks(&second));
 }
 
 }  // namespace
