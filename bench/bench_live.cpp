@@ -13,12 +13,21 @@
 //      what athena_cli pays with --trace and --diagnose together.
 //
 // run_bench_live.sh wraps this up.
+//
+// Methodology: the three configurations run strictly interleaved
+// (off, live, both, off, live, both, ...) so host drift hits all of them
+// equally, and each configuration's cost is the MEDIAN of its per-rep
+// times — a scheduler hiccup landing on one rep (these sessions are
+// sub-millisecond) no longer poisons a whole phase.
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "app/session.hpp"
 #include "core/correlator.hpp"
@@ -50,18 +59,35 @@ void RunSessionSecond(sim::Simulator& sim) {
 }
 
 struct RepResult {
-  double wall_seconds = 0.0;
+  std::vector<double> rep_seconds;
   std::uint64_t sim_events = 0;
+
+  void Add(double secs, std::uint64_t events) {
+    rep_seconds.push_back(secs);
+    sim_events += events;
+  }
+
+  [[nodiscard]] double wall_seconds() const {
+    double sum = 0.0;
+    for (double s : rep_seconds) sum += s;
+    return sum;
+  }
+
+  /// Robust per-rep cost: the median ignores reps a host hiccup landed on.
+  [[nodiscard]] double median_seconds() const {
+    std::vector<double> sorted = rep_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    return n == 0 ? 0.0
+                  : (n % 2 == 1 ? sorted[n / 2]
+                                : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]));
+  }
 };
 
-RepResult Measure(int reps, const std::function<void(sim::Simulator&)>& run) {
-  RepResult r;
-  for (int i = 0; i < reps; ++i) {
-    sim::Simulator sim;
-    r.wall_seconds += WallSeconds([&] { run(sim); });
-    r.sim_events += sim.events_executed();
-  }
-  return r;
+void MeasureRep(RepResult& into, const std::function<void(sim::Simulator&)>& run) {
+  sim::Simulator sim;
+  const double secs = WallSeconds([&] { run(sim); });
+  into.Add(secs, sim.events_executed());
 }
 
 }  // namespace
@@ -70,14 +96,15 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_live.json";
   constexpr int kReps = 8;
 
-  // --- 1. observability fully off ---
-  const RepResult off = Measure(kReps, [](sim::Simulator& sim) { RunSessionSecond(sim); });
-
-  // --- 2. live detectors only ---
   std::uint64_t anomalies = 0;
   std::uint64_t deliveries = 0;
   std::array<std::uint64_t, obs::live::kAnomalyKindCount> by_kind{};
-  const RepResult live = Measure(kReps, [&](sim::Simulator& sim) {
+  std::size_t trace_events = 0;
+
+  // 1. observability fully off.
+  const auto run_off = [](sim::Simulator& sim) { RunSessionSecond(sim); };
+  // 2. live detectors only.
+  const auto run_live = [&](sim::Simulator& sim) {
     obs::ObsSession::Options options;
     options.trace = false;
     options.metrics = false;
@@ -90,20 +117,39 @@ int main(int argc, char** argv) {
       by_kind[k] += observability.live()->bank().anomaly_count(
           static_cast<obs::live::AnomalyKind>(k));
     }
-  });
-
-  // --- 3. recorder + live engine through the fanout ---
-  std::size_t trace_events = 0;
-  const RepResult both = Measure(kReps, [&](sim::Simulator& sim) {
+  };
+  // 3. recorder + live engine through the fanout.
+  const auto run_both = [&](sim::Simulator& sim) {
     obs::ObsSession::Options options;
     options.live = true;
     obs::ObsSession observability{sim, options};
     RunSessionSecond(sim);
     trace_events += observability.recorder().size();
-  });
+  };
+
+  // Untimed warmup (page faults, lazily-built tables), then interleaved
+  // timed reps.
+  {
+    RepResult scratch;
+    MeasureRep(scratch, run_off);
+    MeasureRep(scratch, run_both);
+    anomalies = 0;
+    deliveries = 0;
+    by_kind = {};
+    trace_events = 0;
+  }
+  RepResult off;
+  RepResult live;
+  RepResult both;
+  for (int i = 0; i < kReps; ++i) {
+    MeasureRep(off, run_off);
+    MeasureRep(live, run_live);
+    MeasureRep(both, run_both);
+  }
 
   const auto overhead = [&](const RepResult& r) {
-    return off.wall_seconds > 0.0 ? r.wall_seconds / off.wall_seconds - 1.0 : 0.0;
+    const double base = off.median_seconds();
+    return base > 0.0 ? r.median_seconds() / base - 1.0 : 0.0;
   };
 
   std::ofstream os{out_path};
@@ -114,11 +160,13 @@ int main(int argc, char** argv) {
   os << "{\n";
   os << "  \"reps\": " << kReps << ",\n";
   os << "  \"detectors_off\": {\n";
-  os << "    \"wall_seconds\": " << off.wall_seconds << ",\n";
+  os << "    \"wall_seconds\": " << off.wall_seconds() << ",\n";
+  os << "    \"median_rep_seconds\": " << off.median_seconds() << ",\n";
   os << "    \"sim_events\": " << off.sim_events << "\n";
   os << "  },\n";
   os << "  \"detectors_on\": {\n";
-  os << "    \"wall_seconds\": " << live.wall_seconds << ",\n";
+  os << "    \"wall_seconds\": " << live.wall_seconds() << ",\n";
+  os << "    \"median_rep_seconds\": " << live.median_seconds() << ",\n";
   os << "    \"sim_events\": " << live.sim_events << ",\n";
   os << "    \"deliveries_decoded\": " << deliveries << ",\n";
   os << "    \"anomalies\": " << anomalies << ",\n";
@@ -132,16 +180,17 @@ int main(int argc, char** argv) {
   os << "    \"overhead_fraction\": " << overhead(live) << "\n";
   os << "  },\n";
   os << "  \"full_obs_live\": {\n";
-  os << "    \"wall_seconds\": " << both.wall_seconds << ",\n";
+  os << "    \"wall_seconds\": " << both.wall_seconds() << ",\n";
+  os << "    \"median_rep_seconds\": " << both.median_seconds() << ",\n";
   os << "    \"sim_events\": " << both.sim_events << ",\n";
   os << "    \"trace_events\": " << trace_events << ",\n";
   os << "    \"overhead_fraction\": " << overhead(both) << "\n";
   os << "  }\n";
   os << "}\n";
 
-  std::cout << "session second x" << kReps << ": off " << off.wall_seconds
-            << " s, live " << live.wall_seconds << " s ("
-            << overhead(live) * 100.0 << "%), trace+live " << both.wall_seconds
+  std::cout << "session second x" << kReps << ": off " << off.wall_seconds()
+            << " s, live " << live.wall_seconds() << " s ("
+            << overhead(live) * 100.0 << "%), trace+live " << both.wall_seconds()
             << " s (" << overhead(both) * 100.0 << "%)\n";
   std::cout << "live diagnosis: " << anomalies << " anomalies over " << kReps
             << " reps, " << deliveries << " deliveries decoded\n";

@@ -9,8 +9,12 @@
 #include "app/session.hpp"
 #include "cc/gcc.hpp"
 #include "core/correlator.hpp"
+#include "legacy_event_queue.hpp"
 #include "media/jitter_buffer.hpp"
+#include "obs/trace.hpp"
+#include "queue_workload.hpp"
 #include "rtp/packetizer.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -31,6 +35,47 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// 50k items (more than kQueueWorkloadDepth) so the steady-state
+// schedule/cancel/pop interleave engages — the same parameters the
+// committed BENCH_perf.json speedup is measured with.
+void BM_EventQueueMixNew(benchmark::State& state) {
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    bench::QueueWorkload(q, &counter, 50'000);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_EventQueueMixNew);
+
+void BM_EventQueueMixLegacy(benchmark::State& state) {
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    bench::legacy::EventQueue q;
+    bench::QueueWorkload(q, &counter, 50'000);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_EventQueueMixLegacy);
+
+void BM_TraceEmitInstant(benchmark::State& state) {
+  // Cost of one enabled emit: POD fill + interned-id store + chunk append.
+  obs::TraceRecorder recorder;
+  obs::ScopedTraceSink scope{&recorder};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    obs::TraceInstant(obs::Layer::kNet, obs::names::kPktHop,
+                      kEpoch + sim::Duration{static_cast<std::int64_t>(i)},
+                      {{"packet", static_cast<double>(i)}, {"bytes", 1200.0}});
+    ++i;
+    if (recorder.size() >= 1'000'000) recorder.Clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_TraceEmitInstant);
 
 void BM_PeriodicTimerTicks(benchmark::State& state) {
   for (auto _ : state) {

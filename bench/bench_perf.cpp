@@ -1,0 +1,247 @@
+// Hot-path performance baseline, written to BENCH_perf.json (path =
+// argv[1], default "BENCH_perf.json"):
+//
+//   1. event_queue   — the shared schedule/cancel/pop workload
+//      (queue_workload.hpp) on the production queue vs the pre-overhaul
+//      replica (legacy_event_queue.hpp). `speedup_vs_legacy` is the
+//      number the "≥2× schedule+pop throughput" acceptance bound watches.
+//   2. trace_emit    — ns per enabled TraceInstant into the chunked
+//      recorder (POD event, interned name, no allocation on the steady
+//      state path).
+//   3. sweep         — an 8-run derived-seed session sweep executed
+//      serially and with sim::ParallelRunner at hardware concurrency;
+//      records the wall-time scaling and verifies the exported outputs
+//      are byte-identical (`deterministic` must be true).
+//   4. overheads     — the BENCH_obs/BENCH_live overhead fractions
+//      recomputed with the same 8-rep methodology, so one file carries
+//      every acceptance number for this subsystem.
+//
+// run_bench_perf.sh wraps this up.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/session.hpp"
+#include "core/correlator.hpp"
+#include "legacy_event_queue.hpp"
+#include "obs/obs.hpp"
+#include "queue_workload.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace athena;
+using namespace std::chrono_literals;
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Robust per-rep cost: the median ignores reps a host hiccup landed on.
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? samples[n / 2]
+                              : 0.5 * (samples[n / 2 - 1] + samples[n / 2]));
+}
+
+template <typename Queue>
+double QueueRepSeconds(std::uint64_t* counter, int items) {
+  Queue q;
+  return WallSeconds([&] { bench::QueueWorkload(q, counter, items); });
+}
+
+/// Measures both queues with strictly alternating reps, so slow phases of
+/// a shared/noisy host (CPU steal, frequency drift) hit both
+/// implementations equally instead of biasing whichever ran second.
+/// Returns {new_ops_per_sec, legacy_ops_per_sec}.
+std::array<double, 2> QueueThroughputs(int reps, int items) {
+  std::uint64_t counter = 0;
+  // Untimed warmup: heap growth and page faults land outside the clock.
+  QueueRepSeconds<sim::EventQueue>(&counter, items);
+  QueueRepSeconds<bench::legacy::EventQueue>(&counter, items);
+  double new_secs = 0.0;
+  double legacy_secs = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    new_secs += QueueRepSeconds<sim::EventQueue>(&counter, items);
+    legacy_secs += QueueRepSeconds<bench::legacy::EventQueue>(&counter, items);
+  }
+  if (counter == 0) std::abort();  // keep the work observable
+  const double total = static_cast<double>(reps) * items;
+  return {new_secs > 0.0 ? total / new_secs : 0.0,
+          legacy_secs > 0.0 ? total / legacy_secs : 0.0};
+}
+
+/// One simulated session second; `stressed` matches bench_live's fading
+/// configuration, plain matches bench_obs's.
+void RunSessionSecond(sim::Simulator& sim, bool stressed) {
+  app::SessionConfig config;
+  if (stressed) {
+    config.channel = ran::ChannelModel::FadingRadio();
+  } else {
+    config.channel.base_bler = 0.08;
+  }
+  app::Session session{sim, config};
+  session.Run(1s);
+  const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
+  if (data.packets.empty()) std::abort();
+}
+
+/// One sweep run reduced to its exported bytes (trace JSON + metrics CSV
+/// + event count) — what the determinism check compares.
+std::string SweepRun(std::uint64_t seed) {
+  sim::Simulator sim;
+  obs::ObsSession::Options options;
+  options.metrics_period = sim::Duration{100'000};
+  obs::ObsSession observability{sim, options};
+  app::SessionConfig config;
+  config.seed = seed;
+  app::Session session{sim, config};
+  session.Run(1s);
+  std::ostringstream out;
+  out << sim.events_executed() << '\n';
+  observability.recorder().WriteJson(out);
+  observability.registry().WriteCsv(out);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  constexpr int kQueueReps = 20;
+  constexpr int kQueueItems = 50'000;
+  constexpr int kSessionReps = 8;
+  constexpr std::size_t kSweepRuns = 8;
+
+  // --- 1. event queue: production vs legacy ---
+  const auto [new_ops, legacy_ops] = QueueThroughputs(kQueueReps, kQueueItems);
+  const double speedup = legacy_ops > 0.0 ? new_ops / legacy_ops : 0.0;
+
+  // --- 2. trace emit ---
+  constexpr std::size_t kEmits = 2'000'000;
+  double emit_ns = 0.0;
+  {
+    obs::TraceRecorder recorder;
+    obs::ScopedTraceSink scope{&recorder};
+    const double secs = WallSeconds([&] {
+      for (std::size_t i = 0; i < kEmits; ++i) {
+        obs::TraceInstant(obs::Layer::kNet, obs::names::kPktHop,
+                          sim::kEpoch + sim::Duration{static_cast<std::int64_t>(i)},
+                          {{"packet", static_cast<double>(i)}, {"bytes", 1200.0}});
+      }
+    });
+    if (recorder.size() != kEmits) std::abort();
+    emit_ns = secs * 1e9 / static_cast<double>(kEmits);
+  }
+
+  // --- 3. sweep: serial vs parallel, with determinism check ---
+  const std::function<std::string(std::size_t)> sweep_task = [](std::size_t i) {
+    return SweepRun(sim::DeriveSeed(42, i));
+  };
+  std::vector<std::string> serial_out;
+  const double serial_secs = WallSeconds([&] {
+    serial_out = sim::ParallelRunner{1}.Map<std::string>(kSweepRuns, sweep_task);
+  });
+  sim::ParallelRunner parallel_runner{0};
+  std::vector<std::string> parallel_out;
+  const double parallel_secs = WallSeconds([&] {
+    parallel_out = parallel_runner.Map<std::string>(kSweepRuns, sweep_task);
+  });
+  const bool deterministic = serial_out == parallel_out;
+  const double scaling = parallel_secs > 0.0 ? serial_secs / parallel_secs : 0.0;
+
+  // --- 4. overhead fractions (bench_obs / bench_live methodology, but
+  // with off/on reps strictly interleaved so host noise cancels) ---
+  const auto rep_seconds = [&](bool stressed, bool obs_on, bool live_on) {
+    sim::Simulator sim;
+    std::unique_ptr<obs::ObsSession> observability;
+    if (obs_on) {
+      obs::ObsSession::Options options;
+      if (live_on) {
+        options.live = true;
+      } else {
+        options.metrics_period = sim::Duration{100'000};
+        options.profile_sim = true;
+      }
+      observability = std::make_unique<obs::ObsSession>(sim, options);
+    }
+    return WallSeconds([&] { RunSessionSecond(sim, stressed); });
+  };
+  const auto overhead = [&](bool stressed, bool live_on) {
+    rep_seconds(stressed, false, false);  // untimed warmup
+    rep_seconds(stressed, true, live_on);
+    std::vector<double> off_reps;
+    std::vector<double> on_reps;
+    for (int i = 0; i < kSessionReps; ++i) {
+      off_reps.push_back(rep_seconds(stressed, false, false));
+      on_reps.push_back(rep_seconds(stressed, true, live_on));
+    }
+    const double base = Median(off_reps);
+    return base > 0.0 ? Median(on_reps) / base - 1.0 : 0.0;
+  };
+  const double obs_overhead = overhead(false, false);
+  const double live_overhead = overhead(true, true);
+
+  std::ofstream os{out_path};
+  if (!os) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"event_queue\": {\n";
+  os << "    \"workload_items\": " << kQueueItems << ",\n";
+  os << "    \"reps\": " << kQueueReps << ",\n";
+  os << "    \"ops_per_sec\": " << new_ops << ",\n";
+  os << "    \"legacy_ops_per_sec\": " << legacy_ops << ",\n";
+  os << "    \"speedup_vs_legacy\": " << speedup << "\n";
+  os << "  },\n";
+  os << "  \"trace_emit\": {\n";
+  os << "    \"emits\": " << kEmits << ",\n";
+  os << "    \"ns_per_event\": " << emit_ns << "\n";
+  os << "  },\n";
+  os << "  \"sweep\": {\n";
+  os << "    \"runs\": " << kSweepRuns << ",\n";
+  os << "    \"jobs\": " << parallel_runner.jobs() << ",\n";
+  os << "    \"serial_seconds\": " << serial_secs << ",\n";
+  os << "    \"parallel_seconds\": " << parallel_secs << ",\n";
+  os << "    \"scaling\": " << scaling << ",\n";
+  os << "    \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
+  os << "  },\n";
+  os << "  \"session_overheads\": {\n";
+  os << "    \"reps\": " << kSessionReps << ",\n";
+  os << "    \"obs_on_overhead_fraction\": " << obs_overhead << ",\n";
+  os << "    \"full_obs_live_overhead_fraction\": " << live_overhead << "\n";
+  os << "  }\n";
+  os << "}\n";
+
+  std::cout << "event queue: " << new_ops / 1e6 << " M ops/s vs legacy "
+            << legacy_ops / 1e6 << " M ops/s (x" << speedup << ")\n";
+  std::cout << "trace emit: " << emit_ns << " ns/event\n";
+  std::cout << "sweep x" << kSweepRuns << ": serial " << serial_secs << " s, "
+            << parallel_runner.jobs() << " jobs " << parallel_secs << " s (x"
+            << scaling << "), deterministic=" << (deterministic ? "yes" : "no")
+            << '\n';
+  std::cout << "session overheads: obs " << obs_overhead * 100.0 << "%, obs+live "
+            << live_overhead * 100.0 << "%\n";
+  std::cout << "wrote " << out_path << '\n';
+
+  if (!deterministic) {
+    std::cerr << "ERROR: parallel sweep diverged from serial\n";
+    return 1;
+  }
+  return 0;
+}

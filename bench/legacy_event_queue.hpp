@@ -1,0 +1,110 @@
+// The event queue as it was before the hot-path overhaul, kept verbatim
+// (renamed into its own namespace) so bench_micro_perf / bench_perf can
+// measure the new implementation against its real predecessor instead of
+// a guess: std::function callbacks (heap-allocating beyond ~16 bytes of
+// capture), a binary std::priority_queue that sifts whole entries
+// (callback included), and an O(n) sorted-vector tombstone list.
+// Benchmarks only — nothing in src/ may include this.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::bench::legacy {
+
+using sim::TimePoint;
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 = invalid
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventHandle Schedule(TimePoint when, Callback cb) {
+    assert(cb && "scheduling an empty callback");
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, std::move(cb)});
+    ++live_count_;
+    return EventHandle{seq};
+  }
+
+  bool Cancel(EventHandle handle) {
+    if (!handle.valid() || handle.seq_ >= next_seq_) return false;
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), handle.seq_);
+    if (it != cancelled_.end() && *it == handle.seq_) return false;
+    cancelled_.insert(it, handle.seq_);
+    if (live_count_ > 0) --live_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  [[nodiscard]] TimePoint next_time() const {
+    DropCancelledHead();
+    assert(!heap_.empty() && "next_time() on an empty queue");
+    return heap_.top().when;
+  }
+
+  struct Fired {
+    TimePoint when;
+    Callback cb;
+  };
+
+  Fired PopNext() {
+    DropCancelledHead();
+    assert(!heap_.empty() && "PopNext() on an empty queue");
+    auto& top = const_cast<Entry&>(heap_.top());
+    Fired fired{top.when, std::move(top.cb)};
+    heap_.pop();
+    --live_count_;
+    return fired;
+  }
+
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    Callback cb;
+
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead() const {
+    while (!heap_.empty()) {
+      const auto seq = heap_.top().seq;
+      if (!std::binary_search(cancelled_.begin(), cancelled_.end(), seq)) return;
+      auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::vector<std::uint64_t> cancelled_;  // sorted seq numbers
+  std::size_t live_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace athena::bench::legacy

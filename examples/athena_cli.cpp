@@ -20,6 +20,13 @@
 //     --expose=FILE                     write metrics + live detector state in
 //                                       Prometheus text format
 //     --anomalies=FILE                  write the structured event log as JSONL
+//     --sweep=N                         run N sessions with per-run seeds
+//                                       derived from --seed (run i gets
+//                                       sim::DeriveSeed(seed, i)); file
+//                                       outputs gain a .runN suffix
+//     --jobs=J                          worker threads for --sweep (default:
+//                                       hardware concurrency). Output is
+//                                       bit-identical for any J.
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
@@ -29,12 +36,16 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "athena.hpp"
 #include "core/report.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -53,6 +64,8 @@ struct Options {
   bool diagnose = false;
   std::string expose_path;
   std::string anomalies_path;
+  int sweep = 0;       ///< 0 = single run; N>0 = N derived-seed runs
+  unsigned jobs = 0;   ///< 0 = hardware concurrency
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -87,6 +100,10 @@ Options Parse(int argc, char** argv) {
       opt.expose_path = value;
     } else if (ParseFlag(arg, "anomalies", &value)) {
       opt.anomalies_path = value;
+    } else if (ParseFlag(arg, "sweep", &value)) {
+      opt.sweep = std::stoi(value);
+    } else if (ParseFlag(arg, "jobs", &value)) {
+      opt.jobs = static_cast<unsigned>(std::stoul(value));
     } else if (arg == "--diagnose") {
       opt.diagnose = true;
     } else if (arg == "--fading") {
@@ -96,7 +113,7 @@ Options Parse(int argc, char** argv) {
                    "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
                    "[--cross-mbps=X] [--fading] [--out=DIR] [--trace=FILE] "
                    "[--metrics=FILE] [--diagnose] [--expose=FILE] "
-                   "[--anomalies=FILE]\n";
+                   "[--anomalies=FILE] [--sweep=N] [--jobs=J]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -106,13 +123,9 @@ Options Parse(int argc, char** argv) {
   return opt;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = Parse(argc, argv);
-
+app::SessionConfig BuildConfig(const Options& opt, std::uint64_t seed) {
   app::SessionConfig config;
-  config.seed = opt.seed;
+  config.seed = seed;
   if (opt.access == "emulated") {
     config.access = app::SessionConfig::Access::kEmulated;
   } else if (opt.access == "wifi") {
@@ -121,7 +134,7 @@ int main(int argc, char** argv) {
     config.access = app::SessionConfig::Access::kLeoSat;
   } else if (opt.access != "5g") {
     std::cerr << "unknown access network: " << opt.access << '\n';
-    return 2;
+    std::exit(2);
   }
   if (opt.controller == "nada") {
     config.controller = app::SessionConfig::Controller::kNada;
@@ -131,7 +144,7 @@ int main(int argc, char** argv) {
     config.controller = app::SessionConfig::Controller::kL4s;
   } else if (opt.controller != "gcc") {
     std::cerr << "unknown controller: " << opt.controller << '\n';
-    return 2;
+    std::exit(2);
   }
   if (opt.fading) config.channel = ran::ChannelModel::FadingRadio();
   if (opt.cross_mbps > 0.0) {
@@ -140,7 +153,28 @@ int main(int argc, char** argv) {
     config.cross_modulation_sigma = 0.5;
     config.cell.cell_ul_capacity_bps = 25e6;
   }
+  return config;
+}
 
+/// "trace.json" + run 3 -> "trace.run3.json"; suffix-less paths just append.
+std::string RunPath(const std::string& path, std::size_t run_index, bool sweep) {
+  if (!sweep) return path;
+  const std::string tag = ".run" + std::to_string(run_index);
+  const auto dot = path.find_last_of('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + tag;
+  }
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+/// One complete session: build, run, export, report. All console output
+/// goes to the returned string so sweep runs can execute concurrently and
+/// still print in index order. Thread-safe because the obs globals are
+/// thread_local and everything else here is per-call state.
+std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
+                   bool sweep) {
+  std::ostringstream out;
   sim::Simulator simulator;
 
   // Observability: installed before the session is built so constructor-time
@@ -160,49 +194,47 @@ int main(int argc, char** argv) {
     observability = std::make_unique<obs::ObsSession>(simulator, obs_options);
   }
 
-  app::Session session{simulator, config};
-  std::cout << "running " << opt.duration_s << " s over " << opt.access << " with "
-            << opt.controller << " (seed " << opt.seed << ")...\n";
+  app::Session session{simulator, BuildConfig(opt, seed)};
+  out << "running " << opt.duration_s << " s over " << opt.access << " with "
+      << opt.controller << " (seed " << seed << ")...\n";
   session.Run(std::chrono::seconds{opt.duration_s});
 
   const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
 
+  auto write = [&](const std::string& path, auto&& writer) {
+    std::ofstream os{path};
+    if (!os) throw std::runtime_error("cannot write " + path);
+    writer(os);
+    out << "wrote " << path << '\n';
+  };
+
   if (observability) {
-    auto write = [&](const std::string& path, auto&& writer) {
-      std::ofstream os{path};
-      if (!os) {
-        std::cerr << "cannot write " << path << '\n';
-        std::exit(1);
-      }
-      writer(os);
-      std::cout << "wrote " << path << '\n';
-    };
     if (!opt.trace_path.empty()) {
-      write(opt.trace_path,
+      write(RunPath(opt.trace_path, run_index, sweep),
             [&](std::ostream& os) { observability->recorder().WriteJson(os); });
     }
     if (!opt.metrics_path.empty()) {
-      write(opt.metrics_path,
+      write(RunPath(opt.metrics_path, run_index, sweep),
             [&](std::ostream& os) { observability->registry().WriteCsv(os); });
     }
     if (!opt.expose_path.empty()) {
-      write(opt.expose_path, [&](std::ostream& os) {
+      write(RunPath(opt.expose_path, run_index, sweep), [&](std::ostream& os) {
         obs::live::WritePrometheus(os, observability->registry(),
                                    observability->live());
       });
     }
     if (!opt.anomalies_path.empty() && observability->live() != nullptr) {
-      write(opt.anomalies_path,
+      write(RunPath(opt.anomalies_path, run_index, sweep),
             [&](std::ostream& os) { observability->live()->log().WriteJsonl(os); });
     }
     if (opt.diagnose && observability->live() != nullptr) {
-      obs::live::HealthReport::Build(*observability->live()).Render(std::cout);
+      obs::live::HealthReport::Build(*observability->live()).Render(out);
     }
   }
 
   // --- the cross-layer report ---
   core::Report::Render(
-      std::cout,
+      out,
       core::Report::Inputs{
           .dataset = &data,
           .qoe = &session.qoe(),
@@ -213,26 +245,52 @@ int main(int argc, char** argv) {
 
   // --- CSV export ---
   if (!opt.out_dir.empty()) {
-    auto write = [&](const std::string& name, auto&& writer) {
-      const std::string path = opt.out_dir + "/" + name;
-      std::ofstream os{path};
-      if (!os) {
-        std::cerr << "cannot write " << path << " (does the directory exist?)\n";
-        std::exit(1);
-      }
-      writer(os);
-      std::cout << "wrote " << path << '\n';
+    auto write_csv = [&](const std::string& name, auto&& writer) {
+      write(opt.out_dir + "/" + RunPath(name, run_index, sweep), writer);
     };
-    write("packets.csv", [&](std::ostream& os) { core::CsvExport::Packets(os, data); });
-    write("frames.csv", [&](std::ostream& os) { core::CsvExport::Frames(os, data); });
+    write_csv("packets.csv",
+              [&](std::ostream& os) { core::CsvExport::Packets(os, data); });
+    write_csv("frames.csv",
+              [&](std::ostream& os) { core::CsvExport::Frames(os, data); });
     if (session.ran_uplink() != nullptr) {
-      write("telemetry.csv", [&](std::ostream& os) {
+      write_csv("telemetry.csv", [&](std::ostream& os) {
         core::CsvExport::Telemetry(os, session.ran_uplink()->telemetry());
       });
     }
-    write("capture_sender.csv", [&](std::ostream& os) {
+    write_csv("capture_sender.csv", [&](std::ostream& os) {
       core::CsvExport::Capture(os, session.sender_capture().records());
     });
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Parse(argc, argv);
+
+  try {
+    if (opt.sweep > 0) {
+      // Every run is a pure function of its index (seed derived from
+      // --seed), and outputs print in index order — so the sweep's output
+      // is byte-identical for --jobs=1 and --jobs=8.
+      const auto n = static_cast<std::size_t>(opt.sweep);
+      sim::ParallelRunner runner{opt.jobs};
+      std::cout << "sweep: " << n << " runs, " << runner.jobs() << " jobs, base seed "
+                << opt.seed << '\n';
+      const std::vector<std::string> outputs =
+          runner.Map<std::string>(n, [&](std::size_t i) {
+            return RunOne(opt, sim::DeriveSeed(opt.seed, i), i, /*sweep=*/true);
+          });
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        std::cout << "--- run " << i << " ---\n" << outputs[i];
+      }
+    } else {
+      std::cout << RunOne(opt, opt.seed, 0, /*sweep=*/false);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
   }
   return 0;
 }

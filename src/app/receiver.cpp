@@ -45,10 +45,11 @@ void VcaReceiver::Stop() {
 void VcaReceiver::OnPacket(const net::Packet& p) {
   if (!p.is_media()) return;
   ++packets_received_;
-  obs::CountInc("app.media_packets_received");
+  static thread_local obs::CachedCounter counter_media_packets_received{"app.media_packets_received"};
+  counter_media_packets_received.Inc();
   // Sampled counter: one point every 16 packets keeps the track readable.
   if (obs::trace_enabled() && packets_received_ % 16 == 0) {
-    obs::TraceCounter(obs::Layer::kApp, "app.recv_packets", sim_.Now(),
+    obs::TraceCounter(obs::Layer::kApp, obs::names::kAppRecvPackets, sim_.Now(),
                       static_cast<double>(packets_received_));
   }
   qoe_.OnPacketReceived(p, sim_.Now());

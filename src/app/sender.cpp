@@ -71,7 +71,7 @@ void VcaSender::SendUnit(const media::EncodedUnit& unit, rtp::Packetizer& packet
   if (qoe_) qoe_->OnUnitSent(unit);
   const auto packets = packetizer.Packetize(unit.unit, sim_.Now());
   obs::TraceInstant(obs::Layer::kApp,
-                    unit.unit.is_audio ? "audio.encoded" : "frame.encoded", sim_.Now(),
+                    unit.unit.is_audio ? obs::names::kAudioEncoded : obs::names::kFrameEncoded, sim_.Now(),
                     {{"frame", static_cast<double>(unit.unit.frame_id)},
                      {"bytes", static_cast<double>(unit.unit.payload_bytes)},
                      {"packets", static_cast<double>(packets.size())}});
@@ -86,7 +86,8 @@ void VcaSender::SendUnit(const media::EncodedUnit& unit, rtp::Packetizer& packet
       outbound_(p);
     }
   }
-  obs::CountInc("app.media_packets_sent", packets.size());
+  static thread_local obs::CachedCounter counter_media_packets_sent{"app.media_packets_sent"};
+  counter_media_packets_sent.Inc(packets.size());
 }
 
 void VcaSender::OnFeedbackPacket(const net::Packet& p) {
@@ -104,15 +105,17 @@ void VcaSender::OnFeedbackPacket(const net::Packet& p) {
       twcc_.OnPacketSent(rtx, sim_.Now());
       controller_->OnPacketSent(rtx, sim_.Now());
       ++retransmissions_;
-      obs::CountInc("app.retransmissions");
-      obs::TraceInstant(obs::Layer::kApp, "rtx.sent", sim_.Now(),
+      static thread_local obs::CachedCounter counter_retransmissions{"app.retransmissions"};
+      counter_retransmissions.Inc();
+      obs::TraceInstant(obs::Layer::kApp, obs::names::kRtxSent, sim_.Now(),
                         {{"seq", static_cast<double>(seq)}});
       if (outbound_) outbound_(rtx);
     }
   }
   if (!p.feedback) return;
   ++feedback_received_;
-  obs::CountInc("app.feedback_received");
+  static thread_local obs::CachedCounter counter_feedback_received{"app.feedback_received"};
+  counter_feedback_received.Inc();
   const auto reports = twcc_.OnFeedback(p);
   if (reports.empty()) return;
 

@@ -49,7 +49,7 @@ double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimeP
           prev_usage_ != BandwidthUsage::kOverusing) {
         ++overuse_events_;
         obs::CountInc("cc.overuse_events");
-        obs::TraceInstant(obs::Layer::kCc, "cc.overuse", r.recv_ts,
+        obs::TraceInstant(obs::Layer::kCc, obs::names::kCcOveruse, r.recv_ts,
                           {{"trend_ms", trendline_.modified_trend_ms()},
                            {"threshold_ms", trendline_.threshold_ms()}});
       }
@@ -83,8 +83,8 @@ double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimeP
 
   obs::CountInc("cc.feedback_batches");
   if (obs::trace_enabled()) {
-    obs::TraceCounter(obs::Layer::kCc, "cc.target_bps", now, target_bps());
-    obs::TraceCounter(obs::Layer::kCc, "cc.trend_ms", now,
+    obs::TraceCounter(obs::Layer::kCc, obs::names::kCcTargetBps, now, target_bps());
+    obs::TraceCounter(obs::Layer::kCc, obs::names::kCcTrendMs, now,
                       trendline_.modified_trend_ms());
   }
   obs::SetGauge("cc.target_bps", target_bps());

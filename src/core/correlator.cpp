@@ -197,7 +197,7 @@ CrossLayerDataset Correlator::Correlate(const CorrelatorInput& input) {
     // UE send to core arrival, annotated with the delay decomposition.
     if (obs::trace_enabled() && r.reached_core &&
         (r.kind == net::PacketKind::kRtpVideo || r.kind == net::PacketKind::kRtpAudio)) {
-      obs::TraceAsyncSpan(obs::Layer::kCore, "pkt.uplink", r.packet_id, r.sent_at,
+      obs::TraceAsyncSpan(obs::Layer::kCore, obs::names::kPktUplink, r.packet_id, r.sent_at,
                           r.core_at,
                           {{"wait_ms", sim::ToMs(r.sched_wait)},
                            {"spread_ms", sim::ToMs(r.transmission_spread)},

@@ -132,10 +132,14 @@ void JitterBuffer::OnFrameComplete(std::uint64_t frame_id, const PendingFrame& f
   ++frames_rendered_;
   if (late) ++frames_late_;
 
-  obs::CountInc("media.frames_rendered");
-  if (late) obs::CountInc("media.frames_late");
+  static thread_local obs::CachedCounter counter_frames_rendered{"media.frames_rendered"};
+  counter_frames_rendered.Inc();
+  if (late) {
+    static thread_local obs::CachedCounter counter_frames_late{"media.frames_late"};
+    counter_frames_late.Inc();
+  }
   // The frame's jitter-buffer residency: first packet in → scheduled render.
-  obs::TraceAsyncSpan(obs::Layer::kMedia, frame.is_audio ? "sample.jb" : "frame.jb",
+  obs::TraceAsyncSpan(obs::Layer::kMedia, frame.is_audio ? obs::names::kSampleJb : obs::names::kFrameJb,
                       frame_id, frame.first_packet_at, target,
                       {{"late", late ? 1.0 : 0.0},
                        {"bytes", static_cast<double>(frame.payload_bytes)},
@@ -152,7 +156,8 @@ void JitterBuffer::GarbageCollect() {
     if (now - it->second.first_packet_at > config_.stale_frame_timeout) {
       it = pending_.erase(it);
       ++frames_abandoned_;
-      obs::CountInc("media.frames_abandoned");
+      static thread_local obs::CachedCounter counter_frames_abandoned{"media.frames_abandoned"};
+      counter_frames_abandoned.Inc();
     } else {
       ++it;
     }

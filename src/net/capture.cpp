@@ -20,11 +20,12 @@ void CapturePoint::OnPacket(const Packet& p) {
   if (obs::trace_enabled()) {
     // One instant per tap, named after the capture point (Fig. 2 ①–④),
     // so a packet's journey reads as a row of dots across the net track.
-    obs::TraceInstant(obs::Layer::kNet, name_, now,
+    obs::TraceInstant(obs::Layer::kNet, trace_name_, now,
                       {{"packet", static_cast<double>(p.id)},
                        {"bytes", static_cast<double>(p.size_bytes)}});
   }
-  obs::CountInc("net.captured");
+  static thread_local obs::CachedCounter counter_captured{"net.captured"};
+  counter_captured.Inc();
   if (sink_) sink_(p);
 }
 

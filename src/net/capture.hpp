@@ -11,6 +11,7 @@
 
 #include "net/clock.hpp"
 #include "net/packet.hpp"
+#include "obs/trace_names.hpp"
 #include "sim/simulator.hpp"
 
 namespace athena::net {
@@ -29,7 +30,7 @@ struct CaptureRecord {
 class CapturePoint {
  public:
   CapturePoint(sim::Simulator& sim, std::string name, HostClock clock = {})
-      : sim_(sim), name_(std::move(name)), clock_(clock) {}
+      : sim_(sim), name_(std::move(name)), trace_name_(name_), clock_(clock) {}
 
   /// Records the packet and forwards it to the downstream handler (if any).
   void OnPacket(const Packet& p);
@@ -52,6 +53,7 @@ class CapturePoint {
  private:
   sim::Simulator& sim_;
   std::string name_;
+  obs::TraceName trace_name_;  ///< `name_` interned once, not per packet
   HostClock clock_;
   PacketHandler sink_;
   std::vector<CaptureRecord> records_;

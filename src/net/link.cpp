@@ -14,7 +14,8 @@ FixedDelayLink::FixedDelayLink(sim::Simulator& sim, Config config, sim::Rng rng)
 void FixedDelayLink::Send(const Packet& p) {
   if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
     ++dropped_;
-    obs::CountInc("net.wire_dropped");
+    static thread_local obs::CachedCounter counter_wire_dropped{"net.wire_dropped"};
+    counter_wire_dropped.Inc();
     return;
   }
   sim::Duration delay = config_.delay;
@@ -31,8 +32,9 @@ void FixedDelayLink::Send(const Packet& p) {
   last_delivery_ = deliver_at;
   sim_.ScheduleAt(deliver_at, [this, p, sent_at] {
     ++delivered_;
-    obs::CountInc("net.wire_delivered");
-    obs::TraceAsyncSpan(obs::Layer::kNet, "pkt.hop", p.id, sent_at, sim_.Now(),
+    static thread_local obs::CachedCounter counter_wire_delivered{"net.wire_delivered"};
+    counter_wire_delivered.Inc();
+    obs::TraceAsyncSpan(obs::Layer::kNet, obs::names::kPktHop, p.id, sent_at, sim_.Now(),
                         {{"bytes", static_cast<double>(p.size_bytes)}});
     if (sink_) sink_(p);
   });
@@ -44,13 +46,14 @@ RateLimitedLink::RateLimitedLink(sim::Simulator& sim, Config config)
 void RateLimitedLink::Send(const Packet& p) {
   if (queue_.size() >= config_.max_queue_packets) {
     ++dropped_;
-    obs::CountInc("net.link_dropped");
-    obs::TraceInstant(obs::Layer::kNet, "link.drop", sim_.Now(),
+    static thread_local obs::CachedCounter counter_link_dropped{"net.link_dropped"};
+    counter_link_dropped.Inc();
+    obs::TraceInstant(obs::Layer::kNet, obs::names::kLinkDrop, sim_.Now(),
                       {{"packet", static_cast<double>(p.id)}});
     return;
   }
   queue_.push_back(p);
-  obs::TraceCounter(obs::Layer::kNet, "net.link_queue", sim_.Now(),
+  obs::TraceCounter(obs::Layer::kNet, obs::names::kNetLinkQueue, sim_.Now(),
                     static_cast<double>(queue_depth()));
   StartServiceIfIdle();
 }
@@ -65,7 +68,7 @@ void RateLimitedLink::ServeHead() {
   assert(busy_);
   if (queue_.empty()) {
     busy_ = false;
-    obs::TraceCounter(obs::Layer::kNet, "net.link_queue", sim_.Now(), 0.0);
+    obs::TraceCounter(obs::Layer::kNet, obs::names::kNetLinkQueue, sim_.Now(), 0.0);
     return;
   }
   const Packet p = queue_.front();
@@ -81,13 +84,14 @@ void RateLimitedLink::ServeHead() {
   const double tx_seconds = static_cast<double>(p.size_bytes) * 8.0 / bps;
   const auto tx = sim::FromSeconds(tx_seconds);
   // Service times are serialized by busy_, so a plain complete span is safe.
-  obs::TraceSpan(obs::Layer::kNet, "link.tx", sim_.Now(), sim_.Now() + tx,
+  obs::TraceSpan(obs::Layer::kNet, obs::names::kLinkTx, sim_.Now(), sim_.Now() + tx,
                  {{"packet", static_cast<double>(p.id)},
                   {"bytes", static_cast<double>(p.size_bytes)}});
   sim_.ScheduleAfter(tx, [this, p] {
     sim_.ScheduleAfter(config_.propagation, [this, p] {
       ++delivered_;
-      obs::CountInc("net.link_delivered");
+      static thread_local obs::CachedCounter counter_link_delivered{"net.link_delivered"};
+      counter_link_delivered.Inc();
       if (sink_) sink_(p);
     });
     ServeHead();

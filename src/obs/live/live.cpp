@@ -7,11 +7,38 @@ LiveEngine::LiveEngine(Options options)
   bank_.set_on_anomaly([this](const AnomalyEvent& e) { log_.PushAnomaly(e); });
 }
 
+namespace {
+
+/// The only async spans the decoder acts on. Everything else (packet
+/// transits on the wired hops, sim bookkeeping, ...) is rejected before
+/// the 128-byte pending-begin copy — async begins dominate a stressed
+/// session's event stream.
+bool DecodedSpan(const TraceEvent& event) {
+  switch (event.layer) {
+    case Layer::kRan:
+      return event.name == names::kRanTransit.id ||
+             event.name == names::kHarqChain.id;
+    case Layer::kMedia:
+      return event.name == names::kFrameJb.id ||
+             event.name == names::kSampleJb.id;
+    case Layer::kCore:
+      return event.name == names::kPktUplink.id;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void LiveEngine::Emit(const TraceEvent& event) {
+  // All name checks are integer compares against the pre-interned ids in
+  // obs::names — the streaming decode path never touches strings.
   switch (event.phase) {
     case TraceEvent::Phase::kAsyncBegin:
-      pending_begin_ = event;
-      have_pending_ = true;
+      if (DecodedSpan(event)) {
+        pending_begin_ = event;
+        have_pending_ = true;
+      }
       return;
 
     case TraceEvent::Phase::kAsyncEnd:
@@ -24,7 +51,7 @@ void LiveEngine::Emit(const TraceEvent& event) {
 
     case TraceEvent::Phase::kInstant:
       if (event.layer == Layer::kRan &&
-          (event.name == "tb.tx" || event.name == "tb.rtx")) {
+          (event.name == names::kTbTx.id || event.name == names::kTbRtx.id)) {
         bank_.OnTb(TbObservation{
             .slot_time = event.ts,
             .tbs_bytes = static_cast<std::uint32_t>(event.Arg("tbs")),
@@ -33,16 +60,16 @@ void LiveEngine::Emit(const TraceEvent& event) {
             .crc_ok = event.Arg("crc_ok") != 0.0,
             .requested_grant = event.Arg("grant") != 0.0,
         });
-      } else if (event.layer == Layer::kCc && event.name == "cc.overuse") {
+      } else if (event.layer == Layer::kCc && event.name == names::kCcOveruse.id) {
         ++overuse_events_;
         bank_.OnOveruse(OveruseObservation{event.ts, event.Arg("trend_ms")});
-      } else if (event.layer == Layer::kNet && event.name == "link.drop") {
+      } else if (event.layer == Layer::kNet && event.name == names::kLinkDrop.id) {
         ++link_drops_;
       }
       return;
 
     case TraceEvent::Phase::kCounter:
-      if (event.layer == Layer::kRan && event.name == "ran.rlc_bytes") {
+      if (event.layer == Layer::kRan && event.name == names::kRanRlcBytes.id) {
         bank_.OnBacklog(BacklogSample{event.ts, event.Arg("value")});
       }
       return;
@@ -53,7 +80,7 @@ void LiveEngine::Emit(const TraceEvent& event) {
 }
 
 void LiveEngine::OnSpan(const TraceEvent& begin, const TraceEvent& end) {
-  if (begin.layer == Layer::kRan && begin.name == "ran.transit") {
+  if (begin.layer == Layer::kRan && begin.name == names::kRanTransit.id) {
     ++deliveries_;
     bank_.OnDelivery(Delivery{
         .packet_id = begin.id,
@@ -61,7 +88,7 @@ void LiveEngine::OnSpan(const TraceEvent& begin, const TraceEvent& end) {
         .delivered_at = end.ts,
         .bytes = static_cast<std::uint32_t>(begin.Arg("bytes")),
     });
-  } else if (begin.layer == Layer::kRan && begin.name == "harq.chain") {
+  } else if (begin.layer == Layer::kRan && begin.name == names::kHarqChain.id) {
     bank_.OnHarqChain(HarqChainObservation{
         .first_tx = begin.ts,
         .done = end.ts,
@@ -69,16 +96,16 @@ void LiveEngine::OnSpan(const TraceEvent& begin, const TraceEvent& end) {
         .dropped = begin.Arg("dropped") != 0.0,
     });
   } else if (begin.layer == Layer::kMedia &&
-             (begin.name == "frame.jb" || begin.name == "sample.jb")) {
+             (begin.name == names::kFrameJb.id || begin.name == names::kSampleJb.id)) {
     ++frames_rendered_;
     if (begin.Arg("late") != 0.0) ++frames_late_;
-  } else if (begin.layer == Layer::kCore && begin.name == "pkt.uplink") {
+  } else if (begin.layer == Layer::kCore && begin.name == names::kPktUplink.id) {
     const auto cause = static_cast<std::size_t>(begin.Arg("cause"));
     if (cause < core_causes_.size()) ++core_causes_[cause];
   }
 
   if (options_.log_span_every > 0 && ++span_counter_ % options_.log_span_every == 0) {
-    log_.PushSpan(begin.layer, begin.name, end.ts, sim::ToMs(end.ts - begin.ts));
+    log_.PushSpan(begin.layer, begin.name_text(), end.ts, sim::ToMs(end.ts - begin.ts));
   }
 }
 

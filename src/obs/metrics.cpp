@@ -1,8 +1,18 @@
 #include "obs/metrics.hpp"
 
+#include <atomic>
 #include <ostream>
 
 namespace athena::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_epoch{0};
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : epoch_(g_next_registry_epoch.fetch_add(1, std::memory_order_relaxed) + 1) {}
 
 namespace {
 
@@ -21,7 +31,7 @@ auto& FindOrCreate(Map& map, std::string_view name, Args&&... args) {
 }  // namespace
 
 std::uint64_t& MetricsRegistry::Counter(std::string_view name) {
-  return FindOrCreate(counters_, name, 0);
+  return FindOrCreate(counters_, name, std::uint64_t{0});
 }
 
 double& MetricsRegistry::Gauge(std::string_view name) {

@@ -3,7 +3,7 @@
 // components publish into, snapshotted on a periodic virtual-time grid
 // and exportable to CSV (long form: one row per sample) and JSON.
 //
-// Like tracing (obs/trace.hpp), metrics are off by default: a global
+// Like tracing (obs/trace.hpp), metrics are off by default: a per-thread
 // registry pointer, null unless a tool installs one, and inline helpers
 // that cost one branch when disabled.
 #pragma once
@@ -25,9 +25,13 @@ namespace athena::obs {
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-unique instance id. CachedCounter uses it to detect that a
+  /// registry at a recycled address is not the one it resolved against.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   /// Find-or-create. References remain valid for the registry's lifetime
   /// (node-based map), so hot components may cache them.
@@ -82,6 +86,7 @@ class MetricsRegistry {
     double value = 0.0;
   };
 
+  std::uint64_t epoch_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, stats::RunningStats, std::less<>> stats_;
@@ -91,7 +96,10 @@ class MetricsRegistry {
 };
 
 namespace detail {
-inline MetricsRegistry* g_metrics = nullptr;
+/// Thread-local for the same reason as the trace sink (obs/trace.hpp):
+/// concurrent sweep runs each install their own registry on their worker
+/// thread and never contend or cross-pollinate.
+inline thread_local MetricsRegistry* g_metrics = nullptr;
 }  // namespace detail
 
 [[nodiscard]] inline MetricsRegistry* metrics() { return detail::g_metrics; }
@@ -107,6 +115,39 @@ inline MetricsRegistry* set_metrics(MetricsRegistry* registry) {
 inline void CountInc(std::string_view name, std::uint64_t n = 1) {
   if (MetricsRegistry* m = detail::g_metrics) m->Counter(name) += n;
 }
+
+/// Per-thread memoized resolution of one hot counter: after the first
+/// increment against a given registry, each Inc is a pointer/epoch check
+/// plus an add — no map lookup. Declare at the callsite as
+///
+///   static thread_local obs::CachedCounter counter{"net.captured"};
+///   counter.Inc();
+///
+/// `thread_local` (not plain `static`) is required: under
+/// sim::ParallelRunner each worker thread has its own installed registry,
+/// and the cache must follow it. The epoch check catches a new registry
+/// allocated at a recycled address.
+class CachedCounter {
+ public:
+  explicit CachedCounter(const char* name) : name_(name) {}
+
+  void Inc(std::uint64_t n = 1) {
+    MetricsRegistry* m = detail::g_metrics;
+    if (m == nullptr) return;
+    if (m != registry_ || m->epoch() != epoch_) {
+      registry_ = m;
+      epoch_ = m->epoch();
+      value_ = &m->Counter(name_);
+    }
+    *value_ += n;
+  }
+
+ private:
+  const char* name_;
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t* value_ = nullptr;
+};
 
 /// Set a gauge in the installed registry (no-op when disabled).
 inline void SetGauge(std::string_view name, double value) {

@@ -37,12 +37,12 @@ class SimObsBridge final : public sim::SimHooks {
     if (queue_sample_every_ == 0) return;
     if (++events_since_sample_ < queue_sample_every_) return;
     events_since_sample_ = 0;
-    TraceCounter(Layer::kSim, "sim.queue_depth", t, static_cast<double>(queue_depth));
+    TraceCounter(Layer::kSim, names::kSimQueueDepth, t, static_cast<double>(queue_depth));
   }
 
   void OnRunCompleted(sim::TimePoint begin, sim::TimePoint end,
                       std::uint64_t events) override {
-    TraceSpan(Layer::kSim, "sim.run", begin, end,
+    TraceSpan(Layer::kSim, names::kSimRun, begin, end,
               {{"events", static_cast<double>(events)}});
     SetGauge("sim.events_executed", static_cast<double>(sim_.events_executed()));
     SetGauge("sim.queue_depth", static_cast<double>(sim_.queue_depth()));

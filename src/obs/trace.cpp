@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <unordered_map>
 
 namespace athena::obs {
 
@@ -72,26 +73,43 @@ void WriteNumber(std::ostream& os, double v) {
   }
 }
 
+/// Resolves each distinct interned id once per export, not per event.
+class NameCache {
+ public:
+  const std::string& Resolve(NameId id) {
+    auto [it, inserted] = cache_.try_emplace(id);
+    if (inserted) it->second = TraceNameRegistry::Instance().NameOf(id);
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<NameId, std::string> cache_;
+};
+
 }  // namespace
 
 std::size_t TraceRecorder::CountLayer(Layer layer) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(),
-                    [layer](const TraceEvent& e) { return e.layer == layer; }));
+  std::size_t n = 0;
+  ForEach([&](const TraceEvent& e) {
+    if (e.layer == layer) ++n;
+  });
+  return n;
 }
 
 void TraceRecorder::WriteJson(std::ostream& os) const {
   // Stable sort by timestamp: chrome://tracing requires ascending ts, and
   // async pairs emitted at completion time land back where they began.
   std::vector<const TraceEvent*> sorted;
-  sorted.reserve(events_.size());
+  sorted.reserve(size_);
   bool layer_used[kLayerCount] = {};
-  for (const TraceEvent& e : events_) {
+  ForEach([&](const TraceEvent& e) {
     sorted.push_back(&e);
     layer_used[static_cast<std::size_t>(e.layer)] = true;
-  }
+  });
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const TraceEvent* a, const TraceEvent* b) { return a->ts < b->ts; });
+
+  NameCache names;
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
@@ -108,7 +126,7 @@ void TraceRecorder::WriteJson(std::ostream& os) const {
     const TraceEvent& e = *ep;
     const auto tid = static_cast<std::size_t>(e.layer) + 1;
     os << ",\n{\"name\":\"";
-    WriteEscaped(os, e.name);
+    WriteEscaped(os, names.Resolve(e.name));
     os << "\",\"cat\":\"" << ToString(e.layer) << "\",\"ph\":\""
        << static_cast<char>(e.phase) << "\",\"pid\":1,\"tid\":" << tid
        << ",\"ts\":" << e.ts.us();

@@ -4,17 +4,22 @@
 // to the framework itself.
 //
 // Design rules:
-//  - One global `TraceSink*`, null by default. Every emit helper is an
+//  - One `TraceSink*` per thread, null by default. Every emit helper is an
 //    inline function whose first instruction is a null check, so with
 //    tracing disabled the instrumentation costs one predictable branch
 //    and existing behaviour is untouched (no RNG draws, no scheduling).
-//  - Events carry virtual time (`sim::TimePoint`), one track (`Layer`)
-//    per subsystem, and a handful of numeric args.
+//    The sink pointer is thread-local so concurrent simulations (see
+//    sim::ParallelRunner) each trace into their own sink.
+//  - A `TraceEvent` is a fixed-size, trivially-copyable record: names are
+//    interned 32-bit ids (obs/trace_names.hpp), so emitting never touches
+//    the heap. Events carry virtual time (`sim::TimePoint`), one track
+//    (`Layer`) per subsystem, and a handful of numeric args.
 //  - Interval events that may overlap on a track (packet transits, HARQ
 //    chains, frame lifecycles) are emitted as *async* begin/end pairs
 //    keyed by an id, and always as a completed pair (`TraceAsyncSpan`),
 //    so a recorded trace never contains an unbalanced span.
-//  - `TraceRecorder` buffers events and serializes Chrome trace-event
+//  - `TraceRecorder` buffers events in chunked block storage (no huge
+//    reallocation-and-copy spikes) and serializes Chrome trace-event
 //    JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 #pragma once
 
@@ -22,10 +27,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_names.hpp"
 #include "sim/time.hpp"
 
 namespace athena::obs {
@@ -37,10 +44,13 @@ inline constexpr std::size_t kLayerCount = 8;
 [[nodiscard]] const char* ToString(Layer layer);
 
 /// A numeric key/value attached to an event. Keys must be string
-/// literals (or otherwise outlive the sink).
+/// literals (or otherwise outlive the sink). Deliberately no default
+/// member initializers: TraceEvent leaves unused arg slots
+/// uninitialized so the emit path never pays a 96-byte clear, and
+/// every reader is bounded by `arg_count`.
 struct TraceArg {
-  const char* key = "";
-  double value = 0.0;
+  const char* key;
+  double value;
 };
 
 struct TraceEvent {
@@ -56,21 +66,38 @@ struct TraceEvent {
 
   Phase phase = Phase::kInstant;
   Layer layer = Layer::kOther;
-  std::string name;
+  std::uint8_t arg_count = 0;
+  NameId name = kEmptyNameId;  ///< interned (obs/trace_names.hpp)
   sim::TimePoint ts;
   sim::Duration dur{0};   ///< kComplete only
   std::uint64_t id = 0;   ///< async-pair key (packet id, chain id, frame id)
-  std::array<TraceArg, 6> args{};
-  std::size_t arg_count = 0;
+  std::array<TraceArg, 6> args;  ///< only [0, arg_count) are initialized
 
-  /// Value of the arg named `key`, or `fallback` when absent.
-  [[nodiscard]] double Arg(std::string_view key, double fallback = 0.0) const {
+  /// Value of the arg named `key`, or `fallback` when absent. `key` must
+  /// be a string literal: identical literals are usually pooled by the
+  /// linker, so the first pass is pointer compares (the streaming-decode
+  /// hot path); the content-compare pass keeps lookups correct when the
+  /// emit site's literal lives in another binary region.
+  [[nodiscard]] double Arg(const char* key, double fallback = 0.0) const {
     for (std::size_t i = 0; i < arg_count; ++i) {
-      if (key == args[i].key) return args[i].value;
+      if (args[i].key == key) return args[i].value;
+    }
+    const std::string_view want{key};
+    for (std::size_t i = 0; i < arg_count; ++i) {
+      if (want == args[i].key) return args[i].value;
     }
     return fallback;
   }
+
+  /// Resolves the interned name (serialization/tests; not the hot path).
+  [[nodiscard]] std::string name_text() const {
+    return TraceNameRegistry::Instance().NameOf(name);
+  }
 };
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay a POD-ish record: the recorder relies on "
+              "memcpy-cheap appends and the emit path on zero allocation");
 
 /// Where trace events go. Implementations must tolerate events arriving
 /// out of timestamp order (async pairs are emitted at completion time).
@@ -81,8 +108,11 @@ class TraceSink {
 };
 
 namespace detail {
-/// The process-global sink. Null = tracing disabled (the default).
-inline TraceSink* g_trace_sink = nullptr;
+/// The per-thread sink. Null = tracing disabled (the default). Thread-
+/// local so concurrent simulations compose: each sim::ParallelRunner
+/// worker installs its run's sink on its own thread and never sees
+/// another run's events.
+inline thread_local TraceSink* g_trace_sink = nullptr;
 
 inline void FillArgs(TraceEvent& e, std::initializer_list<TraceArg> args) {
   for (const TraceArg& a : args) {
@@ -95,8 +125,8 @@ inline void FillArgs(TraceEvent& e, std::initializer_list<TraceArg> args) {
 [[nodiscard]] inline TraceSink* trace_sink() { return detail::g_trace_sink; }
 [[nodiscard]] inline bool trace_enabled() { return detail::g_trace_sink != nullptr; }
 
-/// Installs `sink` as the global trace sink (null disables tracing).
-/// Returns the previous sink so scopes can restore it.
+/// Installs `sink` as the calling thread's trace sink (null disables
+/// tracing). Returns the previous sink so scopes can restore it.
 inline TraceSink* set_trace_sink(TraceSink* sink) {
   TraceSink* prev = detail::g_trace_sink;
   detail::g_trace_sink = sink;
@@ -107,14 +137,14 @@ inline TraceSink* set_trace_sink(TraceSink* sink) {
 /// intervals that cannot overlap others of the same track (e.g. the
 /// serialized service times of a FIFO link, or a Run* call of the sim
 /// kernel); overlapping intervals must use TraceAsyncSpan.
-inline void TraceSpan(Layer layer, std::string_view name, sim::TimePoint begin,
+inline void TraceSpan(Layer layer, TraceName name, sim::TimePoint begin,
                       sim::TimePoint end, std::initializer_list<TraceArg> args = {}) {
   TraceSink* sink = detail::g_trace_sink;
   if (sink == nullptr) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kComplete;
   e.layer = layer;
-  e.name = name;
+  e.name = name.id;
   e.ts = begin;
   e.dur = end - begin;
   detail::FillArgs(e, args);
@@ -123,7 +153,7 @@ inline void TraceSpan(Layer layer, std::string_view name, sim::TimePoint begin,
 
 /// An async (possibly overlapping) span keyed by `id`, emitted as a
 /// balanced begin/end pair at completion time.
-inline void TraceAsyncSpan(Layer layer, std::string_view name, std::uint64_t id,
+inline void TraceAsyncSpan(Layer layer, TraceName name, std::uint64_t id,
                            sim::TimePoint begin, sim::TimePoint end,
                            std::initializer_list<TraceArg> args = {}) {
   TraceSink* sink = detail::g_trace_sink;
@@ -131,7 +161,7 @@ inline void TraceAsyncSpan(Layer layer, std::string_view name, std::uint64_t id,
   TraceEvent b;
   b.phase = TraceEvent::Phase::kAsyncBegin;
   b.layer = layer;
-  b.name = name;
+  b.name = name.id;
   b.ts = begin;
   b.id = id;
   detail::FillArgs(b, args);
@@ -139,35 +169,35 @@ inline void TraceAsyncSpan(Layer layer, std::string_view name, std::uint64_t id,
   TraceEvent e;
   e.phase = TraceEvent::Phase::kAsyncEnd;
   e.layer = layer;
-  e.name = name;
+  e.name = name.id;
   e.ts = end < begin ? begin : end;
   e.id = id;
   sink->Emit(e);
 }
 
 /// A zero-duration marker on `layer`'s track.
-inline void TraceInstant(Layer layer, std::string_view name, sim::TimePoint t,
+inline void TraceInstant(Layer layer, TraceName name, sim::TimePoint t,
                          std::initializer_list<TraceArg> args = {}) {
   TraceSink* sink = detail::g_trace_sink;
   if (sink == nullptr) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kInstant;
   e.layer = layer;
-  e.name = name;
+  e.name = name.id;
   e.ts = t;
   detail::FillArgs(e, args);
   sink->Emit(e);
 }
 
 /// A sampled counter series (rendered as a graph track).
-inline void TraceCounter(Layer layer, std::string_view name, sim::TimePoint t,
+inline void TraceCounter(Layer layer, TraceName name, sim::TimePoint t,
                          double value) {
   TraceSink* sink = detail::g_trace_sink;
   if (sink == nullptr) return;
   TraceEvent e;
   e.phase = TraceEvent::Phase::kCounter;
   e.layer = layer;
-  e.name = name;
+  e.name = name.id;
   e.ts = t;
   e.args[0] = TraceArg{"value", value};
   e.arg_count = 1;
@@ -176,13 +206,31 @@ inline void TraceCounter(Layer layer, std::string_view name, sim::TimePoint t,
 
 /// Buffers events in memory and serializes them as Chrome trace-event
 /// JSON (`{"traceEvents": [...]}`), with one named track per Layer.
+/// Storage is chunked: appending never copies already-buffered events,
+/// so emit cost stays flat no matter how large the trace grows.
 class TraceRecorder final : public TraceSink {
  public:
-  void Emit(const TraceEvent& event) override { events_.push_back(event); }
+  void Emit(const TraceEvent& event) override {
+    if (chunk_pos_ == kChunkSize) NewChunk();
+    chunks_.back()[chunk_pos_++] = event;
+    ++size_;
+  }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void Clear() {
+    chunks_.clear();
+    chunk_pos_ = kChunkSize;
+    size_ = 0;
+  }
+
+  /// Visits every buffered event in emit order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      const std::size_t n = c + 1 == chunks_.size() ? chunk_pos_ : kChunkSize;
+      for (std::size_t i = 0; i < n; ++i) fn(chunks_[c][i]);
+    }
+  }
 
   /// Number of events on a given layer's track (test/report helper).
   [[nodiscard]] std::size_t CountLayer(Layer layer) const;
@@ -192,7 +240,29 @@ class TraceRecorder final : public TraceSink {
   void WriteJson(std::ostream& os) const;
 
  private:
-  std::vector<TraceEvent> events_;
+  // 256 events × 128 B = 32 KiB per chunk: comfortably below malloc's
+  // mmap threshold, so chunk storage is recycled heap memory instead of
+  // fresh mmap'd pages whose first-touch soft faults would dominate the
+  // emit cost.
+  static constexpr std::size_t kChunkSize = 256;
+
+  // Chunks are heap arrays reached through a small vector of owners; the
+  // vector's growth only moves pointers, never buffered events.
+  struct ChunkHolder {
+    ChunkHolder() : data(new TraceEvent[kChunkSize]) {}
+    std::unique_ptr<TraceEvent[]> data;
+    TraceEvent& operator[](std::size_t i) { return data[i]; }
+    const TraceEvent& operator[](std::size_t i) const { return data[i]; }
+  };
+
+  void NewChunk() {
+    chunks_.emplace_back();
+    chunk_pos_ = 0;
+  }
+
+  std::vector<ChunkHolder> chunks_;
+  std::size_t chunk_pos_ = kChunkSize;  // forces a chunk on first Emit
+  std::size_t size_ = 0;
 };
 
 /// Forwards every event to a small list of sinks, so independent
@@ -214,8 +284,8 @@ class TraceFanout final : public TraceSink {
   std::vector<TraceSink*> sinks_;
 };
 
-/// RAII: installs a sink for the current scope, restores the previous
-/// one on exit. Tests and tools use this so no global state leaks.
+/// RAII: installs a sink for the current scope (and thread), restores
+/// the previous one on exit. Tests and tools use this so no state leaks.
 class ScopedTraceSink {
  public:
   explicit ScopedTraceSink(TraceSink* sink) : prev_(set_trace_sink(sink)) {}

@@ -1,0 +1,49 @@
+#include "obs/trace_names.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace athena::obs {
+
+struct TraceNameRegistry::Impl {
+  mutable std::mutex mu;
+  // Keys view into `texts`, whose elements are never moved (deque).
+  std::unordered_map<std::string_view, NameId> index;
+  std::deque<std::string> texts;
+};
+
+TraceNameRegistry::TraceNameRegistry() : impl_(new Impl) {
+  impl_->texts.emplace_back();  // id 0 = ""
+  impl_->index.emplace(impl_->texts.back(), kEmptyNameId);
+}
+
+TraceNameRegistry& TraceNameRegistry::Instance() {
+  // Leaked on purpose: trace emitters in static destructors must still
+  // find a live registry.
+  static TraceNameRegistry* const registry = new TraceNameRegistry;
+  return *registry;
+}
+
+NameId TraceNameRegistry::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->index.find(name);
+  if (it != impl_->index.end()) return it->second;
+  const auto id = static_cast<NameId>(impl_->texts.size());
+  impl_->texts.emplace_back(name);
+  impl_->index.emplace(impl_->texts.back(), id);
+  return id;
+}
+
+std::string TraceNameRegistry::NameOf(NameId id) const {
+  std::lock_guard<std::mutex> lock{impl_->mu};
+  if (id >= impl_->texts.size()) return {};
+  return impl_->texts[id];
+}
+
+std::size_t TraceNameRegistry::size() const {
+  std::lock_guard<std::mutex> lock{impl_->mu};
+  return impl_->texts.size();
+}
+
+}  // namespace athena::obs

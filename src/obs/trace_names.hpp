@@ -1,0 +1,93 @@
+// Interned trace-event names.
+//
+// `TraceEvent` stores a 32-bit `NameId` instead of a `std::string`, which
+// keeps the event a fixed-size trivially-copyable record and makes the
+// emit hot path allocation-free. Names are interned once — at static
+// initialization for the literals below, or at component construction for
+// runtime names (e.g. capture-point labels) — and resolved back to text
+// only at serialization time.
+//
+// Every name the stack emits is listed in `obs::names`; instrumented
+// call sites reference those constants so the per-emit cost is a single
+// 32-bit load. See docs/EXTENDING.md for how to register a new name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace athena::obs {
+
+using NameId = std::uint32_t;
+
+/// Id 0 is the empty name, pre-interned so a default TraceEvent is valid.
+inline constexpr NameId kEmptyNameId = 0;
+
+/// Process-global name table. Interning is thread-safe (sweep runs may
+/// intern runtime names concurrently); ids are dense and never reused.
+class TraceNameRegistry {
+ public:
+  static TraceNameRegistry& Instance();
+
+  /// Find-or-add. Copies `name` into registry-owned storage, so callers
+  /// may pass transient strings.
+  NameId Intern(std::string_view name);
+
+  /// Text of an interned id ("" for kEmptyNameId or unknown ids).
+  [[nodiscard]] std::string NameOf(NameId id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  TraceNameRegistry();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: emitters may outlive static dtors
+};
+
+/// A cheap handle to an interned name. Implicitly constructible from a
+/// string so cold call sites can pass literals directly; hot call sites
+/// use the pre-interned constants in obs::names.
+struct TraceName {
+  NameId id = kEmptyNameId;
+
+  constexpr TraceName() = default;
+  TraceName(const char* name)  // NOLINT(google-explicit-constructor)
+      : id(TraceNameRegistry::Instance().Intern(name)) {}
+  TraceName(std::string_view name)  // NOLINT(google-explicit-constructor)
+      : id(TraceNameRegistry::Instance().Intern(name)) {}
+};
+
+/// Every name emitted by the instrumented stack, interned once at static
+/// init. Grouped by layer; keep alphabetical within a group.
+namespace names {
+// sim
+inline const TraceName kSimQueueDepth{"sim.queue_depth"};
+inline const TraceName kSimRun{"sim.run"};
+// net
+inline const TraceName kLinkDrop{"link.drop"};
+inline const TraceName kLinkTx{"link.tx"};
+inline const TraceName kNetLinkQueue{"net.link_queue"};
+inline const TraceName kPktHop{"pkt.hop"};
+// ran
+inline const TraceName kHarqChain{"harq.chain"};
+inline const TraceName kRanRlcBytes{"ran.rlc_bytes"};
+inline const TraceName kRanTransit{"ran.transit"};
+inline const TraceName kTbRtx{"tb.rtx"};
+inline const TraceName kTbTx{"tb.tx"};
+// cc
+inline const TraceName kCcOveruse{"cc.overuse"};
+inline const TraceName kCcTargetBps{"cc.target_bps"};
+inline const TraceName kCcTrendMs{"cc.trend_ms"};
+// app
+inline const TraceName kAppRecvPackets{"app.recv_packets"};
+inline const TraceName kAudioEncoded{"audio.encoded"};
+inline const TraceName kFrameEncoded{"frame.encoded"};
+inline const TraceName kRtxSent{"rtx.sent"};
+// media
+inline const TraceName kFrameJb{"frame.jb"};
+inline const TraceName kSampleJb{"sample.jb"};
+// core
+inline const TraceName kPktUplink{"pkt.uplink"};
+}  // namespace names
+
+}  // namespace athena::obs

@@ -59,7 +59,7 @@ void RanUplink::OnUplinkSlot() {
   const sim::TimePoint slot_time = sim_.Now();
   channel_.Tick(config_.ul_slot_period);
   if (obs::trace_enabled()) {
-    obs::TraceCounter(obs::Layer::kRan, "ran.rlc_bytes", slot_time,
+    obs::TraceCounter(obs::Layer::kRan, obs::names::kRanRlcBytes, slot_time,
                       static_cast<double>(TotalBufferBytes()));
   }
 
@@ -174,10 +174,12 @@ void RanUplink::TransmitNewTb(const GrantPolicy::Decision& grant, sim::TimePoint
 
 void RanUplink::Transmit(Tb tb, sim::TimePoint slot_time) {
   ++counters_.tb_transmissions;
-  obs::CountInc("ran.tb_transmissions");
+  static thread_local obs::CachedCounter counter_tb_transmissions{"ran.tb_transmissions"};
+  counter_tb_transmissions.Inc();
   if (tb.round > 0) {
     ++counters_.tb_rtx;
-    obs::CountInc("ran.tb_rtx");
+    static thread_local obs::CachedCounter counter_tb_rtx{"ran.tb_rtx"};
+    counter_tb_rtx.Inc();
     if (tb.used == 0) ++counters_.empty_tb_rtx;
   }
   if (tb.used == 0) ++counters_.empty_tb_transmissions;
@@ -221,9 +223,10 @@ void RanUplink::OnTbDecoded(const Tb& tb, sim::TimePoint slot_time) {
       const sim::TimePoint enqueued_at = state.enqueued_at;
       in_flight_.erase(it);
       ++counters_.packets_delivered;
-      obs::CountInc("ran.packets_delivered");
+      static thread_local obs::CachedCounter counter_packets_delivered{"ran.packets_delivered"};
+      counter_packets_delivered.Inc();
       sim_.ScheduleAfter(config_.gnb_to_core_delay, [this, pkt, enqueued_at] {
-        obs::TraceAsyncSpan(obs::Layer::kRan, "ran.transit", pkt.id, enqueued_at,
+        obs::TraceAsyncSpan(obs::Layer::kRan, obs::names::kRanTransit, pkt.id, enqueued_at,
                             sim_.Now(), {{"bytes", static_cast<double>(pkt.size_bytes)}});
         if (core_sink_) core_sink_(pkt);
       });
@@ -233,7 +236,7 @@ void RanUplink::OnTbDecoded(const Tb& tb, sim::TimePoint slot_time) {
   if (tb.round > 0) {
     // The HARQ chain needed retransmissions: its whole first-tx → decode
     // life is the "rtx inflation" the correlator will later blame.
-    obs::TraceAsyncSpan(obs::Layer::kRan, "harq.chain", tb.chain_id, tb.first_tx_slot,
+    obs::TraceAsyncSpan(obs::Layer::kRan, obs::names::kHarqChain, tb.chain_id, tb.first_tx_slot,
                         slot_time,
                         {{"rounds", static_cast<double>(tb.round)},
                          {"used_bytes", static_cast<double>(tb.used)}});
@@ -251,7 +254,7 @@ void RanUplink::OnTbDecoded(const Tb& tb, sim::TimePoint slot_time) {
 
 void RanUplink::OnChainDropped(const Tb& tb, sim::TimePoint slot_time) {
   ++counters_.tb_dropped_chains;
-  obs::TraceAsyncSpan(obs::Layer::kRan, "harq.chain", tb.chain_id, tb.first_tx_slot,
+  obs::TraceAsyncSpan(obs::Layer::kRan, obs::names::kHarqChain, tb.chain_id, tb.first_tx_slot,
                       slot_time,
                       {{"rounds", static_cast<double>(tb.round)}, {"dropped", 1.0}});
   for (const auto& seg : tb.segments) {
@@ -259,7 +262,8 @@ void RanUplink::OnChainDropped(const Tb& tb, sim::TimePoint slot_time) {
     if (it == in_flight_.end()) continue;
     in_flight_.erase(it);
     ++counters_.packets_lost;
-    obs::CountInc("ran.packets_lost");
+    static thread_local obs::CachedCounter counter_packets_lost{"ran.packets_lost"};
+    counter_packets_lost.Inc();
   }
   auto truth_it = truth_index_.find(tb.chain_id);
   if (truth_it != truth_index_.end()) {
@@ -284,7 +288,7 @@ void RanUplink::RecordTelemetry(const Tb& tb, sim::TimePoint slot_time, bool crc
       .crc_ok = crc_ok,
   });
   if (telemetry_listener_) telemetry_listener_(telemetry_.back());
-  obs::TraceInstant(obs::Layer::kRan, tb.round == 0 ? "tb.tx" : "tb.rtx", slot_time,
+  obs::TraceInstant(obs::Layer::kRan, tb.round == 0 ? obs::names::kTbTx : obs::names::kTbRtx, slot_time,
                     {{"tbs", static_cast<double>(tb.tbs)},
                      {"used", static_cast<double>(tb.used)},
                      {"round", static_cast<double>(tb.round)},

@@ -1,0 +1,124 @@
+// A small-buffer-optimized, move-only `void()` callable for the event
+// queue's hot path.
+//
+// `std::function` heap-allocates for captures beyond ~16 bytes and pays a
+// copyable-wrapper tax the simulator never uses. Almost every callback in
+// this repository is a lambda capturing a `this` pointer and a few
+// scalars, so `InlineCallback` stores callables up to `kInlineCapacity`
+// bytes directly in the object and only falls back to the heap for
+// oversized captures (e.g. a lambda holding a whole `net::Packet` by
+// value). Dispatch is two loads and an indirect call through a static
+// per-type ops table — no virtual destructor, no RTTI.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace athena::sim {
+
+class InlineCallback {
+ public:
+  /// Captures up to this many bytes live inline; larger callables are
+  /// boxed on the heap. Documented in docs/ARCHITECTURE.md — keep in sync.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineCallback");
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Whether the callable lives in the inline buffer (diagnostics/tests).
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into `to` from `from`, then destroy `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline = sizeof(D) <= kInlineCapacity &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* from, void* to) noexcept {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps{
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*std::launder(reinterpret_cast<D**>(from)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+      false,
+  };
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace athena::sim

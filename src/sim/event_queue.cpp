@@ -2,55 +2,116 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace athena::sim {
+
+// A 4-ary implicit heap halves the tree depth of a binary heap, trading a
+// three-extra-compare inner loop for far fewer cache lines touched per
+// sift — a consistent win for the schedule/pop mix the simulator runs.
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) const {
+  Slot& s = slots_[slot];
+  s.cb = Callback{};  // destroy the callable now, not at reuse time
+  s.seq = 0;
+  s.cancelled = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::SiftUp(std::size_t i) const {
+  HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!Before(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::SiftDown(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  HeapEntry moving = heap_[i];
+  while (true) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::RemoveRoot() const {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
+    ReleaseSlot(heap_[0].slot);
+    RemoveRoot();
+  }
+}
 
 EventHandle EventQueue::Schedule(TimePoint when, Callback cb) {
   assert(cb && "scheduling an empty callback");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(cb)});
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.seq = seq;
+  heap_.push_back(HeapEntry{when, seq, slot});
+  SiftUp(heap_.size() - 1);
   ++live_count_;
-  return EventHandle{seq};
+  return EventHandle{seq, slot};
 }
 
 bool EventQueue::Cancel(EventHandle handle) {
-  if (!handle.valid() || handle.seq_ >= next_seq_) return false;
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), handle.seq_);
-  if (it != cancelled_.end() && *it == handle.seq_) return false;  // already cancelled
-  // We cannot cheaply know whether the event already ran; callers in this
-  // codebase only cancel pending timers they own, so treat unknown as
-  // pending if the seq is plausible. PopNext skips cancelled entries.
-  cancelled_.insert(it, handle.seq_);
-  if (live_count_ > 0) --live_count_;
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[handle.slot_];
+  // The slot's seq is the generation tag: it differs if the event already
+  // fired (slot freed or reused for a younger event), so stale handles are
+  // rejected exactly and the live count never drifts.
+  if (s.seq != handle.seq_ || s.cancelled) return false;
+  s.cancelled = true;
+  --live_count_;
   return true;
-}
-
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty()) {
-    const auto seq = heap_.top().seq;
-    if (!std::binary_search(cancelled_.begin(), cancelled_.end(), seq)) return;
-    // Remove the tombstone so seqs can't match twice.
-    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
-    cancelled_.erase(it);
-    heap_.pop();
-  }
 }
 
 TimePoint EventQueue::next_time() const {
   DropCancelledHead();
   assert(!heap_.empty() && "next_time() on an empty queue");
-  return heap_.top().when;
+  return heap_[0].when;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
   DropCancelledHead();
   assert(!heap_.empty() && "PopNext() on an empty queue");
-  // priority_queue::top() is const&; the callback must be moved out, so we
-  // const_cast the entry we are about to pop. This is safe: the entry is
-  // removed immediately and the heap order does not depend on `cb`.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.when, std::move(top.cb)};
-  heap_.pop();
+  const HeapEntry top = heap_[0];
+  Fired fired{top.when, std::move(slots_[top.slot].cb)};
+  ReleaseSlot(top.slot);
+  RemoveRoot();
   --live_count_;
   return fired;
 }

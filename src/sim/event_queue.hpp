@@ -3,13 +3,25 @@
 // Events scheduled for the same instant run in scheduling order (FIFO),
 // which makes every simulation in this repository reproducible bit-for-bit
 // given the same RNG seed.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md, "Performance & threading
+// model"):
+//  - Callbacks are `InlineCallback`s: captures up to ~48 bytes live inline,
+//    so scheduling an ordinary lambda never touches the heap.
+//  - The heap is a 4-ary implicit min-heap of 24-byte (when, seq, slot)
+//    entries ordered by (when, seq); callbacks stay put in a stable slot
+//    pool, so sift operations move small PODs instead of callables.
+//  - `Cancel` is O(1): it flips a tombstone bit on the slot; the dead heap
+//    entry is discarded lazily (O(log n)) when it surfaces at the root.
+//    Handles carry a (seq, slot) generation pair, so cancelling a handle
+//    whose event already fired — or whose slot was since reused — is
+//    detected exactly and never perturbs the live count.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace athena::sim {
@@ -23,14 +35,15 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  EventHandle(std::uint64_t seq, std::uint32_t slot) : seq_(seq), slot_(slot) {}
   std::uint64_t seq_ = 0;  // 0 = invalid
+  std::uint32_t slot_ = 0;
 };
 
 /// Min-heap of timestamped callbacks with stable same-time ordering.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedules `cb` to run at absolute time `when`. Returns a handle that
   /// can later be passed to `Cancel`.
@@ -57,23 +70,43 @@ class EventQueue {
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
 
  private:
-  struct Entry {
+  /// 24 bytes; the only thing the heap sifts move.
+  struct HeapEntry {
     TimePoint when;
     std::uint64_t seq = 0;
-    Callback cb;
-
-    // Min-heap: earlier time first; FIFO among equal times.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot = 0;
   };
 
+  /// Stable storage for one scheduled callback. `seq` doubles as the
+  /// generation tag handles are validated against; it is only cleared
+  /// when the matching heap entry leaves the heap.
+  struct Slot {
+    Callback cb;
+    std::uint64_t seq = 0;  // 0 = free
+    bool cancelled = false;
+    std::uint32_t next_free = kNoFreeSlot;
+  };
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  // Min-heap order: earlier time first, FIFO (lower seq) among equal times.
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot) const;
+  void SiftUp(std::size_t i) const;
+  void SiftDown(std::size_t i) const;
+  void RemoveRoot() const;
+  /// Discards cancelled entries sitting at the root (lazy tombstones).
   void DropCancelledHead() const;
 
   // `mutable` so that next_time() can lazily discard cancelled heads.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable std::vector<std::uint64_t> cancelled_;  // sorted seq numbers
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable std::uint32_t free_head_ = kNoFreeSlot;
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 1;
 };

@@ -1,0 +1,62 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace athena::sim {
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over base ^ scrambled index. Index 0 with base b
+  // does NOT return b: derived seeds live in their own namespace so a
+  // sweep's run 0 never aliases a non-sweep run with the same base.
+  std::uint64_t z = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+void ParallelRunner::ForEach(std::size_t n,
+                             const std::function<void(std::size_t)>& task) const {
+  if (n == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned threads = jobs_ > n ? static_cast<unsigned>(n) : jobs_;
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace athena::sim

@@ -35,12 +35,14 @@ void Simulator::RunUntilInstrumented(TimePoint deadline) {
     profile_.queue_high_water = std::max(profile_.queue_high_water, queue_.size());
     auto fired = queue_.PopNext();
     now_ = fired.when;
-    if (profiling_) {
+    if (profiling_ && ++profile_tick_ >= profile_sample_every_) {
+      profile_tick_ = 0;
       const auto cb_start = WallClock::now();
       fired.cb();
       const auto ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - cb_start)
               .count());
+      ++profile_.callbacks_sampled;
       profile_.callback_ns_total += ns;
       profile_.callback_ns_max = std::max(profile_.callback_ns_max, ns);
     } else {

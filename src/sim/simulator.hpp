@@ -42,8 +42,9 @@ class SimHooks {
 /// simulates. This is the `BENCH_obs.json` baseline.
 struct SimProfile {
   std::uint64_t events = 0;              ///< events executed while profiling
-  std::uint64_t callback_ns_total = 0;   ///< wall time inside callbacks
-  std::uint64_t callback_ns_max = 0;     ///< worst single callback
+  std::uint64_t callbacks_sampled = 0;   ///< callbacks individually timed
+  std::uint64_t callback_ns_total = 0;   ///< wall time inside sampled callbacks
+  std::uint64_t callback_ns_max = 0;     ///< worst sampled callback
   double run_wall_seconds = 0.0;         ///< wall time inside Run* (incl. queue ops)
   std::size_t queue_high_water = 0;      ///< max observed pending-event count
 
@@ -51,8 +52,9 @@ struct SimProfile {
     return run_wall_seconds > 0.0 ? static_cast<double>(events) / run_wall_seconds : 0.0;
   }
   [[nodiscard]] double mean_callback_ns() const {
-    return events > 0 ? static_cast<double>(callback_ns_total) / static_cast<double>(events)
-                      : 0.0;
+    return callbacks_sampled > 0 ? static_cast<double>(callback_ns_total) /
+                                       static_cast<double>(callbacks_sampled)
+                                 : 0.0;
   }
 };
 
@@ -128,10 +130,16 @@ class Simulator {
   }
   [[nodiscard]] const std::vector<SimHooks*>& hooks() const { return hooks_; }
 
-  /// Enables wall-clock self-profiling (per-callback timing, queue
-  /// high-water mark, events/sec) accumulated into profile().
+  /// Enables wall-clock self-profiling (sampled per-callback timing,
+  /// queue high-water mark, events/sec) accumulated into profile().
   void set_profiling(bool enabled) { profiling_ = enabled; }
   [[nodiscard]] bool profiling() const { return profiling_; }
+
+  /// Per-callback timing reads the wall clock twice per sample; sampling
+  /// every Nth callback (default 16) keeps the profiler from dominating
+  /// what it measures. 1 = time every callback.
+  void set_profile_sample_every(std::uint32_t n) { profile_sample_every_ = n > 0 ? n : 1; }
+  [[nodiscard]] std::uint32_t profile_sample_every() const { return profile_sample_every_; }
   [[nodiscard]] const SimProfile& profile() const { return profile_; }
   void ResetProfile() { profile_ = SimProfile{}; }
 
@@ -144,6 +152,8 @@ class Simulator {
   std::uint64_t event_budget_ = 500'000'000;
   std::vector<SimHooks*> hooks_;
   bool profiling_ = false;
+  std::uint32_t profile_sample_every_ = 16;
+  std::uint32_t profile_tick_ = 0;
   SimProfile profile_;
 };
 

@@ -499,4 +499,85 @@ TEST(Obs, SimHooksFanOutToEveryObserver) {
   EXPECT_TRUE(sim.RemoveHooks(&second));
 }
 
+TEST(Obs, ProfilingSamplesCallbacks) {
+  sim::Simulator sim;
+  sim.set_profiling(true);
+  sim.set_profile_sample_every(4);
+  for (int i = 0; i < 100; ++i) sim.ScheduleAfter(sim::Duration{i}, [] {});
+  sim.RunAll();
+  const sim::SimProfile& p = sim.profile();
+  EXPECT_EQ(p.events, 100u);
+  EXPECT_EQ(p.callbacks_sampled, 25u);  // every 4th of 100
+  // mean_callback_ns averages over sampled callbacks, not all events.
+  if (p.callback_ns_total > 0) {
+    EXPECT_GT(p.mean_callback_ns(), 0.0);
+  }
+}
+
+TEST(TraceNames, SameLiteralInternsToSameId) {
+  const obs::TraceName a{"test.interning.alpha"};
+  const obs::TraceName b{"test.interning.alpha"};
+  const obs::TraceName c{"test.interning.beta"};
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_NE(a.id, c.id);
+  EXPECT_NE(a.id, obs::kEmptyNameId);
+}
+
+TEST(TraceNames, NameTextRoundTrips) {
+  const obs::TraceName name{"test.interning.roundtrip"};
+  EXPECT_EQ(obs::TraceNameRegistry::Instance().NameOf(name.id),
+            "test.interning.roundtrip");
+  obs::TraceEvent e;
+  e.name = name.id;
+  EXPECT_EQ(e.name_text(), "test.interning.roundtrip");
+}
+
+TEST(TraceNames, PreInternedConstantsAreDistinct) {
+  std::set<obs::NameId> ids{
+      obs::names::kSimQueueDepth.id, obs::names::kSimRun.id,
+      obs::names::kLinkDrop.id,      obs::names::kLinkTx.id,
+      obs::names::kPktHop.id,        obs::names::kHarqChain.id,
+      obs::names::kRanRlcBytes.id,   obs::names::kRanTransit.id,
+      obs::names::kTbRtx.id,         obs::names::kTbTx.id,
+      obs::names::kCcOveruse.id,     obs::names::kFrameEncoded.id,
+  };
+  EXPECT_EQ(ids.size(), 12u);
+  EXPECT_EQ(ids.count(obs::kEmptyNameId), 0u);
+}
+
+TEST(TraceRecorder, ChunkedStorageSurvivesBoundaries) {
+  // 5000 events crosses the 2048-event chunk boundary twice; order, count,
+  // and layer accounting must be unaffected.
+  obs::TraceRecorder recorder;
+  constexpr std::size_t kN = 5000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    obs::TraceEvent e;
+    e.phase = obs::TraceEvent::Phase::kInstant;
+    e.layer = i % 2 == 0 ? obs::Layer::kNet : obs::Layer::kRan;
+    e.name = obs::names::kPktHop.id;
+    e.ts = sim::TimePoint{} + sim::Duration{static_cast<std::int64_t>(i)};
+    e.id = i;
+    recorder.Emit(e);
+  }
+  EXPECT_EQ(recorder.size(), kN);
+  EXPECT_EQ(recorder.CountLayer(obs::Layer::kNet), kN / 2);
+  EXPECT_EQ(recorder.CountLayer(obs::Layer::kRan), kN / 2);
+
+  std::uint64_t expected_id = 0;
+  recorder.ForEach([&](const obs::TraceEvent& e) { EXPECT_EQ(e.id, expected_id++); });
+  EXPECT_EQ(expected_id, kN);
+
+  std::ostringstream os;
+  recorder.WriteJson(os);
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  obs::TraceEvent again;
+  again.layer = obs::Layer::kCc;
+  recorder.Emit(again);
+  EXPECT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.CountLayer(obs::Layer::kCc), 1u);
+}
+
 }  // namespace

@@ -1,4 +1,8 @@
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -123,6 +127,156 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 2u);
   q.Cancel(h);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalseAndKeepsCount) {
+  // Regression: cancelling a handle whose event already fired used to
+  // decrement the live count anyway, making size()/empty() lie and
+  // Run* loops terminate early.
+  EventQueue q;
+  int fired = 0;
+  const auto h = q.Schedule(kEpoch + 1ms, [&] { ++fired; });
+  q.Schedule(kEpoch + 2ms, [&] { ++fired; });
+  q.PopNext().cb();  // fires the 1ms event; h is now stale
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.PopNext().cb();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, StaleHandleCannotCancelSlotReuser) {
+  // After an event fires, its slot may be reused by a younger event; the
+  // old handle's generation tag must not match the new occupant.
+  EventQueue q;
+  const auto h1 = q.Schedule(kEpoch + 1ms, [] {});
+  q.PopNext().cb();  // slot freed, h1 stale
+  bool ran = false;
+  q.Schedule(kEpoch + 2ms, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(q.Cancel(h1));
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext().cb();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelledDoubleCancelAfterHeadDropIsNoop) {
+  EventQueue q;
+  const auto h = q.Schedule(kEpoch + 1ms, [] {});
+  int fired = 0;
+  q.Schedule(kEpoch + 2ms, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(h));
+  // next_time() lazily discards the tombstone and recycles the slot.
+  EXPECT_EQ(q.next_time(), kEpoch + 2ms);
+  EXPECT_FALSE(q.Cancel(h));
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, MatchesReferenceModelUnderRandomOps) {
+  // Property test: random schedule/cancel/pop interleavings must agree
+  // with a naive sorted-reference model on firing order, size, and
+  // cancel results.
+  struct ModelEvent {
+    std::int64_t when_us;
+    std::uint64_t seq;
+    int id;
+  };
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    Rng rng{seed};
+    EventQueue q;
+    std::vector<ModelEvent> model;  // pending, unordered
+    std::vector<std::pair<EventHandle, std::uint64_t>> handles;  // all ever issued
+    std::vector<int> actual_order;
+    std::vector<int> expected_order;
+    std::uint64_t next_seq = 1;
+    int next_id = 0;
+
+    const auto model_pop = [&]() -> ModelEvent {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < model.size(); ++i) {
+        const auto& a = model[i];
+        const auto& b = model[best];
+        if (a.when_us < b.when_us || (a.when_us == b.when_us && a.seq < b.seq)) best = i;
+      }
+      const ModelEvent e = model[best];
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(best));
+      return e;
+    };
+
+    for (int op = 0; op < 4000; ++op) {
+      const double dice = rng.Uniform(0, 1);
+      if (dice < 0.5 || model.empty()) {
+        // Coarse time grid on purpose: plenty of equal-time collisions.
+        const std::int64_t when_us = rng.UniformInt(0, 50) * 1000;
+        const int id = next_id++;
+        const auto h = q.Schedule(TimePoint{} + Duration{when_us},
+                                  [&actual_order, id] { actual_order.push_back(id); });
+        handles.emplace_back(h, next_seq);
+        model.push_back(ModelEvent{when_us, next_seq, id});
+        ++next_seq;
+      } else if (dice < 0.75) {
+        // Cancel a random handle — possibly stale, possibly already
+        // cancelled; the queue must agree with the model either way.
+        const auto& [h, seq] =
+            handles[static_cast<std::size_t>(rng.UniformInt(
+                0, static_cast<std::int64_t>(handles.size()) - 1))];
+        const auto it = std::find_if(model.begin(), model.end(),
+                                     [&](const ModelEvent& e) { return e.seq == seq; });
+        const bool model_ok = it != model.end();
+        if (model_ok) model.erase(it);
+        EXPECT_EQ(q.Cancel(h), model_ok);
+      } else {
+        expected_order.push_back(model_pop().id);
+        q.PopNext().cb();
+      }
+      ASSERT_EQ(q.size(), model.size());
+    }
+    while (!model.empty()) {
+      expected_order.push_back(model_pop().id);
+      q.PopNext().cb();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(actual_order, expected_order);
+  }
+}
+
+// ---------- InlineCallback ----------
+
+TEST(InlineCallbackTest, SmallCapturesStayInline) {
+  int x = 0;
+  InlineCallback cb{[&x] { ++x; }};
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(InlineCallbackTest, LargeCapturesAreBoxed) {
+  std::array<char, 128> big{};
+  big[0] = 7;
+  int result = 0;
+  InlineCallback cb{[big, &result] { result = big[0]; }};
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineCallback a{[counter] { ++*counter; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+  // `counter` + the callable's copy: moves must not have duplicated it.
+  EXPECT_EQ(counter.use_count(), 2);
 }
 
 // ---------- Simulator ----------
