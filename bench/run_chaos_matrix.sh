@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Builds athena_cli and runs the full chaos matrix: every built-in fault
+# scenario × derived seeds, each run a complete session → fault-injected
+# correlator input → correlation → live-detector replay, with the
+# degradation-contract invariants checked per run (no crash, monotone
+# virtual time, bounded queues, degradation reported — never silent).
+#
+# The matrix is executed twice, with 1 worker and with 8, and the per-run
+# impaired-input digests are diffed: identical (scenario, seed) pairs must
+# be byte-identical whatever the job count. Results land in
+# BENCH_chaos.json at the repo root.
+#
+# Usage: bench/run_chaos_matrix.sh [build-dir] [seeds]
+#   build-dir  default ./build
+#   seeds      seeds per scenario, default 4
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+seeds="${2:-4}"
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target athena_cli -j "$(nproc)"
+
+cli="$build_dir/examples/athena_cli"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== chaos matrix (all scenarios x $seeds seeds, 1 worker) =="
+"$cli" --chaos=all --chaos-seeds="$seeds" --jobs=1 \
+  --chaos-out="$tmp/chaos_j1.json" | tee "$tmp/table_j1.txt"
+
+echo
+echo "== chaos matrix (all scenarios x $seeds seeds, 8 workers) =="
+"$cli" --chaos=all --chaos-seeds="$seeds" --jobs=8 \
+  --chaos-out="$repo_root/BENCH_chaos.json" | tee "$tmp/table_j8.txt"
+
+# Cross-job determinism: identical (scenario, seed) → identical digest.
+grep -o 'digest=[0-9a-f]*' "$tmp/table_j1.txt" > "$tmp/digests_j1.txt"
+grep -o 'digest=[0-9a-f]*' "$tmp/table_j8.txt" > "$tmp/digests_j8.txt"
+if ! diff -q "$tmp/digests_j1.txt" "$tmp/digests_j8.txt" > /dev/null; then
+  echo "FAIL: per-run digests differ between --jobs=1 and --jobs=8" >&2
+  diff "$tmp/digests_j1.txt" "$tmp/digests_j8.txt" >&2 || true
+  exit 1
+fi
+echo
+echo "digests byte-identical across --jobs=1 and --jobs=8 ($(wc -l < "$tmp/digests_j1.txt") runs)"
+echo "wrote $repo_root/BENCH_chaos.json"

@@ -24,9 +24,17 @@
 //                                       derived from --seed (run i gets
 //                                       sim::DeriveSeed(seed, i)); file
 //                                       outputs gain a .runN suffix
-//     --jobs=J                          worker threads for --sweep (default:
-//                                       hardware concurrency). Output is
-//                                       bit-identical for any J.
+//     --jobs=J                          worker threads for --sweep/--chaos
+//                                       (default: hardware concurrency).
+//                                       Output is bit-identical for any J.
+//     --chaos=NAME|all                  chaos mode: run the named fault
+//                                       scenario (or the whole catalog) under
+//                                       --chaos-seeds derived seeds and check
+//                                       the degradation-contract invariants;
+//                                       exits nonzero on any violation
+//     --chaos-seeds=N                   seeds per chaos scenario (default 4)
+//     --chaos-out=FILE                  write the chaos matrix as JSON
+//     --chaos-list                      list the built-in chaos scenarios
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
@@ -43,6 +51,7 @@
 
 #include "athena.hpp"
 #include "core/report.hpp"
+#include "fault/chaos.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
 #include "sim/runner.hpp"
@@ -66,6 +75,10 @@ struct Options {
   std::string anomalies_path;
   int sweep = 0;       ///< 0 = single run; N>0 = N derived-seed runs
   unsigned jobs = 0;   ///< 0 = hardware concurrency
+  std::string chaos;   ///< scenario name or "all"; empty = normal mode
+  std::size_t chaos_seeds = 4;
+  std::string chaos_out;
+  bool chaos_list = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -104,6 +117,14 @@ Options Parse(int argc, char** argv) {
       opt.sweep = std::stoi(value);
     } else if (ParseFlag(arg, "jobs", &value)) {
       opt.jobs = static_cast<unsigned>(std::stoul(value));
+    } else if (ParseFlag(arg, "chaos", &value)) {
+      opt.chaos = value;
+    } else if (ParseFlag(arg, "chaos-seeds", &value)) {
+      opt.chaos_seeds = std::stoul(value);
+    } else if (ParseFlag(arg, "chaos-out", &value)) {
+      opt.chaos_out = value;
+    } else if (arg == "--chaos-list") {
+      opt.chaos_list = true;
     } else if (arg == "--diagnose") {
       opt.diagnose = true;
     } else if (arg == "--fading") {
@@ -113,7 +134,9 @@ Options Parse(int argc, char** argv) {
                    "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
                    "[--cross-mbps=X] [--fading] [--out=DIR] [--trace=FILE] "
                    "[--metrics=FILE] [--diagnose] [--expose=FILE] "
-                   "[--anomalies=FILE] [--sweep=N] [--jobs=J]\n";
+                   "[--anomalies=FILE] [--sweep=N] [--jobs=J] "
+                   "[--chaos=NAME|all] [--chaos-seeds=N] [--chaos-out=FILE] "
+                   "[--chaos-list]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -264,12 +287,55 @@ std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index
   return out.str();
 }
 
+/// Chaos mode: run fault scenarios × derived seeds through the matrix
+/// runner and fail loudly on any invariant violation. Returns the
+/// process exit code.
+int RunChaos(const Options& opt) {
+  const std::vector<fault::ChaosScenario> catalog = fault::BuiltinScenarios();
+
+  std::vector<fault::ChaosScenario> selected;
+  if (opt.chaos == "all") {
+    selected = catalog;
+  } else if (const fault::ChaosScenario* s = fault::FindScenario(catalog, opt.chaos)) {
+    selected.push_back(*s);
+  } else {
+    std::cerr << "unknown chaos scenario: " << opt.chaos << " (try --chaos-list)\n";
+    return 2;
+  }
+  if (opt.chaos_seeds == 0) {
+    std::cerr << "--chaos-seeds must be >= 1\n";
+    return 2;
+  }
+
+  sim::ParallelRunner probe{opt.jobs};
+  std::cout << "chaos: " << selected.size() << " scenario(s) x " << opt.chaos_seeds
+            << " seed(s), " << probe.jobs() << " jobs, base seed " << opt.seed << '\n';
+  const fault::ChaosMatrixResult result =
+      fault::RunChaosMatrix(selected, opt.seed, opt.chaos_seeds, opt.jobs);
+  fault::RenderChaosTable(std::cout, result);
+
+  if (!opt.chaos_out.empty()) {
+    std::ofstream os{opt.chaos_out};
+    if (!os) throw std::runtime_error("cannot write " + opt.chaos_out);
+    fault::WriteChaosJson(os, result, opt.seed, opt.chaos_seeds, probe.jobs());
+    std::cout << "wrote " << opt.chaos_out << '\n';
+  }
+  return result.all_ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = Parse(argc, argv);
 
   try {
+    if (opt.chaos_list) {
+      for (const auto& s : fault::BuiltinScenarios()) {
+        std::cout << s.name << " — " << s.description << '\n';
+      }
+      return 0;
+    }
+    if (!opt.chaos.empty()) return RunChaos(opt);
     if (opt.sweep > 0) {
       // Every run is a pure function of its index (seed derived from
       // --seed), and outputs print in index order — so the sweep's output

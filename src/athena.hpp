@@ -25,6 +25,8 @@
 #include "core/overuse_audit.hpp" // IWYU pragma: export
 #include "core/report.hpp"        // IWYU pragma: export
 #include "core/wifi_correlator.hpp"  // IWYU pragma: export
+#include "fault/chaos.hpp"        // IWYU pragma: export
+#include "fault/fault.hpp"        // IWYU pragma: export
 #include "media/emodel.hpp"       // IWYU pragma: export
 #include "media/encoder.hpp"      // IWYU pragma: export
 #include "media/jitter_buffer.hpp"  // IWYU pragma: export

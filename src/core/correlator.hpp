@@ -45,11 +45,65 @@ struct CorrelatorInput {
   ran::RanConfig cell;
 };
 
+/// Health of one input stream after cleaning. The correlator tolerates
+/// duplicate, out-of-order and missing records (deduping and re-sorting
+/// internally) but it never hides that it had to: every repair is
+/// counted here, and consumers must treat a degraded stream's
+/// attributions as low-confidence rather than silently trusting them.
+struct StreamHealth {
+  enum class State : std::uint8_t {
+    kMissing,   ///< stream empty (while others carried traffic)
+    kHealthy,   ///< no repairs needed
+    kDegraded,  ///< duplicates, reordering or silent gaps were observed
+  };
+  State state = State::kMissing;
+  std::uint64_t records = 0;             ///< records after cleaning
+  std::uint64_t duplicates_dropped = 0;  ///< exact re-deliveries removed
+  std::uint64_t out_of_order = 0;        ///< records that arrived behind time order
+  std::uint64_t gaps = 0;                ///< silent holes with corroborated traffic inside
+  sim::Duration longest_gap{0};
+
+  [[nodiscard]] bool degraded() const { return state == State::kDegraded; }
+};
+
+/// The degradation contract's summary verdict for one correlation run.
+struct CorrelationHealth {
+  StreamHealth telemetry;
+  StreamHealth sender;
+  StreamHealth core;
+  StreamHealth receiver;
+
+  /// Packets with zero TB coverage although the telemetry feed was still
+  /// alive when they were sent (excludes the end-of-run in-flight tail).
+  std::uint64_t uncovered_packets = 0;
+  /// TB payload bytes that drained no captured packet. A healthy feed
+  /// conserves bytes (payload ≙ captured traffic); a sizeable surplus
+  /// means the telemetry *content* is wrong — corrupted size fields or
+  /// records from another UE — even when every timestamp looks sane.
+  std::uint64_t phantom_tb_bytes = 0;
+  /// Set when phantom_tb_bytes exceeds the conservation tolerance.
+  bool phantom_capacity = false;
+  /// Mean of CrossLayerRecord::match_confidence (1.0 when empty).
+  double mean_match_confidence = 1.0;
+
+  /// True when any attribution in the dataset rests on repaired or
+  /// missing evidence. A degraded dataset is still usable — the contract
+  /// is that this flag (and the per-stream counters) make it *visible*.
+  [[nodiscard]] bool degraded() const {
+    return telemetry.degraded() || sender.degraded() || core.degraded() ||
+           receiver.degraded() || uncovered_packets > 0 || phantom_capacity ||
+           (telemetry.state == StreamHealth::State::kMissing && sender.records > 0);
+  }
+};
+
 /// The correlated dataset: per-packet and per-frame views plus match
 /// diagnostics.
 struct CrossLayerDataset {
   std::vector<CrossLayerRecord> packets;
   std::vector<FrameRecord> frames;
+
+  /// Per-stream repair counters and the dataset-level degradation verdict.
+  CorrelationHealth health;
 
   /// Telemetry bytes that could not be matched to any captured packet
   /// (ideally 0; nonzero indicates clock error or missing captures).

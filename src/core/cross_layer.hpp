@@ -57,6 +57,13 @@ struct CrossLayerRecord {
 
   RootCause primary_cause = RootCause::kNone;
 
+  /// How much of this record's L1/L2 story the telemetry actually
+  /// supports: the fraction of the packet's bytes covered by observed
+  /// transport blocks, discounted when the packet was sent inside a
+  /// detected telemetry gap (its attribution is then a guess across the
+  /// hole). 1.0 = fully corroborated; 0.0 = pure L3 record.
+  double match_confidence = 1.0;
+
   [[nodiscard]] bool is_media() const {
     return kind == net::PacketKind::kRtpVideo || kind == net::PacketKind::kRtpAudio;
   }

@@ -13,6 +13,7 @@ const char* ToString(AnomalyKind kind) {
     case AnomalyKind::kBsrGrantWait: return "BSR grant-wait";
     case AnomalyKind::kOverGranting: return "over-granting (PRB waste)";
     case AnomalyKind::kQueueBuildup: return "cross-traffic queue buildup";
+    case AnomalyKind::kTelemetryGap: return "telemetry feed gap";
   }
   return "?";
 }
@@ -24,6 +25,7 @@ const char* SlugFor(AnomalyKind kind) {
     case AnomalyKind::kBsrGrantWait: return "bsr_grant_wait";
     case AnomalyKind::kOverGranting: return "over_granting";
     case AnomalyKind::kQueueBuildup: return "queue_buildup";
+    case AnomalyKind::kTelemetryGap: return "telemetry_gap";
   }
   return "unknown";
 }

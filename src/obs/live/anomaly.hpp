@@ -29,8 +29,9 @@ enum class AnomalyKind : std::uint8_t {
   kBsrGrantWait,             ///< bursts wait ~a BSR RTT for their first serving grant (§3.1)
   kOverGranting,             ///< requested grants sized from stale BSRs go unused (§3.1)
   kQueueBuildup,             ///< RLC backlog never drains: capacity contention (§2)
+  kTelemetryGap,             ///< the PHY telemetry feed lost records while traffic flowed
 };
-inline constexpr std::size_t kAnomalyKindCount = 5;
+inline constexpr std::size_t kAnomalyKindCount = 6;
 
 /// Human-readable name, e.g. "HARQ retransmission inflation".
 [[nodiscard]] const char* ToString(AnomalyKind kind);

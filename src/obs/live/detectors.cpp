@@ -286,6 +286,77 @@ void QueueBuildupDetector::OnBacklog(const BacklogSample& s) {
 }
 
 // ---------------------------------------------------------------------------
+// TelemetryGapDetector
+// ---------------------------------------------------------------------------
+
+void TelemetryGapDetector::OnDelivery(const Delivery& d) {
+  ++deliveries_;
+  delivered_bytes_ += d.bytes;
+  if (!tb_seen_) return;  // no feed yet: nothing to diagnose
+
+  // Test 1 — contiguous silence: the RAN is demonstrably serving packets
+  // (this delivery) but the control-channel feed stopped reporting TBs.
+  if (d.delivered_at - last_tb_ > config_.tele_gap_max_silence) {
+    if (silent_deliveries_ == 0) silence_begin_ = last_tb_;
+    ++silent_deliveries_;
+    ++silent_deliveries_total_;
+    if (silent_deliveries_ >= config_.tele_gap_min_deliveries) {
+      AnomalyEvent e;
+      e.kind = kind();
+      e.layer = Layer::kRan;
+      e.window_begin = silence_begin_;
+      e.window_end = d.delivered_at;
+      e.confidence = std::min(
+          1.0, static_cast<double>(silent_deliveries_) /
+                   (2.0 * static_cast<double>(config_.tele_gap_min_deliveries)));
+      e.message = Format("telemetry feed silent for %.0f ms while %.0f packets "
+                         "crossed the RAN — sniffer outage or record loss",
+                         sim::ToMs(d.delivered_at - last_tb_),
+                         static_cast<double>(silent_deliveries_));
+      e.AddEvidence("silence_ms", sim::ToMs(d.delivered_at - last_tb_));
+      e.AddEvidence("deliveries_in_silence", static_cast<double>(silent_deliveries_));
+      if (Emit(std::move(e))) silent_deliveries_ = 0;
+    }
+    return;
+  }
+
+  // Test 2 — byte conservation: every byte delivered through the RAN was
+  // carried by some TB, so round-0 TB payload must cover delivered bytes.
+  // Random record loss that never leaves a long hole still shows up as a
+  // deficit here.
+  if (++since_ratio_eval_ < 32) return;
+  since_ratio_eval_ = 0;
+  if (delivered_bytes_ < config_.tele_gap_min_bytes) return;
+  const double ratio = static_cast<double>(tb_payload_bytes_) /
+                       static_cast<double>(delivered_bytes_);
+  if (ratio >= config_.tele_gap_byte_ratio) return;
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kRan;
+  e.window_begin = silence_begin_;
+  e.window_end = d.delivered_at;
+  e.confidence = std::min(1.0, (config_.tele_gap_byte_ratio - ratio) /
+                                   config_.tele_gap_byte_ratio + 0.5);
+  e.message = Format("observed TBs account for only %.0f%% of the bytes delivered "
+                     "through the RAN (%.0f kB unexplained) — telemetry record loss",
+                     ratio * 100.0,
+                     static_cast<double>(delivered_bytes_ - tb_payload_bytes_) / 1000.0);
+  e.AddEvidence("tb_byte_ratio", ratio);
+  e.AddEvidence("delivered_bytes", static_cast<double>(delivered_bytes_));
+  e.AddEvidence("tb_payload_bytes", static_cast<double>(tb_payload_bytes_));
+  Emit(std::move(e));
+}
+
+void TelemetryGapDetector::OnTb(const TbObservation& tb) {
+  tb_seen_ = true;
+  last_tb_ = std::max(last_tb_, tb.slot_time);
+  // Round-0 only: HARQ retransmissions re-carry the same payload and
+  // would double-count it.
+  if (tb.harq_round == 0) tb_payload_bytes_ += tb.used_bytes;
+  silent_deliveries_ = 0;
+}
+
+// ---------------------------------------------------------------------------
 // DetectorBank
 // ---------------------------------------------------------------------------
 
@@ -295,6 +366,7 @@ DetectorBank::DetectorBank(DetectorConfig config) : config_(config) {
   Add(std::make_unique<BsrGrantWaitDetector>());
   Add(std::make_unique<OverGrantingDetector>());
   Add(std::make_unique<QueueBuildupDetector>());
+  Add(std::make_unique<TelemetryGapDetector>());
 }
 
 void DetectorBank::Add(std::unique_ptr<Detector> detector) {

@@ -108,6 +108,17 @@ struct DetectorConfig {
   // -- queue buildup --
   std::size_t queue_window = 64;       ///< backlog samples (one per UL slot)
   double queue_floor_bytes = 15'000;   ///< fire when min over window ≥ this
+
+  // -- telemetry gap --
+  /// Deliveries keep flowing this long past the last TB observation →
+  /// the feed is silent, not the cell.
+  sim::Duration tele_gap_max_silence{std::chrono::milliseconds{100}};
+  std::size_t tele_gap_min_deliveries = 12;  ///< deliveries inside the silence to fire
+  /// Byte-conservation test: round-0 TB payload bytes should cover the
+  /// bytes delivered through the RAN; a ratio below this means records
+  /// were lost even without a long contiguous hole.
+  double tele_gap_byte_ratio = 0.8;
+  std::uint64_t tele_gap_min_bytes = 60'000;  ///< delivered bytes before the ratio test arms
 };
 
 /// Base class. Override only the observation kinds the detector needs.
@@ -284,11 +295,44 @@ class QueueBuildupDetector final : public Detector {
   std::size_t since_eval_ = 0;
 };
 
+/// Robustness (degradation contract): the PHY telemetry feed itself is a
+/// failure domain — sniffers crash, drop records, get truncated. Packets
+/// that demonstrably crossed the RAN (deliveries) while the TB stream
+/// went silent, or delivered bytes that the observed TBs cannot account
+/// for, mean the *feed* degraded; downstream attributions built on it
+/// are then guesses and must be flagged, not trusted. Fires on either
+/// test: a contiguous silence with deliveries inside it, or a
+/// byte-conservation deficit over the session.
+class TelemetryGapDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "telemetry_gap"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kTelemetryGap; }
+
+  void OnDelivery(const Delivery& d) override;
+  void OnTb(const TbObservation& tb) override;
+
+  [[nodiscard]] Attribution attribution() const override {
+    return {deliveries_, silent_deliveries_total_};
+  }
+
+ private:
+  bool tb_seen_ = false;
+  sim::TimePoint last_tb_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t tb_payload_bytes_ = 0;        ///< round-0 used bytes
+  std::uint64_t silent_deliveries_ = 0;       ///< inside the current silence
+  std::uint64_t silent_deliveries_total_ = 0;
+  sim::TimePoint silence_begin_;
+  std::size_t since_ratio_eval_ = 0;
+};
+
 /// Owns the detector set, fans observations out, and funnels emitted
 /// anomalies into one callback (the LiveEngine's event log).
 class DetectorBank {
  public:
-  /// Constructs the five paper-artifact detectors.
+  /// Constructs the five paper-artifact detectors plus the
+  /// telemetry-feed health detector (degradation contract).
   explicit DetectorBank(DetectorConfig config = {});
 
   /// Adds a custom detector (EXTENDING.md). The bank re-points its

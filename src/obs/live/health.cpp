@@ -52,6 +52,15 @@ std::string SummaryFor(const HealthReport::Cause& c) {
     case AnomalyKind::kQueueBuildup:
       s += ", RLC queue never drained over the detection window";
       break;
+    case AnomalyKind::kTelemetryGap:
+      if (c.suspect > 0) {
+        s += ", " + Percent(c.share) +
+             " of deliveries crossed the RAN while the TB feed was silent (" +
+             std::to_string(c.attributed) + "/" + std::to_string(c.suspect) + ")";
+      } else {
+        s += ", telemetry feed lost records while traffic flowed";
+      }
+      break;
   }
   return s;
 }

@@ -1,0 +1,31 @@
+// Release-mode-safe precondition guards.
+//
+// `assert` compiles away under NDEBUG, so a violated kernel precondition
+// (popping an empty event queue, scheduling an empty callback) would run
+// straight into undefined behaviour in optimized builds. ATHENA_CHECK
+// stays armed in every build mode: it prints the failed expression with
+// its location and aborts, turning latent UB into a loud, debuggable
+// crash. Use it for cheap, load-bearing preconditions on hot-path entry
+// points; keep plain `assert` for expensive internal invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace athena::sim::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ATHENA_CHECK failed: %s at %s:%d — %s\n", expr, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace athena::sim::detail
+
+/// Fatal unless `cond` holds — in debug AND release builds. `msg` should
+/// say what contract the caller broke, not restate the expression.
+#define ATHENA_CHECK(cond, msg)                                                       \
+  (static_cast<bool>(cond)                                                            \
+       ? static_cast<void>(0)                                                         \
+       : ::athena::sim::detail::CheckFailed(#cond, __FILE__, __LINE__, (msg)))

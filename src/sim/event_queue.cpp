@@ -1,8 +1,9 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "sim/check.hpp"
 
 namespace athena::sim {
 
@@ -75,7 +76,7 @@ void EventQueue::DropCancelledHead() const {
 }
 
 EventHandle EventQueue::Schedule(TimePoint when, Callback cb) {
-  assert(cb && "scheduling an empty callback");
+  ATHENA_CHECK(cb, "EventQueue::Schedule requires a non-empty callback");
   const std::uint64_t seq = next_seq_++;
   const std::uint32_t slot = AcquireSlot();
   Slot& s = slots_[slot];
@@ -101,13 +102,13 @@ bool EventQueue::Cancel(EventHandle handle) {
 
 TimePoint EventQueue::next_time() const {
   DropCancelledHead();
-  assert(!heap_.empty() && "next_time() on an empty queue");
+  ATHENA_CHECK(!heap_.empty(), "next_time() called on an empty queue (check !empty())");
   return heap_[0].when;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
   DropCancelledHead();
-  assert(!heap_.empty() && "PopNext() on an empty queue");
+  ATHENA_CHECK(!heap_.empty(), "PopNext() called on an empty queue (check !empty())");
   const HeapEntry top = heap_[0];
   Fired fired{top.when, std::move(slots_[top.slot].cb)};
   ReleaseSlot(top.slot);

@@ -56,10 +56,13 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
-  /// Timestamp of the earliest pending event. Precondition: !empty().
+  /// Timestamp of the earliest pending event. Precondition: !empty();
+  /// violated preconditions fail loudly (ATHENA_CHECK) in every build
+  /// mode, release included.
   [[nodiscard]] TimePoint next_time() const;
 
-  /// Removes and returns the earliest event. Precondition: !empty().
+  /// Removes and returns the earliest event. Precondition: !empty();
+  /// checked fatally in release builds too (see sim/check.hpp).
   struct Fired {
     TimePoint when;
     Callback cb;

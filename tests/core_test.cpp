@@ -8,6 +8,7 @@
 #include "core/correlator.hpp"
 #include "core/overuse_audit.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 #include <sstream>
@@ -317,6 +318,45 @@ TEST_F(CorrelatorEndToEndTest, RetransmittedPacketsClassified) {
   const auto breakdown = Analyzer::RootCauseBreakdown(dataset_);
   EXPECT_GT(breakdown.count(RootCause::kRetransmission), 0u);
   EXPECT_GT(breakdown.at(RootCause::kRetransmission), 0u);
+}
+
+// Regression: duplicated and out-of-order input records must be repaired
+// (deduped, re-sorted), counted in StreamHealth, and must not change the
+// correlation result relative to the clean feed.
+TEST_F(CorrelatorEndToEndTest, DuplicateAndReorderedRecordsAreRepairedAndCounted) {
+  Run(app::SessionConfig{});
+  auto input = session_->BuildCorrelatorInput();
+
+  fault::FaultPlan plan;
+  for (auto stream : {fault::Stream::kTelemetry, fault::Stream::kSenderCapture}) {
+    auto& spec = plan.For(stream);
+    spec.duplicate = 0.2;
+    spec.reorder = 0.25;
+    spec.reorder_depth = 8;
+  }
+  fault::FaultInjector injector{plan, 77};
+  injector.Apply(fault::Stream::kTelemetry, input.telemetry);
+  injector.Apply(fault::Stream::kSenderCapture, input.sender);
+
+  const auto impaired = Correlator::Correlate(input);
+
+  // Duplicates and reorderings carry the same information as the clean
+  // feed: the correlator must recover the identical per-packet dataset.
+  ASSERT_EQ(impaired.packets.size(), dataset_.packets.size());
+  for (std::size_t i = 0; i < impaired.packets.size(); ++i) {
+    EXPECT_EQ(impaired.packets[i].packet_id, dataset_.packets[i].packet_id);
+    EXPECT_EQ(impaired.packets[i].tb_chains, dataset_.packets[i].tb_chains);
+  }
+  EXPECT_EQ(impaired.unmatched_tb_bytes, dataset_.unmatched_tb_bytes);
+
+  // ...but it must never hide that repairs happened.
+  EXPECT_FALSE(dataset_.health.degraded());
+  EXPECT_TRUE(impaired.health.degraded());
+  EXPECT_GT(impaired.health.telemetry.duplicates_dropped, 0u);
+  EXPECT_GT(impaired.health.telemetry.out_of_order, 0u);
+  EXPECT_GT(impaired.health.sender.duplicates_dropped, 0u);
+  EXPECT_GT(impaired.health.sender.out_of_order, 0u);
+  EXPECT_EQ(impaired.health.telemetry.state, StreamHealth::State::kDegraded);
 }
 
 // ---------- Analyzer ----------

@@ -1,6 +1,8 @@
 // Failure-injection and robustness tests: lossy feedback channels, clock
 // drift, telemetry truncation, extreme configurations — the system must
-// degrade gracefully, never crash or wedge.
+// degrade gracefully, never crash or wedge. Input impairments go through
+// fault::FaultInjector so each failure is a named, seeded, reproducible
+// fault model rather than an ad-hoc mutation.
 #include <chrono>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include "app/session.hpp"
 #include "core/analyzer.hpp"
 #include "core/correlator.hpp"
+#include "fault/fault.hpp"
 #include "mitigation/phy_informed.hpp"
 #include "sim/simulator.hpp"
 
@@ -60,11 +63,85 @@ TEST(RobustnessTest, TruncatedTelemetryIsReportedNotFatal) {
   app::Session session{sim, config};
   session.Run(5s);
   auto input = session.BuildCorrelatorInput();
-  // Drop the second half of the telemetry (sniffer died mid-run).
-  input.telemetry.resize(input.telemetry.size() / 2);
+  // The sniffer dies halfway through the run.
+  fault::FaultPlan plan;
+  plan.For(fault::Stream::kTelemetry).truncate_after_fraction = 0.5;
+  fault::FaultInjector injector{plan, config.seed};
+  injector.Apply(fault::Stream::kTelemetry, input.telemetry);
   const auto data = core::Correlator::Correlate(input);
   EXPECT_GT(data.unmatched_packet_bytes, 0u);  // visible in diagnostics
   EXPECT_FALSE(data.packets.empty());          // early packets still correlated
+}
+
+TEST(RobustnessTest, BurstOutageMidCallIsFlagged) {
+  // The telemetry sniffer blacks out for 400 ms mid-call: correlation
+  // survives, and the hole is reported as a confirmed gap window, not
+  // papered over.
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = 40;
+  app::Session session{sim, config};
+  session.Run(5s);
+  auto input = session.BuildCorrelatorInput();
+  fault::FaultPlan plan;
+  plan.For(fault::Stream::kTelemetry).outage_begin = kEpoch + 2s;
+  plan.For(fault::Stream::kTelemetry).outage_end = kEpoch + 2400ms;
+  fault::FaultInjector injector{plan, config.seed};
+  injector.Apply(fault::Stream::kTelemetry, input.telemetry);
+  ASSERT_GT(injector.stats().For(fault::Stream::kTelemetry).outage_dropped, 0u);
+
+  const auto data = core::Correlator::Correlate(input);
+  EXPECT_FALSE(data.packets.empty());
+  EXPECT_TRUE(data.health.degraded());
+  EXPECT_GE(data.health.telemetry.gaps, 1u);
+  EXPECT_GE(data.health.telemetry.longest_gap, 300ms);
+  EXPECT_LT(data.health.mean_match_confidence, 1.0);
+}
+
+TEST(RobustnessTest, TelemetryTruncationAtRunEndIsFlagged) {
+  // The feed dies at 40% of the call and never comes back: the tail gap
+  // must drive both the gap counter and the aggregate match confidence.
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = 41;
+  app::Session session{sim, config};
+  session.Run(5s);
+  auto input = session.BuildCorrelatorInput();
+  fault::FaultPlan plan;
+  plan.For(fault::Stream::kTelemetry).truncate_after_fraction = 0.4;
+  fault::FaultInjector injector{plan, config.seed};
+  injector.Apply(fault::Stream::kTelemetry, input.telemetry);
+
+  const auto data = core::Correlator::Correlate(input);
+  EXPECT_TRUE(data.health.degraded());
+  EXPECT_GE(data.health.telemetry.gaps, 1u);
+  EXPECT_GE(data.health.telemetry.longest_gap, 1s);
+  EXPECT_LT(data.health.mean_match_confidence, 0.8);
+}
+
+TEST(RobustnessTest, ClockStepDuringActiveHarqRoundsIsSurvivable) {
+  // An NTP step yanks the telemetry clock back 40 ms mid-run, while a
+  // fading radio keeps multi-round HARQ chains in flight across the step.
+  // Records land out of order; the correlator must repair, report, and
+  // still produce a usable dataset.
+  sim::Simulator sim;
+  app::SessionConfig config;
+  config.seed = 42;
+  config.channel = ran::ChannelModel::FadingRadio();
+  app::Session session{sim, config};
+  session.Run(5s);
+  auto input = session.BuildCorrelatorInput();
+  fault::FaultPlan plan;
+  plan.For(fault::Stream::kTelemetry).clock_step = -40ms;
+  plan.For(fault::Stream::kTelemetry).clock_step_at = kEpoch + 2500ms;
+  fault::FaultInjector injector{plan, config.seed};
+  injector.Apply(fault::Stream::kTelemetry, input.telemetry);
+  ASSERT_GT(injector.stats().For(fault::Stream::kTelemetry).clock_stepped, 0u);
+
+  const auto data = core::Correlator::Correlate(input);
+  EXPECT_FALSE(data.packets.empty());
+  EXPECT_TRUE(data.health.degraded());
+  EXPECT_GT(data.health.telemetry.out_of_order, 0u);
 }
 
 TEST(RobustnessTest, EmptyCorrelatorInputYieldsEmptyDataset) {
