@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Long-run resilience soak: drives one session for >= 50x the normal 2 s
+# test length under a checkpoint cadence and a hard input byte budget,
+# then reports peak RSS, overload-governor shed rates, and checkpoint
+# size/serialize cost. Results land in BENCH_resilience.json at the repo
+# root.
+#
+# A second, shorter supervised pass kills the process mid-run and checks
+# the restored digest against an uninterrupted run — the determinism
+# contract at soak cadence, not just at test length.
+#
+# Usage: bench/run_soak.sh [build-dir] [virtual-seconds]
+#   build-dir        default ./build
+#   virtual-seconds  soak length, default 100 (= 50x the 2 s session)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+seconds="${2:-100}"
+
+if [ "$seconds" -lt 100 ]; then
+  echo "note: $seconds s is below the 50x soak floor (100 s)" >&2
+fi
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_resilience athena_cli -j "$(nproc)"
+
+echo "== soak: ${seconds} s virtual, checkpointed + budgeted =="
+"$build_dir/bench/bench_resilience" --duration="$seconds" \
+  --out="$repo_root/BENCH_resilience.json"
+
+echo
+echo "== kill/restore at soak cadence =="
+cli="$build_dir/examples/athena_cli"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$cli" --duration=10 --checkpoint-every=1000 --supervise --kill-at=6500 \
+  > "$tmp/supervised.txt"
+grep -E "restored from checkpoint|supervision:" "$tmp/supervised.txt"
+"$cli" --duration=10 --checkpoint-every=1000 > "$tmp/plain.txt"
+
+killed_digest="$(grep -o 'final state digest: [0-9a-f]*' "$tmp/supervised.txt")"
+plain_digest="$(grep -o 'final state digest: [0-9a-f]*' "$tmp/plain.txt")"
+if [ "$killed_digest" != "$plain_digest" ]; then
+  echo "FAIL: restored digest differs from the uninterrupted run" >&2
+  echo "  supervised: $killed_digest" >&2
+  echo "  plain:      $plain_digest" >&2
+  exit 1
+fi
+echo "restored run digest matches the uninterrupted run ($killed_digest)"
+echo "wrote $repo_root/BENCH_resilience.json"

@@ -35,6 +35,21 @@
 //     --chaos-seeds=N                   seeds per chaos scenario (default 4)
 //     --chaos-out=FILE                  write the chaos matrix as JSON
 //     --chaos-list                      list the built-in chaos scenarios
+//     --checkpoint-every=MS             snapshot the session every MS of
+//                                       virtual time (resilient mode)
+//     --checkpoint-out=FILE             spill the latest checkpoint to FILE
+//     --restore=FILE                    resume from a checkpoint file; the
+//                                       replayed state is digest-verified
+//                                       before the run continues
+//     --mem-budget=BYTES                overload governor: bound the
+//                                       correlator input, shedding
+//                                       lowest-priority records first
+//     --supervise                       run under the watchdog supervisor
+//                                       (stall detection + bounded
+//                                       restart-from-checkpoint)
+//     --kill-at=MS                      inject a crash at virtual time MS
+//                                       (exercises the restore path)
+//     --kill-every-events=N             inject a crash every N events
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
@@ -44,6 +59,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -54,6 +70,8 @@
 #include "fault/chaos.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/supervisor.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -79,6 +97,21 @@ struct Options {
   std::size_t chaos_seeds = 4;
   std::string chaos_out;
   bool chaos_list = false;
+
+  // --- resilient mode (src/resilience/) ---
+  int checkpoint_every_ms = 0;          ///< 0 = no periodic snapshots
+  std::string checkpoint_out;           ///< latest-checkpoint spill file
+  std::string restore_path;             ///< resume from this checkpoint
+  std::size_t mem_budget = 0;           ///< input byte budget (0 = unbounded)
+  bool supervise = false;
+  int kill_at_ms = 0;                   ///< injected crash (virtual ms)
+  std::uint64_t kill_every_events = 0;  ///< injected crash cadence
+
+  [[nodiscard]] bool resilient() const {
+    return checkpoint_every_ms > 0 || !checkpoint_out.empty() ||
+           !restore_path.empty() || mem_budget > 0 || supervise ||
+           kill_at_ms > 0 || kill_every_events > 0;
+  }
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -125,6 +158,20 @@ Options Parse(int argc, char** argv) {
       opt.chaos_out = value;
     } else if (arg == "--chaos-list") {
       opt.chaos_list = true;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      opt.checkpoint_every_ms = std::stoi(value);
+    } else if (ParseFlag(arg, "checkpoint-out", &value)) {
+      opt.checkpoint_out = value;
+    } else if (ParseFlag(arg, "restore", &value)) {
+      opt.restore_path = value;
+    } else if (ParseFlag(arg, "mem-budget", &value)) {
+      opt.mem_budget = std::stoul(value);
+    } else if (ParseFlag(arg, "kill-at", &value)) {
+      opt.kill_at_ms = std::stoi(value);
+    } else if (ParseFlag(arg, "kill-every-events", &value)) {
+      opt.kill_every_events = std::stoull(value);
+    } else if (arg == "--supervise") {
+      opt.supervise = true;
     } else if (arg == "--diagnose") {
       opt.diagnose = true;
     } else if (arg == "--fading") {
@@ -136,7 +183,9 @@ Options Parse(int argc, char** argv) {
                    "[--metrics=FILE] [--diagnose] [--expose=FILE] "
                    "[--anomalies=FILE] [--sweep=N] [--jobs=J] "
                    "[--chaos=NAME|all] [--chaos-seeds=N] [--chaos-out=FILE] "
-                   "[--chaos-list]\n";
+                   "[--chaos-list] [--checkpoint-every=MS] [--checkpoint-out=FILE] "
+                   "[--restore=FILE] [--mem-budget=BYTES] [--supervise] "
+                   "[--kill-at=MS] [--kill-every-events=N]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -323,6 +372,72 @@ int RunChaos(const Options& opt) {
   return result.all_ok() ? 0 : 1;
 }
 
+/// Resilient mode: checkpointed, optionally supervised, optionally
+/// restored run of a single session. Returns the process exit code.
+int RunResilient(const Options& opt) {
+  resilience::RunPlan plan;
+  plan.config = BuildConfig(opt, opt.seed);
+  plan.duration = std::chrono::seconds{opt.duration_s};
+  plan.checkpoint_every = std::chrono::milliseconds{opt.checkpoint_every_ms};
+  plan.budget.input_bytes = opt.mem_budget;
+  if (!opt.checkpoint_out.empty()) {
+    plan.on_checkpoint = [&](const resilience::Checkpoint& c) {
+      c.WriteFile(opt.checkpoint_out);
+      std::cout << "checkpoint @ " << c.virtual_time.ms() << " ms ("
+                << c.SerializedBytes() << " bytes) -> " << opt.checkpoint_out << '\n';
+    };
+  }
+
+  resilience::ProcessFaultSpec faults;
+  if (opt.kill_at_ms > 0) {
+    faults.kill_at = sim::kEpoch + std::chrono::milliseconds{opt.kill_at_ms};
+  }
+  faults.kill_every_events = opt.kill_every_events;
+
+  std::optional<resilience::Checkpoint> start;
+  if (!opt.restore_path.empty()) {
+    start = resilience::Checkpoint::LoadFile(opt.restore_path);
+    std::cout << "loaded checkpoint " << opt.restore_path << " @ "
+              << start->virtual_time.ms() << " ms (" << start->events_executed
+              << " events)\n";
+  }
+
+  resilience::RunOutcome outcome;
+  if (opt.supervise || faults.any()) {
+    resilience::SupervisorOptions options;
+    options.on_event = [](const std::string& m) {
+      std::cout << "[supervisor] " << m << '\n';
+    };
+    resilience::Supervisor supervisor{std::move(plan), options};
+    const resilience::SupervisedOutcome sup =
+        start ? supervisor.RunFrom(*start, faults) : supervisor.Run(faults);
+    std::cout << "supervision: crashes=" << sup.crashes << " stalls=" << sup.stalls
+              << " restarts=" << sup.restarts << '\n';
+    if (!sup.completed) {
+      std::cerr << "supervised run did not complete: " << sup.last_error << '\n';
+      return 1;
+    }
+    outcome = sup.outcome;
+  } else {
+    resilience::CheckpointingDriver driver{std::move(plan)};
+    outcome = start ? driver.Resume(*start) : driver.Run();
+  }
+
+  if (outcome.restored) {
+    std::cout << "restored from checkpoint: replayed state digest verified\n";
+  }
+  if (outcome.shed.total() > 0) {
+    std::cout << "overload governor: shed " << outcome.shed.total() << " records ("
+              << outcome.shed.capped() << " hard-capped)\n";
+  }
+  std::cout << outcome.report;
+  std::cout << "final state digest: " << std::hex << outcome.final_digest
+            << "  report digest: " << outcome.report_digest << std::dec << " ("
+            << outcome.checkpoints_taken << " checkpoint(s), "
+            << outcome.events_executed << " events)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,6 +451,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!opt.chaos.empty()) return RunChaos(opt);
+    if (opt.resilient()) {
+      if (opt.sweep > 0) {
+        std::cerr << "--sweep and the resilience flags are mutually exclusive\n";
+        return 2;
+      }
+      return RunResilient(opt);
+    }
     if (opt.sweep > 0) {
       // Every run is a pure function of its index (seed derived from
       // --seed), and outputs print in index order — so the sweep's output

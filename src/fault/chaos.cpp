@@ -10,6 +10,10 @@
 #include "core/correlator.hpp"
 #include "obs/live/detectors.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/overload.hpp"
+#include "resilience/supervisor.hpp"
+#include "sim/random.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 
@@ -143,7 +147,40 @@ std::vector<ChaosScenario> BuiltinScenarios() {
     all.push_back(std::move(s));
   }
 
-  // 11. Everything at once, under cross traffic.
+  // 11. Process death mid-run: the collector is killed at a seed-derived
+  // virtual time and restored from its latest checkpoint. The restored
+  // run's final *and* report digests must be byte-identical to an
+  // uninterrupted run — the checkpoint/restore determinism contract,
+  // exercised end to end under the supervisor.
+  {
+    auto s = Make("kill_restore_midrun",
+                  "process killed at a seed-derived virtual time, restored from "
+                  "checkpoint; digests must match an uninterrupted run",
+                  {.restore_identical = true});
+    s.supervised = true;
+    s.plan.process.max_kills = 1;  // kill point derived per seed at run time
+    all.push_back(std::move(s));
+  }
+
+  // 12. Telemetry flood against a hard byte budget: a misbehaving
+  // collector re-reports everything ~10x with jittered timestamps. The
+  // governor must keep the input bounded, shed loudly, raise the
+  // overload anomaly, and correlation of the surviving records must
+  // still succeed.
+  {
+    auto s = Make("overload_flood",
+                  "10x telemetry/capture flood vs a hard byte budget: bounded "
+                  "memory, loud shed counters, correlation survives",
+                  {.degraded = true, .bounded_memory = true});
+    s.plan.For(Stream::kTelemetry).flood_factor = 10.0;
+    s.plan.For(Stream::kCoreCapture).flood_factor = 10.0;
+    // ~2.3x the clean input, ~0.4x the flooded one: tiers 2-3 alone
+    // cannot absorb the flood, so the hard cap must engage (loudly).
+    s.budget.input_bytes = 256 * 1024;
+    all.push_back(std::move(s));
+  }
+
+  // 13. Everything at once, under cross traffic.
   {
     auto s = Make("everything_hostile",
                   "compound faults on all streams under 12 Mbps cross traffic",
@@ -226,9 +263,94 @@ void ReplayIntoBank(const core::CorrelatorInput& input, obs::live::DetectorBank&
   }
 }
 
+/// Supervised scenarios: run the plan under the resilience Supervisor
+/// with an injected process kill, then run the same plan uninterrupted
+/// and demand byte-identical final + report digests.
+ChaosOutcome RunSupervisedScenario(const ChaosScenario& scenario, std::uint64_t seed) {
+  ChaosOutcome out;
+  out.scenario = scenario.name;
+  out.seed = seed;
+
+  try {
+    // A per-run registry, as in the plain path: supervision gauges are
+    // inspectable and sweep workers never share.
+    obs::MetricsRegistry registry;
+    obs::ScopedMetrics metrics_scope{&registry};
+
+    resilience::RunPlan plan;
+    plan.config.seed = seed;
+    if (scenario.cross_mbps > 0.0) {
+      plan.config.cross_traffic = net::CapacityTrace{scenario.cross_mbps * 1e6};
+      plan.config.cross_burstiness = 0.35;
+    }
+    plan.duration = scenario.duration;
+    plan.checkpoint_every = 250ms;
+    plan.budget = scenario.budget;
+
+    resilience::ProcessFaultSpec faults = scenario.plan.process;
+    if (!faults.any()) {
+      // Seed-derived kill point in the middle 60% of the run, so every
+      // seed in the matrix dies (and restores) somewhere different.
+      const auto span = static_cast<std::uint64_t>(scenario.duration.count());
+      const std::uint64_t offset =
+          span / 5 + sim::DeriveSeed(seed, 0x6B) % (3 * span / 5);
+      faults.kill_at = sim::kEpoch + sim::Duration{static_cast<std::int64_t>(offset)};
+    }
+
+    resilience::SupervisorOptions options;
+    options.watchdog = false;  // keep matrix workers thread-free
+    options.backoff_initial = std::chrono::milliseconds{0};
+    resilience::Supervisor supervisor{plan, options};
+    const resilience::SupervisedOutcome sup = supervisor.Run(faults);
+
+    out.kills = sup.crashes;
+    out.restores = sup.restarts;
+    out.survived = sup.completed;
+    out.time_monotone = sup.completed;
+    out.queues_bounded = true;  // the driver owns and drains its simulator
+    out.events_executed = sup.outcome.events_executed;
+    out.packets_correlated = sup.outcome.packets_correlated;
+    out.digest = sup.outcome.final_digest;
+    out.shed_total = sup.outcome.shed.total();
+    out.shed_capped = sup.outcome.shed.capped();
+
+    // The determinism oracle: the identical plan, never killed.
+    resilience::CheckpointingDriver reference{plan};
+    const resilience::RunOutcome ref = reference.Run();
+    out.digest_match = sup.completed &&
+                       sup.outcome.final_digest == ref.final_digest &&
+                       sup.outcome.report_digest == ref.report_digest;
+
+    auto fail = [&](const std::string& why) {
+      if (out.failure.empty()) out.failure = why;
+    };
+    if (!sup.completed) {
+      fail(sup.last_error.empty() ? std::string{"supervised run never completed"}
+                                  : sup.last_error);
+    }
+    out.contract_met = sup.completed;
+    if (scenario.expect.restore_identical) {
+      if (out.kills == 0) fail("kill point never fired");
+      if (out.restores == 0) fail("run was never restored from a checkpoint");
+      if (!out.digest_match) fail("restored digests diverge from the uninterrupted run");
+      out.contract_met = out.contract_met && out.kills > 0 && out.restores > 0 &&
+                         out.digest_match;
+    }
+  } catch (const std::exception& e) {
+    out.survived = false;
+    out.failure = std::string("exception: ") + e.what();
+  } catch (...) {
+    out.survived = false;
+    out.failure = "unknown exception";
+  }
+  return out;
+}
+
 }  // namespace
 
 ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed) {
+  if (scenario.supervised) return RunSupervisedScenario(scenario, seed);
+
   ChaosOutcome out;
   out.scenario = scenario.name;
   out.seed = seed;
@@ -264,6 +386,16 @@ ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed)
     out.faults_injected = injector.stats().total_faults();
     injector.stats().PublishMetrics();
 
+    // Overload governor: bound the impaired input before anything
+    // downstream sees it, exactly as the resilient pipeline does.
+    if (scenario.budget.any()) {
+      const resilience::ShedStats shed = resilience::BoundInput(input, scenario.budget);
+      shed.PublishMetrics();
+      out.shed_total = shed.total();
+      out.shed_capped = shed.capped();
+      out.bounded_bytes = resilience::InputBytes(input);
+    }
+
     InputDigest digest;
     digest.Mix(seed);
     digest.Mix(input.telemetry);
@@ -285,9 +417,15 @@ ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed)
     // The live engine's verdict on the same impaired evidence.
     obs::live::DetectorBank bank;
     ReplayIntoBank(input, bank);
+    if (out.shed_total > 0) {
+      bank.OnShed({.t = simulator.Now(),
+                   .shed_total = static_cast<double>(out.shed_total),
+                   .shed_capped = static_cast<double>(out.shed_capped)});
+    }
     out.anomalies_total = bank.anomaly_count();
     out.telemetry_gap_anomalies =
         bank.anomaly_count(obs::live::AnomalyKind::kTelemetryGap);
+    out.overload_anomalies = bank.anomaly_count(obs::live::AnomalyKind::kOverload);
 
     // Degradation must be *reported*, not just computed: the gauges the
     // rest of the stack scrapes have to agree with the dataset verdict.
@@ -334,6 +472,20 @@ ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed)
                           out.telemetry_gap_anomalies > 0) &&
                          (!expect.telemetry_flagged || out.telemetry_gaps > 0 ||
                           out.telemetry_repairs > 0);
+      if (expect.bounded_memory) {
+        const bool fits = scenario.budget.input_bytes == 0 ||
+                          out.bounded_bytes <= scenario.budget.input_bytes;
+        if (out.shed_total == 0) fail("budget set but the governor shed nothing");
+        if (!fits) fail("bounded input still exceeds its byte budget");
+        if (out.overload_anomalies == 0) {
+          fail("overload detector stayed silent while shedding");
+        }
+        if (out.packets_correlated == 0) {
+          fail("no packets correlated from the bounded input");
+        }
+        out.contract_met = out.contract_met && out.shed_total > 0 && fits &&
+                           out.overload_anomalies > 0 && out.packets_correlated > 0;
+      }
       out.silently_degraded = out.faults_injected > 0 && !out.health_degraded &&
                               out.anomalies_total == 0;
       if (out.silently_degraded) fail("faults injected but every signal stayed silent");
@@ -406,7 +558,13 @@ void WriteChaosJson(std::ostream& os, const ChaosMatrixResult& result,
        << ", \"anomalies_total\": " << o.anomalies_total
        << ", \"telemetry_gap_anomalies\": " << o.telemetry_gap_anomalies
        << ", \"packets_correlated\": " << o.packets_correlated
-       << ", \"events_executed\": " << o.events_executed << ", \"failure\": ";
+       << ", \"events_executed\": " << o.events_executed
+       << ", \"kills\": " << o.kills << ", \"restores\": " << o.restores
+       << ", \"digest_match\": " << (o.digest_match ? "true" : "false")
+       << ", \"shed_total\": " << o.shed_total
+       << ", \"shed_capped\": " << o.shed_capped
+       << ", \"bounded_bytes\": " << o.bounded_bytes
+       << ", \"overload_anomalies\": " << o.overload_anomalies << ", \"failure\": ";
     WriteJsonString(os, o.failure);
     os << "}" << (i + 1 < result.outcomes.size() ? "," : "") << "\n";
   }
@@ -423,6 +581,14 @@ void RenderChaosTable(std::ostream& os, const ChaosMatrixResult& result) {
        << " uncovered=" << o.uncovered_packets << " phantom=" << o.unmatched_tb_bytes
        << " conf=" << o.mean_match_confidence
        << " tele_gap_anoms=" << o.telemetry_gap_anomalies;
+    if (o.kills > 0 || o.restores > 0) {
+      os << " kills=" << o.kills << " restores=" << o.restores
+         << " digest_match=" << (o.digest_match ? "yes" : "NO");
+    }
+    if (o.shed_total > 0) {
+      os << " shed=" << o.shed_total << " capped=" << o.shed_capped
+         << " bytes=" << o.bounded_bytes << " overload_anoms=" << o.overload_anomalies;
+    }
     if (!o.failure.empty()) os << "  [" << o.failure << "]";
     os << "\n";
   }

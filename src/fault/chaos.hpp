@@ -40,6 +40,14 @@ struct ChaosExpectation {
   /// small clock drift): only the hard invariants apply; degradation may
   /// or may not be reported.
   bool tolerated = false;
+  /// Supervised scenarios: the run must be killed at least once, restored
+  /// from a checkpoint, and finish with final/report digests byte-identical
+  /// to an uninterrupted run of the same plan.
+  bool restore_identical = false;
+  /// Overload scenarios: the governor must shed (loudly), the bounded
+  /// input must fit its byte budget, the live overload detector must
+  /// fire, and correlation of the surviving records must still succeed.
+  bool bounded_memory = false;
 };
 
 struct ChaosScenario {
@@ -52,6 +60,15 @@ struct ChaosScenario {
   /// range; cross-traffic exercises the detectors under contention.
   sim::Duration duration{std::chrono::seconds{2}};
   double cross_mbps = 0.0;
+
+  /// Run under the resilience Supervisor (crash injection + restore path)
+  /// instead of the plain session loop. When `plan.process` sets no kill
+  /// point, a seed-derived virtual-time kill is used, so every seed in
+  /// the matrix kills at a different point.
+  bool supervised = false;
+  /// Overload-governor budget applied to the (impaired) correlator input;
+  /// default = unbounded.
+  resilience::MemoryBudget budget{};
 };
 
 /// The built-in scenario catalog (≥ 8 scenarios spanning every fault
@@ -94,6 +111,15 @@ struct ChaosOutcome {
   std::uint64_t telemetry_gap_anomalies = 0;
   std::uint64_t packets_correlated = 0;
   std::uint64_t events_executed = 0;
+
+  // --- resilience evidence (supervised / budgeted scenarios) ---
+  int kills = 0;                      ///< injected crashes observed
+  int restores = 0;                   ///< restore attempts performed
+  bool digest_match = false;          ///< restored digests == uninterrupted run's
+  std::uint64_t shed_total = 0;       ///< overload-governor ledger, all tiers
+  std::uint64_t shed_capped = 0;      ///< hard-capped data records
+  std::size_t bounded_bytes = 0;      ///< input bytes after BoundInput
+  std::uint64_t overload_anomalies = 0;
 
   std::string failure;  ///< first violated check, empty when ok()
 

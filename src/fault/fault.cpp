@@ -33,6 +33,7 @@ void FaultStats::PublishMetrics() const {
     obs::SetGauge(prefix + ".dropped",
                   static_cast<double>(s.dropped + s.outage_dropped + s.truncated));
     obs::SetGauge(prefix + ".duplicated", static_cast<double>(s.duplicated));
+    obs::SetGauge(prefix + ".flooded", static_cast<double>(s.flooded));
     obs::SetGauge(prefix + ".reordered", static_cast<double>(s.reordered));
     obs::SetGauge(prefix + ".delayed", static_cast<double>(s.delayed));
     obs::SetGauge(prefix + ".corrupted", static_cast<double>(s.corrupted));
@@ -143,6 +144,22 @@ void FaultInjector::ApplyImpl(Stream stream, std::vector<Record>& records, TsOf 
     if (dup) {
       ++st.duplicated;
       emit(Record{r});
+    }
+    if (spec.flood_factor > 1.0) {
+      // Expected flood_factor total copies: emit the integer part of the
+      // surplus always, the fractional part probabilistically. Each copy
+      // gets a small timestamp jitter so it is a *near*-duplicate the
+      // correlator's exact-dedup keeps — offered load really grows.
+      const double extra = spec.flood_factor - 1.0;
+      auto copies = static_cast<std::int64_t>(extra);
+      const double frac = extra - static_cast<double>(copies);
+      if (frac > 0.0 && rng.Bernoulli(frac)) ++copies;
+      for (std::int64_t c = 0; c < copies; ++c) {
+        ++st.flooded;
+        Record copy{r};
+        set_ts(copy, ts_of(copy) + rng.UniformDuration(sim::Duration{1}, sim::Duration{50}));
+        emit(Record{copy});
+      }
     }
     if (spec.reorder > 0.0 && rng.Bernoulli(spec.reorder)) {
       ++st.reordered;

@@ -20,6 +20,7 @@
 #include "net/capture.hpp"
 #include "net/packet.hpp"
 #include "ran/types.hpp"
+#include "resilience/supervisor.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -61,6 +62,12 @@ struct FaultSpec {
   /// (sizes, HARQ metadata, CRC verdicts — never into values that are
   /// UB to consume, only into values that are *wrong*).
   double corrupt = 0.0;
+  /// Telemetry flood: expected total copies per record (≥ 1.0; 1.0
+  /// disables). Extra copies carry jittered local timestamps, so they
+  /// are near-duplicates the correlator's exact-dedup cannot remove —
+  /// a misbehaving collector re-reporting everything, the overload
+  /// governor's natural enemy.
+  double flood_factor = 1.0;
 
   // --- window faults ---
   /// Burst outage: every record timestamped inside [outage_begin,
@@ -84,21 +91,30 @@ struct FaultSpec {
 
   [[nodiscard]] bool active() const {
     return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || delay > 0.0 ||
-           corrupt > 0.0 || outage_end > outage_begin ||
+           corrupt > 0.0 || flood_factor > 1.0 || outage_end > outage_begin ||
            truncate_after_fraction < 1.0 || clock_step.count() != 0 ||
            clock_drift_ppm != 0.0;
   }
 };
 
-/// A named, composable set of per-stream fault models.
+/// A named, composable set of per-stream fault models, plus the
+/// process-level faults (kill points) the resilience supervisor injects.
 struct FaultPlan {
   std::array<FaultSpec, kStreamCount> streams{};
+
+  /// Process death, handled by resilience::Supervisor rather than the
+  /// record-level injector: the whole collector process dies and is
+  /// restarted from its latest checkpoint.
+  resilience::ProcessFaultSpec process{};
 
   [[nodiscard]] FaultSpec& For(Stream s) { return streams[static_cast<std::size_t>(s)]; }
   [[nodiscard]] const FaultSpec& For(Stream s) const {
     return streams[static_cast<std::size_t>(s)];
   }
 
+  /// True when any *stream* fault model is active (process faults are
+  /// queried separately via `process.any()` — they act on the run, not
+  /// on records).
   [[nodiscard]] bool active() const {
     for (const auto& s : streams) {
       if (s.active()) return true;
@@ -116,14 +132,15 @@ struct FaultStats {
     std::uint64_t outage_dropped = 0;   ///< burst-outage window
     std::uint64_t truncated = 0;        ///< truncation tail
     std::uint64_t duplicated = 0;
+    std::uint64_t flooded = 0;          ///< extra near-duplicate copies emitted
     std::uint64_t reordered = 0;
     std::uint64_t delayed = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t clock_stepped = 0;
 
     [[nodiscard]] std::uint64_t faults() const {
-      return dropped + outage_dropped + truncated + duplicated + reordered + delayed +
-             corrupted + clock_stepped;
+      return dropped + outage_dropped + truncated + duplicated + flooded + reordered +
+             delayed + corrupted + clock_stepped;
     }
   };
 

@@ -14,6 +14,7 @@ const char* ToString(AnomalyKind kind) {
     case AnomalyKind::kOverGranting: return "over-granting (PRB waste)";
     case AnomalyKind::kQueueBuildup: return "cross-traffic queue buildup";
     case AnomalyKind::kTelemetryGap: return "telemetry feed gap";
+    case AnomalyKind::kOverload: return "telemetry overload shedding";
   }
   return "?";
 }
@@ -26,6 +27,7 @@ const char* SlugFor(AnomalyKind kind) {
     case AnomalyKind::kOverGranting: return "over_granting";
     case AnomalyKind::kQueueBuildup: return "queue_buildup";
     case AnomalyKind::kTelemetryGap: return "telemetry_gap";
+    case AnomalyKind::kOverload: return "overload";
   }
   return "unknown";
 }

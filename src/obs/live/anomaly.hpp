@@ -30,8 +30,9 @@ enum class AnomalyKind : std::uint8_t {
   kOverGranting,             ///< requested grants sized from stale BSRs go unused (§3.1)
   kQueueBuildup,             ///< RLC backlog never drains: capacity contention (§2)
   kTelemetryGap,             ///< the PHY telemetry feed lost records while traffic flowed
+  kOverload,                 ///< the overload governor is shedding telemetry load
 };
-inline constexpr std::size_t kAnomalyKindCount = 6;
+inline constexpr std::size_t kAnomalyKindCount = 7;
 
 /// Human-readable name, e.g. "HARQ retransmission inflation".
 [[nodiscard]] const char* ToString(AnomalyKind kind);

@@ -360,6 +360,35 @@ void TelemetryGapDetector::OnTb(const TbObservation& tb) {
 // DetectorBank
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// OverloadDetector
+// ---------------------------------------------------------------------------
+
+void OverloadDetector::OnShed(const ShedSample& s) {
+  // Samples carry cumulative counts; only growth is new evidence.
+  const bool grew = s.shed_total > last_total_;
+  const bool capped_grew = s.shed_capped > last_capped_;
+  last_total_ = std::max(last_total_, s.shed_total);
+  last_capped_ = std::max(last_capped_, s.shed_capped);
+  if (!grew || s.shed_total < static_cast<double>(config_.overload_min_shed)) return;
+
+  AnomalyEvent e;
+  e.kind = kind();
+  e.layer = Layer::kOther;
+  e.window_begin = s.t;
+  e.window_end = s.t;
+  // Sheds confined to the refinement tiers (ICMP, padding TBs, low-prio
+  // trace) degrade confidence mildly; hard-capped data records mean the
+  // budget was too small for even the high-priority load.
+  e.confidence = capped_grew ? 1.0 : 0.6;
+  e.message = Format("overload governor shed %.0f records under memory pressure "
+                     "(%.0f were hard-capped data records)",
+                     s.shed_total, s.shed_capped);
+  e.AddEvidence("shed_total", s.shed_total);
+  e.AddEvidence("shed_capped", s.shed_capped);
+  Emit(std::move(e));
+}
+
 DetectorBank::DetectorBank(DetectorConfig config) : config_(config) {
   Add(std::make_unique<SlotQuantizationDetector>());
   Add(std::make_unique<HarqRtxDetector>());
@@ -367,6 +396,7 @@ DetectorBank::DetectorBank(DetectorConfig config) : config_(config) {
   Add(std::make_unique<OverGrantingDetector>());
   Add(std::make_unique<QueueBuildupDetector>());
   Add(std::make_unique<TelemetryGapDetector>());
+  Add(std::make_unique<OverloadDetector>());
 }
 
 void DetectorBank::Add(std::unique_ptr<Detector> detector) {
@@ -403,6 +433,10 @@ void DetectorBank::OnBacklog(const BacklogSample& s) {
 
 void DetectorBank::OnOveruse(const OveruseObservation& o) {
   for (const auto& det : detectors_) det->OnOveruse(o);
+}
+
+void DetectorBank::OnShed(const ShedSample& s) {
+  for (const auto& det : detectors_) det->OnShed(s);
 }
 
 }  // namespace athena::obs::live

@@ -67,6 +67,15 @@ struct OveruseObservation {
   double trend_ms = 0.0;
 };
 
+/// One load-shedding report from the overload governor (the
+/// `overload.shed` trace instant, or fed directly from a
+/// resilience::ShedStats ledger).
+struct ShedSample {
+  sim::TimePoint t;
+  double shed_total = 0.0;   ///< records shed so far (cumulative)
+  double shed_capped = 0.0;  ///< of those, hard-capped *data* records
+};
+
 /// Timing constants of the observed cell the tests key on. Defaults
 /// match ran::RanConfig::PaperCell().
 struct CellTiming {
@@ -119,6 +128,9 @@ struct DetectorConfig {
   /// were lost even without a long contiguous hole.
   double tele_gap_byte_ratio = 0.8;
   std::uint64_t tele_gap_min_bytes = 60'000;  ///< delivered bytes before the ratio test arms
+
+  // -- overload --
+  std::uint64_t overload_min_shed = 1;  ///< cumulative sheds before firing
 };
 
 /// Base class. Override only the observation kinds the detector needs.
@@ -136,6 +148,7 @@ class Detector {
   virtual void OnHarqChain(const HarqChainObservation&) {}
   virtual void OnBacklog(const BacklogSample&) {}
   virtual void OnOveruse(const OveruseObservation&) {}
+  virtual void OnShed(const ShedSample&) {}
 
   /// Attribution tally for the health report: of the samples this
   /// detector flagged as suspicious, how many did it explain?
@@ -327,6 +340,29 @@ class TelemetryGapDetector final : public Detector {
   std::size_t since_ratio_eval_ = 0;
 };
 
+/// Robustness (bounded-memory contract): the overload governor started
+/// shedding telemetry load. Degradation must be *diagnosed*, not just
+/// counted — an operator reading the health report should learn that
+/// attribution confidence is reduced because records were dropped on
+/// purpose, and whether the drops reached the data records correlation
+/// is built on (the `capped` tier) or stayed in the refinement tiers.
+class OverloadDetector final : public Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "overload"; }
+  [[nodiscard]] AnomalyKind kind() const override { return AnomalyKind::kOverload; }
+
+  void OnShed(const ShedSample& s) override;
+
+  [[nodiscard]] Attribution attribution() const override {
+    return {static_cast<std::uint64_t>(last_total_),
+            static_cast<std::uint64_t>(last_capped_)};
+  }
+
+ private:
+  double last_total_ = 0.0;
+  double last_capped_ = 0.0;
+};
+
 /// Owns the detector set, fans observations out, and funnels emitted
 /// anomalies into one callback (the LiveEngine's event log).
 class DetectorBank {
@@ -344,6 +380,7 @@ class DetectorBank {
   void OnHarqChain(const HarqChainObservation& c);
   void OnBacklog(const BacklogSample& s);
   void OnOveruse(const OveruseObservation& o);
+  void OnShed(const ShedSample& s);
 
   /// Invoked (synchronously) for every anomaly any detector emits.
   void set_on_anomaly(std::function<void(const AnomalyEvent&)> cb);

@@ -61,6 +61,14 @@ std::string SummaryFor(const HealthReport::Cause& c) {
         s += ", telemetry feed lost records while traffic flowed";
       }
       break;
+    case AnomalyKind::kOverload:
+      if (c.suspect > 0) {
+        s += ", " + std::to_string(c.suspect) + " records shed under memory pressure (" +
+             std::to_string(c.attributed) + " were data records)";
+      } else {
+        s += ", the overload governor shed telemetry load";
+      }
+      break;
   }
   return s;
 }

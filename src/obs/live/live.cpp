@@ -65,6 +65,12 @@ void LiveEngine::Emit(const TraceEvent& event) {
         bank_.OnOveruse(OveruseObservation{event.ts, event.Arg("trend_ms")});
       } else if (event.layer == Layer::kNet && event.name == names::kLinkDrop.id) {
         ++link_drops_;
+      } else if (event.name == names::kOverloadShed.id) {
+        bank_.OnShed(ShedSample{
+            .t = event.ts,
+            .shed_total = event.Arg("total"),
+            .shed_capped = event.Arg("capped"),
+        });
       }
       return;
 

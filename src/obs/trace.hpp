@@ -204,14 +204,52 @@ inline void TraceCounter(Layer layer, TraceName name, sim::TimePoint t,
   sink->Emit(e);
 }
 
+/// True for events the live diagnosis engine decodes (TB telemetry,
+/// RAN transits, HARQ chains, jitter-buffer verdicts, correlator
+/// verdicts, overload reports, …). Under a TraceRecorder byte budget
+/// these are the events that must survive shedding: dropping them
+/// blinds the detectors, while dropping anything else only thins the
+/// Perfetto timeline.
+[[nodiscard]] inline bool CriticalTraceEvent(const TraceEvent& e) {
+  return e.name == names::kTbTx.id || e.name == names::kTbRtx.id ||
+         e.name == names::kRanTransit.id || e.name == names::kHarqChain.id ||
+         e.name == names::kRanRlcBytes.id || e.name == names::kCcOveruse.id ||
+         e.name == names::kLinkDrop.id || e.name == names::kFrameJb.id ||
+         e.name == names::kSampleJb.id || e.name == names::kPktUplink.id ||
+         e.name == names::kOverloadShed.id;
+}
+
 /// Buffers events in memory and serializes them as Chrome trace-event
 /// JSON (`{"traceEvents": [...]}`), with one named track per Layer.
 /// Storage is chunked: appending never copies already-buffered events,
 /// so emit cost stays flat no matter how large the trace grows.
+///
+/// An optional hard byte budget (set_byte_budget) bounds the buffer at
+/// chunk granularity. Once the budget is reached, low-priority events
+/// (everything CriticalTraceEvent rejects) are shed on arrival; critical
+/// events evict the oldest chunk instead, so the detectors' evidence
+/// stream keeps flowing with bounded memory. Both actions are counted
+/// (shed_low_priority / chunks_evicted) — degradation is never silent.
 class TraceRecorder final : public TraceSink {
  public:
   void Emit(const TraceEvent& event) override {
-    if (chunk_pos_ == kChunkSize) NewChunk();
+    if (max_chunks_ > 0 && saturated_ && !CriticalTraceEvent(event)) {
+      ++shed_low_priority_;
+      return;
+    }
+    if (chunk_pos_ == kChunkSize) {
+      if (max_chunks_ > 0 && chunks_.size() >= max_chunks_) {
+        saturated_ = true;
+        if (!CriticalTraceEvent(event)) {
+          ++shed_low_priority_;
+          return;
+        }
+        chunks_.erase(chunks_.begin());  // moves chunk *pointers*, not events
+        size_ -= kChunkSize;
+        ++chunks_evicted_;
+      }
+      NewChunk();
+    }
     chunks_.back()[chunk_pos_++] = event;
     ++size_;
   }
@@ -221,7 +259,29 @@ class TraceRecorder final : public TraceSink {
     chunks_.clear();
     chunk_pos_ = kChunkSize;
     size_ = 0;
+    saturated_ = false;
   }
+
+  /// Caps buffered storage to ~`bytes` (rounded down to whole chunks,
+  /// minimum one chunk). 0 restores the unbounded default.
+  void set_byte_budget(std::size_t bytes) {
+    if (bytes == 0) {
+      max_chunks_ = 0;
+      saturated_ = false;
+      return;
+    }
+    max_chunks_ = bytes / (kChunkSize * sizeof(TraceEvent));
+    if (max_chunks_ == 0) max_chunks_ = 1;
+  }
+  [[nodiscard]] std::size_t byte_budget() const {
+    return max_chunks_ * kChunkSize * sizeof(TraceEvent);
+  }
+  [[nodiscard]] std::size_t buffered_bytes() const { return size_ * sizeof(TraceEvent); }
+
+  /// Low-priority events dropped on arrival under the budget.
+  [[nodiscard]] std::uint64_t shed_low_priority() const { return shed_low_priority_; }
+  /// Oldest-chunk evictions performed to admit critical events.
+  [[nodiscard]] std::uint64_t chunks_evicted() const { return chunks_evicted_; }
 
   /// Visits every buffered event in emit order.
   template <typename Fn>
@@ -263,6 +323,10 @@ class TraceRecorder final : public TraceSink {
   std::vector<ChunkHolder> chunks_;
   std::size_t chunk_pos_ = kChunkSize;  // forces a chunk on first Emit
   std::size_t size_ = 0;
+  std::size_t max_chunks_ = 0;  // 0 = unbounded
+  bool saturated_ = false;      // budget reached at least once
+  std::uint64_t shed_low_priority_ = 0;
+  std::uint64_t chunks_evicted_ = 0;
 };
 
 /// Forwards every event to a small list of sinks, so independent

@@ -88,6 +88,8 @@ inline const TraceName kFrameJb{"frame.jb"};
 inline const TraceName kSampleJb{"sample.jb"};
 // core
 inline const TraceName kPktUplink{"pkt.uplink"};
+// resilience (overload governor)
+inline const TraceName kOverloadShed{"overload.shed"};
 }  // namespace names
 
 }  // namespace athena::obs

@@ -1,0 +1,549 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::resilience {
+
+// ---------------------------------------------------------------------------
+// StateDigest
+// ---------------------------------------------------------------------------
+
+void StateDigest::Mix(std::uint64_t v) {
+  // FNV-1a one byte at a time: byte-order independent across platforms.
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (i * 8)) & 0xffu;
+    hash_ *= 0x100000001b3ULL;
+  }
+}
+
+void StateDigest::Mix(std::string_view s) {
+  Mix(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= 0x100000001b3ULL;
+  }
+}
+
+void StateDigest::Mix(const std::vector<ran::TbRecord>& records) {
+  Mix(records.size());
+  for (const auto& r : records) {
+    Mix(r.tb_id);
+    Mix(r.chain_id);
+    Mix(static_cast<std::uint64_t>(r.slot_time.us()));
+    Mix(static_cast<std::uint64_t>(r.grant));
+    Mix(r.tbs_bytes);
+    Mix(r.used_bytes);
+    Mix(r.harq_round);
+    Mix(r.crc_ok ? 1u : 0u);
+  }
+}
+
+void StateDigest::Mix(const std::vector<net::CaptureRecord>& records) {
+  Mix(records.size());
+  for (const auto& r : records) {
+    Mix(r.packet_id);
+    Mix(static_cast<std::uint64_t>(r.local_ts.us()));
+    Mix(static_cast<std::uint64_t>(r.kind));
+    Mix(r.size_bytes);
+    Mix(r.flow);
+    Mix(r.rtp.has_value() ? r.rtp->frame_id + 1 : 0u);
+    Mix(r.icmp.has_value() ? r.icmp->probe_seq + 1 : 0u);
+  }
+}
+
+void StateDigest::Mix(const core::CorrelatorInput& input) {
+  Mix(static_cast<std::uint64_t>(input.sender_offset.count()));
+  Mix(static_cast<std::uint64_t>(input.receiver_offset.count()));
+  Mix(input.telemetry);
+  Mix(input.sender);
+  Mix(input.core);
+  Mix(input.receiver);
+}
+
+std::uint64_t ConfigFingerprint(const app::SessionConfig& config) {
+  // A drift detector, not a cryptographic identity: covers every scalar
+  // knob that shapes the run. Functional overrides (grant_policy,
+  // controller_factory) cannot be fingerprinted — restoring a checkpoint
+  // under a different custom policy is the caller's responsibility.
+  StateDigest d;
+  d.Mix(config.seed);
+  d.Mix(static_cast<std::uint64_t>(config.access));
+  d.Mix(static_cast<std::uint64_t>(config.controller));
+  d.Mix(static_cast<std::uint64_t>(config.cell.ul_slot_period.count()));
+  d.Mix(static_cast<std::uint64_t>(config.cell.slot_duration.count()));
+  d.Mix(static_cast<std::uint64_t>(config.cell.bsr_scheduling_delay.count()));
+  d.Mix(config.cell.proactive_grant_bytes);
+  d.Mix(static_cast<std::uint64_t>(config.cell.cell_ul_capacity_bps));
+  d.Mix(static_cast<std::uint64_t>(config.cell.ue_processing_delay.count()));
+  d.Mix(static_cast<std::uint64_t>(config.cell.rtx_delay.count()));
+  d.Mix(config.cell.max_harq_rounds);
+  d.Mix(static_cast<std::uint64_t>(config.cell.ecn_marking_threshold.count()));
+  d.Mix(static_cast<std::uint64_t>(config.cell.gnb_to_core_delay.count()));
+  d.Mix(static_cast<std::uint64_t>(config.channel.base_bler * 1e9));
+  d.Mix(static_cast<std::uint64_t>(config.channel.rtx_bler_factor * 1e9));
+  d.Mix(static_cast<std::uint64_t>(config.channel.bad_state_bler * 1e9));
+  d.Mix(static_cast<std::uint64_t>(config.channel.p_good_to_bad * 1e9));
+  d.Mix(static_cast<std::uint64_t>(config.channel.p_bad_to_good * 1e9));
+  d.Mix(static_cast<std::uint64_t>(config.wan_delay.count()));
+  d.Mix(static_cast<std::uint64_t>(config.wan_jitter.count()));
+  d.Mix(static_cast<std::uint64_t>(config.emulated_latency.count()));
+  d.Mix(static_cast<std::uint64_t>(config.cross_burstiness * 1e6));
+  d.Mix(static_cast<std::uint64_t>(config.cross_modulation_sigma * 1e6));
+  d.Mix(config.cross_traffic.steps().size());
+  for (const auto& step : config.cross_traffic.steps()) {
+    d.Mix(static_cast<std::uint64_t>(step.from.us()));
+    d.Mix(static_cast<std::uint64_t>(step.bits_per_second));
+  }
+  d.Mix(config.icmp_enabled ? 1u : 0u);
+  d.Mix(static_cast<std::uint64_t>(config.icmp_interval.count()));
+  d.Mix(static_cast<std::uint64_t>(config.sender_clock_offset.count()));
+  d.Mix(static_cast<std::uint64_t>(config.receiver_clock_offset.count()));
+  d.Mix(static_cast<std::uint64_t>(config.sender_clock_drift_ppm * 1e3));
+  return d.value();
+}
+
+// ---------------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------------
+//
+//   [0..8)    magic "ATHCKPT\n"
+//   [8..12)   u32 version
+//   [12..16)  u32 reserved (0)
+//   ...       header fields (fixed-width little-endian)
+//   ...       record payload (telemetry, sender, core, receiver)
+//   [-8..)    u64 FNV-1a checksum over every preceding byte
+//
+// All integers are written little-endian byte-by-byte, so the file is
+// identical across platforms and never depends on struct layout.
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'H', 'C', 'K', 'P', 'T', '\n'};
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U16(std::uint16_t v) { Le(v, 2); }
+  void U32(std::uint32_t v) { Le(v, 4); }
+  void U64(std::uint64_t v) { Le(v, 8); }
+  void I64(std::int64_t v) { Le(static_cast<std::uint64_t>(v), 8); }
+
+ private:
+  void Le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t U8() { return static_cast<std::uint8_t>(Le(1)); }
+  std::uint16_t U16() { return static_cast<std::uint16_t>(Le(2)); }
+  std::uint32_t U32() { return static_cast<std::uint32_t>(Le(4)); }
+  std::uint64_t U64() { return Le(8); }
+  std::int64_t I64() { return static_cast<std::int64_t>(Le(8)); }
+
+ private:
+  std::uint64_t Le(int bytes) {
+    if (pos_ + static_cast<std::size_t>(bytes) > size_) {
+      throw CheckpointError("checkpoint truncated: needed " + std::to_string(bytes) +
+                            " bytes at offset " + std::to_string(pos_) + ", file has " +
+                            std::to_string(size_));
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (i * 8);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t FnvOver(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void WriteTb(Writer& w, const ran::TbRecord& r) {
+  w.U64(r.tb_id);
+  w.U64(r.chain_id);
+  w.I64(r.slot_time.us());
+  w.U8(static_cast<std::uint8_t>(r.grant));
+  w.U32(r.tbs_bytes);
+  w.U32(r.used_bytes);
+  w.U8(r.harq_round);
+  w.U8(r.crc_ok ? 1 : 0);
+}
+
+ran::TbRecord ReadTb(Reader& r) {
+  ran::TbRecord tb;
+  tb.tb_id = r.U64();
+  tb.chain_id = r.U64();
+  tb.slot_time = sim::TimePoint{sim::Duration{r.I64()}};
+  tb.grant = static_cast<ran::GrantType>(r.U8());
+  tb.tbs_bytes = r.U32();
+  tb.used_bytes = r.U32();
+  tb.harq_round = r.U8();
+  tb.crc_ok = r.U8() != 0;
+  return tb;
+}
+
+void WriteCapture(Writer& w, const net::CaptureRecord& r) {
+  w.U64(r.packet_id);
+  w.I64(r.local_ts.us());
+  w.I64(r.true_ts.us());
+  w.U8(static_cast<std::uint8_t>(r.kind));
+  w.U32(r.size_bytes);
+  w.U32(r.flow);
+  w.U8(r.rtp.has_value() ? 1 : 0);
+  if (r.rtp.has_value()) {
+    w.U32(r.rtp->ssrc);
+    w.U16(r.rtp->seq);
+    w.U32(r.rtp->media_ts);
+    w.U8(r.rtp->marker ? 1 : 0);
+    w.U8(static_cast<std::uint8_t>(r.rtp->layer));
+    w.U64(r.rtp->frame_id);
+    w.U16(r.rtp->transport_seq);
+    w.U32(r.rtp->packets_in_frame);
+    w.U32(r.rtp->packet_index_in_frame);
+  }
+  w.U8(r.icmp.has_value() ? 1 : 0);
+  if (r.icmp.has_value()) {
+    w.U32(r.icmp->probe_seq);
+    w.I64(r.icmp->echo_sent_at.us());
+  }
+}
+
+net::CaptureRecord ReadCapture(Reader& r) {
+  net::CaptureRecord c;
+  c.packet_id = r.U64();
+  c.local_ts = sim::TimePoint{sim::Duration{r.I64()}};
+  c.true_ts = sim::TimePoint{sim::Duration{r.I64()}};
+  c.kind = static_cast<net::PacketKind>(r.U8());
+  c.size_bytes = r.U32();
+  c.flow = r.U32();
+  if (r.U8() != 0) {
+    net::RtpMeta rtp;
+    rtp.ssrc = r.U32();
+    rtp.seq = r.U16();
+    rtp.media_ts = r.U32();
+    rtp.marker = r.U8() != 0;
+    rtp.layer = static_cast<net::SvcLayer>(r.U8());
+    rtp.frame_id = r.U64();
+    rtp.transport_seq = r.U16();
+    rtp.packets_in_frame = r.U32();
+    rtp.packet_index_in_frame = r.U32();
+    c.rtp = rtp;
+  }
+  if (r.U8() != 0) {
+    net::IcmpMeta icmp;
+    icmp.probe_seq = r.U32();
+    icmp.echo_sent_at = sim::TimePoint{sim::Duration{r.I64()}};
+    c.icmp = icmp;
+  }
+  return c;
+}
+
+}  // namespace
+
+void Checkpoint::Serialize(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  Writer w{out};
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  w.U32(kVersion);
+  w.U32(0);  // reserved
+  w.U64(config_fingerprint);
+  w.U64(seed);
+  w.I64(planned_duration.count());
+  w.I64(virtual_time.us());
+  w.U64(events_executed);
+  w.U64(state_digest);
+  w.I64(input.sender_offset.count());
+  w.I64(input.receiver_offset.count());
+  w.U64(input.telemetry.size());
+  w.U64(input.sender.size());
+  w.U64(input.core.size());
+  w.U64(input.receiver.size());
+  for (const auto& r : input.telemetry) WriteTb(w, r);
+  for (const auto* stream : {&input.sender, &input.core, &input.receiver}) {
+    for (const auto& r : *stream) WriteCapture(w, r);
+  }
+  w.U64(FnvOver(out.data(), out.size()));
+}
+
+std::size_t Checkpoint::SerializedBytes() const {
+  // Header 112 B + trailer 8 B + per-record payload (capture records vary
+  // with their optional metadata; computed exactly by Serialize).
+  std::vector<std::uint8_t> buf;
+  Serialize(buf);
+  return buf.size();
+}
+
+Checkpoint Checkpoint::Deserialize(const std::uint8_t* data, std::size_t size) {
+  if (size < sizeof(kMagic) + 8) {
+    throw CheckpointError("checkpoint truncated: " + std::to_string(size) +
+                          " bytes is smaller than the minimal header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError("not a checkpoint: bad magic (expected ATHCKPT)");
+  }
+  // Trailer first: any corruption anywhere — header or payload — must be
+  // caught before a single field is trusted.
+  const std::uint64_t stored_checksum =
+      Reader{data + size - 8, 8}.U64();
+  const std::uint64_t computed_checksum = FnvOver(data, size - 8);
+  if (stored_checksum != computed_checksum) {
+    std::ostringstream os;
+    os << "checkpoint corrupted: checksum mismatch (stored 0x" << std::hex
+       << stored_checksum << ", computed 0x" << computed_checksum << ")";
+    throw CheckpointError(os.str());
+  }
+
+  Reader r{data, size - 8};
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)r.U8();
+  const std::uint32_t version = r.U32();
+  if (version != kVersion) {
+    throw CheckpointError("unsupported checkpoint version " + std::to_string(version) +
+                          " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  (void)r.U32();  // reserved
+
+  Checkpoint c;
+  c.config_fingerprint = r.U64();
+  c.seed = r.U64();
+  c.planned_duration = sim::Duration{r.I64()};
+  c.virtual_time = sim::TimePoint{sim::Duration{r.I64()}};
+  c.events_executed = r.U64();
+  c.state_digest = r.U64();
+  c.input.sender_offset = sim::Duration{r.I64()};
+  c.input.receiver_offset = sim::Duration{r.I64()};
+  const std::uint64_t n_telemetry = r.U64();
+  const std::uint64_t n_sender = r.U64();
+  const std::uint64_t n_core = r.U64();
+  const std::uint64_t n_receiver = r.U64();
+  // Counts are attacker-controlled until proven payload-backed: a TB is
+  // ≥ 28 payload bytes, so reject counts the remaining bytes cannot hold
+  // instead of reserving gigabytes on a lying header.
+  const std::uint64_t total_records = n_telemetry + n_sender + n_core + n_receiver;
+  if (total_records > r.remaining()) {
+    throw CheckpointError("checkpoint corrupted: header claims " +
+                          std::to_string(total_records) +
+                          " records but only " + std::to_string(r.remaining()) +
+                          " payload bytes remain");
+  }
+  c.input.telemetry.reserve(n_telemetry);
+  for (std::uint64_t i = 0; i < n_telemetry; ++i) c.input.telemetry.push_back(ReadTb(r));
+  for (auto* stream : {&c.input.sender, &c.input.core, &c.input.receiver}) {
+    const std::uint64_t n = stream == &c.input.sender ? n_sender
+                            : stream == &c.input.core ? n_core
+                                                      : n_receiver;
+    stream->reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) stream->push_back(ReadCapture(r));
+  }
+  if (r.remaining() != 0) {
+    throw CheckpointError("checkpoint corrupted: " + std::to_string(r.remaining()) +
+                          " trailing bytes after the last record");
+  }
+
+  // Self-check: the stored digest must match the stored records.
+  StateDigest digest;
+  digest.Mix(c.input);
+  if (digest.value() != c.state_digest) {
+    throw CheckpointError("checkpoint corrupted: state digest does not match payload");
+  }
+  return c;
+}
+
+void Checkpoint::WriteFile(const std::string& path) const {
+  std::vector<std::uint8_t> buf;
+  Serialize(buf);
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw CheckpointError("cannot write checkpoint file " + path);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  if (!os) throw CheckpointError("short write to checkpoint file " + path);
+}
+
+Checkpoint Checkpoint::LoadFile(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw CheckpointError("cannot read checkpoint file " + path);
+  std::vector<std::uint8_t> buf{std::istreambuf_iterator<char>(is),
+                                std::istreambuf_iterator<char>()};
+  return Deserialize(buf.data(), buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing driver
+// ---------------------------------------------------------------------------
+
+Checkpoint SnapshotSession(const sim::Simulator& sim, const app::Session& session,
+                           const RunPlan& plan) {
+  Checkpoint c;
+  c.config_fingerprint = ConfigFingerprint(plan.config);
+  c.seed = plan.config.seed;
+  c.planned_duration = plan.duration;
+  c.virtual_time = sim.Now();
+  c.events_executed = sim.events_executed();
+  c.input = session.BuildCorrelatorInput();
+  StateDigest digest;
+  digest.Mix(c.input);
+  c.state_digest = digest.value();
+  return c;
+}
+
+CheckpointingDriver::CheckpointingDriver(RunPlan plan) : plan_(std::move(plan)) {}
+
+RunOutcome CheckpointingDriver::Run() { return Drive(nullptr); }
+
+RunOutcome CheckpointingDriver::Resume(const Checkpoint& ckpt) {
+  if (ckpt.config_fingerprint != ConfigFingerprint(plan_.config)) {
+    throw CheckpointError(
+        "checkpoint was taken under a different session configuration "
+        "(fingerprint mismatch); restoring would silently diverge");
+  }
+  if (ckpt.seed != plan_.config.seed) {
+    throw CheckpointError("checkpoint seed " + std::to_string(ckpt.seed) +
+                          " does not match the plan's seed " +
+                          std::to_string(plan_.config.seed));
+  }
+  if (ckpt.planned_duration != plan_.duration) {
+    throw CheckpointError("checkpoint was taken for a different planned duration");
+  }
+  if (ckpt.virtual_time > sim::kEpoch + plan_.duration) {
+    throw CheckpointError("checkpoint lies beyond the planned duration");
+  }
+  return Drive(&ckpt);
+}
+
+namespace {
+
+/// First index where the replayed telemetry/captures diverge from the
+/// snapshot — turns a digest mismatch into an actionable diagnostic.
+std::string DescribeDivergence(const core::CorrelatorInput& replayed,
+                               const core::CorrelatorInput& stored) {
+  auto first_tb_diff = [](const std::vector<ran::TbRecord>& a,
+                          const std::vector<ran::TbRecord>& b) -> std::ptrdiff_t {
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      StateDigest da, db;
+      da.Mix(std::vector<ran::TbRecord>{a[i]});
+      db.Mix(std::vector<ran::TbRecord>{b[i]});
+      if (da.value() != db.value()) return static_cast<std::ptrdiff_t>(i);
+    }
+    return a.size() != b.size() ? static_cast<std::ptrdiff_t>(n) : -1;
+  };
+  std::ostringstream os;
+  os << "replayed " << replayed.telemetry.size() << " TBs / " << replayed.core.size()
+     << " core captures vs snapshot " << stored.telemetry.size() << " / "
+     << stored.core.size();
+  const std::ptrdiff_t tb = first_tb_diff(replayed.telemetry, stored.telemetry);
+  if (tb >= 0) os << "; first diverging telemetry record at index " << tb;
+  return os.str();
+}
+
+}  // namespace
+
+RunOutcome CheckpointingDriver::Drive(const Checkpoint* resume_from) {
+  sim::Simulator simulator;
+  app::Session session{simulator, plan_.config};
+  if (plan_.on_simulator) plan_.on_simulator(simulator);
+  session.Start();
+
+  RunOutcome outcome;
+  outcome.restored = resume_from != nullptr;
+  const sim::TimePoint end = sim::kEpoch + plan_.duration;
+
+  // --- fast-forward replay to the checkpoint boundary, then verify ---
+  if (resume_from != nullptr) {
+    simulator.RunUntil(resume_from->virtual_time);
+    const core::CorrelatorInput replayed = session.BuildCorrelatorInput();
+    StateDigest digest;
+    digest.Mix(replayed);
+    if (digest.value() != resume_from->state_digest) {
+      throw CheckpointError(
+          "restore verification failed: replayed state digest differs from the "
+          "snapshot — the build or configuration is not the one that took the "
+          "checkpoint (" +
+          DescribeDivergence(replayed, resume_from->input) + ")");
+    }
+    obs::SetGauge("resilience.checkpoint.restored_at_ms",
+                  resume_from->virtual_time.ms());
+  }
+
+  // --- run the remainder in checkpoint-cadence slices ---
+  const sim::Duration cadence = plan_.checkpoint_every;
+  sim::TimePoint next_boundary = end;
+  if (cadence.count() > 0) {
+    // Boundaries stay on the absolute grid k × cadence whether or not the
+    // run was restored, so a restored run's later checkpoints land at the
+    // same virtual times as the uninterrupted run's.
+    const std::int64_t elapsed = (simulator.Now() - sim::kEpoch).count();
+    const std::int64_t k = elapsed / cadence.count() + 1;
+    next_boundary = sim::kEpoch + sim::Duration{k * cadence.count()};
+  }
+  while (simulator.Now() < end) {
+    const sim::TimePoint target = next_boundary < end ? next_boundary : end;
+    simulator.RunUntil(target);
+    if (cadence.count() > 0 && simulator.Now() >= next_boundary &&
+        simulator.Now() < end) {
+      Checkpoint ckpt = SnapshotSession(simulator, session, plan_);
+      ++outcome.checkpoints_taken;
+      outcome.last_checkpoint_bytes = ckpt.SerializedBytes();
+      obs::SetGauge("resilience.checkpoint.count",
+                    static_cast<double>(outcome.checkpoints_taken));
+      obs::SetGauge("resilience.checkpoint.bytes",
+                    static_cast<double>(outcome.last_checkpoint_bytes));
+      if (plan_.on_checkpoint) plan_.on_checkpoint(ckpt);
+      next_boundary += cadence;
+    }
+  }
+  session.Stop();
+  simulator.RunUntil(end);  // drain same-instant stop events, keep clock at end
+
+  // --- final state: bound, correlate, report, digest ---
+  core::CorrelatorInput input = session.BuildCorrelatorInput();
+  outcome.shed = BoundInput(input, plan_.budget);
+  const core::CrossLayerDataset data = core::Correlator::Correlate(input);
+  outcome.packets_correlated = data.packets.size();
+  outcome.events_executed = simulator.events_executed();
+
+  std::ostringstream report;
+  core::Report::Render(
+      report,
+      core::Report::Inputs{
+          .dataset = &data,
+          .qoe = &session.qoe(),
+          .ran_counters =
+              session.ran_uplink() ? &session.ran_uplink()->counters() : nullptr,
+          .controller_target_bps = session.sender().controller().target_bps(),
+      });
+  outcome.report = report.str();
+
+  StateDigest final_digest;
+  final_digest.Mix(input);
+  outcome.final_digest = final_digest.value();
+  StateDigest report_digest;
+  report_digest.Mix(outcome.report);
+  outcome.report_digest = report_digest.value();
+  return outcome;
+}
+
+}  // namespace athena::resilience

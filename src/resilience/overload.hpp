@@ -1,0 +1,80 @@
+// Bounded-memory overload control: hard byte budgets with priority-aware
+// load shedding for the telemetry/trace pipelines.
+//
+// A continuous diagnosis service cannot let a telemetry flood grow its
+// buffers without bound — but it also must not shed the records that
+// correlation is built on. The governor's priority order, lowest first:
+//
+//   1. low-priority trace events (anything the live decoder ignores;
+//      enforced inside obs::TraceRecorder via its byte budget),
+//   2. ICMP probe records in the capture logs (clock-sync refinement,
+//      not packet evidence),
+//   3. padding-only TBs (used_bytes == 0 — they drain no packet bytes,
+//      so correlation never needs them),
+//   4. only then, as a last resort, a hard cap on the newest data
+//      records — counted loudly as `capped`, because at that point the
+//      budget is genuinely too small for the offered load.
+//
+// Every shed is counted in a ShedStats ledger, published as
+// `resilience.shed.*` metrics, and surfaced to the live `overload`
+// detector so degradation is *reported*, never silent (the PR-4
+// contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/correlator.hpp"
+
+namespace athena::resilience {
+
+/// Byte budgets; 0 = unbounded (the default — overload control is
+/// strictly opt-in and costs nothing when disabled).
+struct MemoryBudget {
+  /// obs::TraceRecorder chunk storage (enforced via set_byte_budget).
+  std::size_t trace_bytes = 0;
+  /// Correlator input streams: telemetry + the three capture logs.
+  std::size_t input_bytes = 0;
+  /// Live EventLog ring, in records (maps to LiveEngine log_capacity).
+  std::size_t event_log_records = 0;
+
+  [[nodiscard]] bool any() const {
+    return trace_bytes > 0 || input_bytes > 0 || event_log_records > 0;
+  }
+};
+
+/// The governor's ledger: what was shed, why, from where.
+struct ShedStats {
+  std::uint64_t icmp_shed = 0;             ///< probe records dropped (priority 2)
+  std::uint64_t padding_tb_shed = 0;       ///< padding-only TBs dropped (priority 3)
+  std::uint64_t telemetry_capped = 0;      ///< data TBs dropped by the hard cap
+  std::uint64_t capture_capped = 0;        ///< capture records dropped by the hard cap
+  std::uint64_t trace_shed = 0;            ///< low-priority trace events (recorder)
+  std::uint64_t trace_evicted = 0;         ///< recorder chunk evictions (high-prio overflow)
+
+  [[nodiscard]] std::uint64_t total() const {
+    return icmp_shed + padding_tb_shed + telemetry_capped + capture_capped +
+           trace_shed + trace_evicted;
+  }
+  /// The last-resort tier: nonzero means the budget was too small for
+  /// even the high-priority load.
+  [[nodiscard]] std::uint64_t capped() const {
+    return telemetry_capped + capture_capped;
+  }
+
+  /// Publishes the ledger as `resilience.shed.*` counters/gauges into
+  /// the installed MetricsRegistry (no-op when metrics are disabled).
+  void PublishMetrics() const;
+};
+
+/// Approximate resident bytes of a correlator input (records × record
+/// size; the governor's accounting unit).
+[[nodiscard]] std::size_t InputBytes(const core::CorrelatorInput& input);
+
+/// Enforces `budget.input_bytes` on `input` in the priority order above,
+/// in place. Record order within each stream is preserved. Returns the
+/// shed ledger (all zeros when the input already fits or the budget is
+/// unbounded).
+ShedStats BoundInput(core::CorrelatorInput& input, const MemoryBudget& budget);
+
+}  // namespace athena::resilience

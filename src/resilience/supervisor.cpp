@@ -1,0 +1,202 @@
+#include "resilience/supervisor.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "sim/check.hpp"
+
+namespace athena::resilience {
+
+void ProcessFaultHooks::OnEventExecuted(sim::TimePoint t, std::size_t /*queue_depth*/) {
+  if (kills_done_ >= spec_.max_kills) return;
+  ++events_seen_;
+  if (t >= spec_.kill_at) {
+    ++kills_done_;
+    std::ostringstream os;
+    os << "injected crash: virtual time reached " << t;
+    throw SimulatedCrash(os.str());
+  }
+  if (spec_.kill_every_events > 0 && events_seen_ % spec_.kill_every_events == 0) {
+    ++kills_done_;
+    std::ostringstream os;
+    os << "injected crash: " << events_seen_ << " events into the attempt (every "
+       << spec_.kill_every_events << ")";
+    throw SimulatedCrash(os.str());
+  }
+}
+
+void WatchdogHooks::OnEventExecuted(sim::TimePoint t, std::size_t /*queue_depth*/) {
+  hb_.virtual_us.store(t.us(), std::memory_order_relaxed);
+  hb_.beats.fetch_add(1, std::memory_order_relaxed);
+  if (hb_.cancel.load(std::memory_order_relaxed)) {
+    std::ostringstream os;
+    os << "watchdog cancelled this run: no virtual-time progress (stuck at " << t << ")";
+    throw RunStalled(os.str());
+  }
+}
+
+namespace {
+
+/// Wall-clock monitor: cancels the attempt when virtual time freezes
+/// while events keep firing (livelock). A callback that never returns
+/// produces zero beats — that cannot be interrupted safely in-process,
+/// so it is *reported* (hard_stall flag + gauge) and the monitor keeps
+/// waiting for the workload or the harness to act.
+class WatchdogMonitor {
+ public:
+  WatchdogMonitor(Heartbeat& hb, std::chrono::milliseconds stall_timeout,
+                  bool* hard_stall_flag)
+      : hb_(hb), stall_timeout_(stall_timeout), hard_stall_flag_(hard_stall_flag) {
+    thread_ = std::thread([this] { Monitor(); });
+  }
+
+  ~WatchdogMonitor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  WatchdogMonitor(const WatchdogMonitor&) = delete;
+  WatchdogMonitor& operator=(const WatchdogMonitor&) = delete;
+
+ private:
+  void Monitor() {
+    std::int64_t last_virtual = hb_.virtual_us.load(std::memory_order_relaxed);
+    std::uint64_t last_beats = hb_.beats.load(std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, stall_timeout_, [this] { return done_; })) {
+      const std::int64_t v = hb_.virtual_us.load(std::memory_order_relaxed);
+      const std::uint64_t b = hb_.beats.load(std::memory_order_relaxed);
+      if (v != last_virtual) {
+        last_virtual = v;
+        last_beats = b;
+        continue;
+      }
+      if (b != last_beats) {
+        // Events fire, clock frozen: livelock. The hook will throw
+        // RunStalled at the next event boundary.
+        hb_.cancel.store(true, std::memory_order_relaxed);
+      } else {
+        // No events at all for a full window: a callback is stuck and
+        // cannot be interrupted from inside the process. Report it.
+        *hard_stall_flag_ = true;
+        obs::SetGauge("resilience.supervisor.hard_stall", 1.0);
+      }
+      last_beats = b;
+    }
+  }
+
+  Heartbeat& hb_;
+  std::chrono::milliseconds stall_timeout_;
+  bool* hard_stall_flag_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+Supervisor::Supervisor(RunPlan plan, SupervisorOptions options)
+    : plan_(std::move(plan)), options_(std::move(options)) {}
+
+SupervisedOutcome Supervisor::Run(const ProcessFaultSpec& faults) {
+  return Drive(faults, nullptr);
+}
+
+SupervisedOutcome Supervisor::RunFrom(const Checkpoint& start,
+                                      const ProcessFaultSpec& faults) {
+  return Drive(faults, &start);
+}
+
+SupervisedOutcome Supervisor::Drive(const ProcessFaultSpec& faults,
+                                    const Checkpoint* start) {
+  SupervisedOutcome out;
+  const auto say = [&](const std::string& msg) {
+    if (options_.on_event) options_.on_event(msg);
+  };
+
+  // The latest checkpoint is the restart point; seed it from --restore.
+  std::optional<Checkpoint> latest;
+  if (start != nullptr) latest = *start;
+
+  RunPlan plan = plan_;
+  const auto user_on_checkpoint = plan_.on_checkpoint;
+  plan.on_checkpoint = [&latest, &user_on_checkpoint](const Checkpoint& c) {
+    latest = c;
+    if (user_on_checkpoint) user_on_checkpoint(c);
+  };
+
+  int kills_done = 0;
+  const int max_attempts = options_.max_restarts + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++out.restarts;
+      const auto backoff = options_.backoff_initial * (1LL << (attempt - 1));
+      std::this_thread::sleep_for(backoff);
+      std::ostringstream os;
+      os << "restart " << attempt << "/" << options_.max_restarts << " from "
+         << (latest ? "checkpoint at " + sim::ToString(latest->virtual_time)
+                    : std::string{"scratch (no checkpoint yet)"});
+      say(os.str());
+    }
+
+    ProcessFaultHooks fault_hooks{faults, kills_done};
+    Heartbeat heartbeat;
+    WatchdogHooks watchdog_hooks{heartbeat};
+    const auto user_on_simulator = plan_.on_simulator;
+    plan.on_simulator = [&](sim::Simulator& sim) {
+      sim.AddHooks(&fault_hooks);
+      if (options_.watchdog) sim.AddHooks(&watchdog_hooks);
+      if (user_on_simulator) user_on_simulator(sim);
+    };
+
+    std::optional<WatchdogMonitor> monitor;
+    if (options_.watchdog) {
+      monitor.emplace(heartbeat, options_.stall_timeout, &out.hard_stall_reported);
+    }
+
+    try {
+      sim::ScopedCheckThrow contain;
+      CheckpointingDriver driver{plan};
+      out.outcome = latest ? driver.Resume(*latest) : driver.Run();
+      out.completed = true;
+    } catch (const SimulatedCrash& e) {
+      ++out.crashes;
+      out.last_error = e.what();
+      say(std::string{"crash: "} + e.what());
+    } catch (const RunStalled& e) {
+      ++out.stalls;
+      out.last_error = e.what();
+      say(std::string{"stall: "} + e.what());
+    } catch (const sim::CheckViolation& e) {
+      ++out.crashes;
+      out.last_error = e.what();
+      say(std::string{"check violation: "} + e.what());
+    } catch (const std::exception& e) {
+      ++out.crashes;
+      out.last_error = e.what();
+      say(std::string{"error: "} + e.what());
+    }
+    monitor.reset();  // joins the monitor thread before the next attempt
+    if (out.completed) break;
+  }
+  out.gave_up = !out.completed;
+  if (out.gave_up) say("retry budget exhausted; giving up: " + out.last_error);
+
+  if (obs::metrics_enabled()) {
+    obs::SetGauge("resilience.supervisor.crashes", static_cast<double>(out.crashes));
+    obs::SetGauge("resilience.supervisor.stalls", static_cast<double>(out.stalls));
+    obs::SetGauge("resilience.supervisor.restarts", static_cast<double>(out.restarts));
+    obs::SetGauge("resilience.supervisor.completed", out.completed ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace athena::resilience

@@ -1,0 +1,166 @@
+// Watchdog supervision: crash-point injection, stall detection, and
+// automatic restart-from-latest-checkpoint with bounded retries.
+//
+// The supervisor wraps a CheckpointingDriver the way an init system
+// wraps a daemon. Each attempt runs the plan with two kernel observers
+// installed:
+//
+//   - ProcessFaultHooks simulates process death at configured points
+//     (a virtual-time kill, or a kill every N executed events) by
+//     throwing SimulatedCrash out of the event loop — everything the
+//     attempt built is torn down, exactly like a crash would, except
+//     the address space survives so the test harness can observe it.
+//   - WatchdogHooks feeds per-attempt heartbeats (virtual time + event
+//     count) into relaxed atomics that a wall-clock monitor thread
+//     watches. If virtual time stops advancing while events keep firing
+//     (a livelock — e.g. an event rescheduling itself at the same
+//     instant), the monitor raises a cancel flag and the hook throws
+//     RunStalled at the next event boundary. A *hard* stall — a
+//     callback that never returns — cannot be safely interrupted
+//     in-process; it is reported via `resilience.supervisor.hard_stall`
+//     and the on_event log, honestly, rather than pretended away.
+//
+// After a crash or stall the supervisor restores from the latest
+// checkpoint (replay-verified; see checkpoint.hpp), with exponential
+// wall-clock backoff and a bounded retry budget. ATHENA_CHECK
+// violations inside the supervised run are contained with
+// ScopedCheckThrow: a poisoned run is a failed attempt, not a process
+// kill.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "resilience/checkpoint.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace athena::resilience {
+
+/// An injected process death (crash-point testing). Deliberately NOT
+/// derived from CheckpointError: the supervisor treats it as "the
+/// process died", never as a bad checkpoint.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised at the next event boundary after the watchdog cancels a run
+/// whose virtual time stopped advancing.
+class RunStalled : public std::runtime_error {
+ public:
+  explicit RunStalled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Process-level fault points, the resilience counterpart of the data
+/// faults in fault::FaultSpec. All disabled by default.
+struct ProcessFaultSpec {
+  /// Kill the process when virtual time reaches this point.
+  sim::TimePoint kill_at = sim::kTimeInfinity;
+  /// Kill the process every N executed events (0 = disabled).
+  std::uint64_t kill_every_events = 0;
+  /// Total kill budget across all restart attempts. Restores replay
+  /// through the original kill point, so an unbounded budget would
+  /// crash-loop forever; the default kills once and lets the restore
+  /// run to completion.
+  int max_kills = 1;
+
+  [[nodiscard]] bool any() const {
+    return kill_at < sim::kTimeInfinity || kill_every_events > 0;
+  }
+};
+
+/// Kernel observer that injects the configured process faults.
+/// `kills_done` is shared across attempts (owned by the supervisor) so
+/// the kill budget is global, not per-attempt.
+class ProcessFaultHooks final : public sim::SimHooks {
+ public:
+  ProcessFaultHooks(const ProcessFaultSpec& spec, int& kills_done)
+      : spec_(spec), kills_done_(kills_done) {}
+
+  void OnEventExecuted(sim::TimePoint t, std::size_t queue_depth) override;
+  void OnRunCompleted(sim::TimePoint, sim::TimePoint, std::uint64_t) override {}
+
+ private:
+  ProcessFaultSpec spec_;
+  int& kills_done_;
+  std::uint64_t events_seen_ = 0;
+};
+
+/// Per-attempt heartbeat state shared between the simulation thread
+/// (writer, via hooks) and the watchdog monitor thread (reader).
+struct Heartbeat {
+  std::atomic<std::int64_t> virtual_us{0};
+  std::atomic<std::uint64_t> beats{0};
+  std::atomic<bool> cancel{false};
+};
+
+/// Kernel observer feeding the heartbeat and honouring the cancel flag.
+class WatchdogHooks final : public sim::SimHooks {
+ public:
+  explicit WatchdogHooks(Heartbeat& hb) : hb_(hb) {}
+
+  void OnEventExecuted(sim::TimePoint t, std::size_t queue_depth) override;
+  void OnRunCompleted(sim::TimePoint, sim::TimePoint, std::uint64_t) override {}
+
+ private:
+  Heartbeat& hb_;
+};
+
+struct SupervisorOptions {
+  /// Restore attempts after the first run; exhausted → gave_up.
+  int max_restarts = 3;
+  /// Wall-clock window with no virtual-time progress before the
+  /// watchdog cancels the attempt.
+  std::chrono::milliseconds stall_timeout{2000};
+  /// Wall-clock backoff before restart attempt k is 2^k × this.
+  std::chrono::milliseconds backoff_initial{10};
+  /// Run the wall-clock monitor thread (off = crash recovery only).
+  bool watchdog = true;
+  /// Human-readable supervision log ("crash at t=…, restoring from …").
+  std::function<void(const std::string&)> on_event;
+};
+
+struct SupervisedOutcome {
+  RunOutcome outcome;       ///< valid iff `completed`
+  bool completed = false;
+  bool gave_up = false;     ///< retry budget exhausted
+  int crashes = 0;          ///< SimulatedCrash + contained CheckViolations + other throws
+  int stalls = 0;           ///< watchdog cancellations
+  int restarts = 0;         ///< restore attempts performed
+  bool hard_stall_reported = false;  ///< monitor saw zero beats for a full window
+  std::string last_error;
+};
+
+/// Runs a plan to completion under crash/stall supervision.
+class Supervisor {
+ public:
+  explicit Supervisor(RunPlan plan, SupervisorOptions options = {});
+
+  /// Supervised run with injected process faults.
+  [[nodiscard]] SupervisedOutcome Run(const ProcessFaultSpec& faults);
+  /// Supervised run with no injected faults (still contains real
+  /// crashes/stalls of the workload itself).
+  [[nodiscard]] SupervisedOutcome Run() { return Run(ProcessFaultSpec{}); }
+
+  /// Supervised run that starts from an externally loaded checkpoint
+  /// (the CLI's --restore path).
+  [[nodiscard]] SupervisedOutcome RunFrom(const Checkpoint& start,
+                                          const ProcessFaultSpec& faults);
+
+  [[nodiscard]] const RunPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] SupervisedOutcome Drive(const ProcessFaultSpec& faults,
+                                        const Checkpoint* start);
+
+  RunPlan plan_;
+  SupervisorOptions options_;
+};
+
+}  // namespace athena::resilience

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/check.hpp"
+
 namespace athena::sim {
 
 std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index) {
@@ -38,6 +40,11 @@ void ParallelRunner::ForEach(std::size_t n,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
+        // Contain ATHENA_CHECK: a violated precondition inside one run
+        // becomes that run's CheckViolation (caught below and rethrown
+        // after the join) instead of an abort() that kills every sibling
+        // run in the sweep.
+        ScopedCheckThrow contain;
         task(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
