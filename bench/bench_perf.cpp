@@ -6,12 +6,18 @@
 //      replica (legacy_event_queue.hpp). `speedup_vs_legacy` is the
 //      number the "≥2× schedule+pop throughput" acceptance bound watches.
 //   2. trace_emit    — ns per enabled TraceInstant into the chunked
-//      recorder (POD event, interned name, no allocation on the steady
-//      state path).
-//   3. sweep         — an 8-run derived-seed session sweep executed
-//      serially and with sim::ParallelRunner at hardware concurrency;
-//      records the wall-time scaling and verifies the exported outputs
-//      are byte-identical (`deterministic` must be true).
+//      recorder. `ns_per_event` measures the production batched path
+//      (TraceBatcher → TraceRecorder::EmitBatch, one virtual call and a
+//      bulk chunk copy per 256 events — what the ingest pipeline and the
+//      sweep runner use); `ns_per_event_direct` keeps the historical
+//      per-event virtual-dispatch number for comparison.
+//   3. sweep         — a 16-run derived-seed session sweep (stressed
+//      fading config, 30 virtual seconds per run, so serial wall time
+//      is O(seconds) and parallel scaling is measured against a real
+//      workload, not scheduler noise) executed serially and with
+//      sim::ParallelRunner at hardware concurrency; records wall-time
+//      scaling, per-run wall times under both schedules, and verifies
+//      the exported outputs are byte-identical (`deterministic`).
 //   4. overheads     — the BENCH_obs/BENCH_live overhead fractions
 //      recomputed with the same 8-rep methodology, so one file carries
 //      every acceptance number for this subsystem.
@@ -101,20 +107,27 @@ void RunSessionSecond(sim::Simulator& sim, bool stressed) {
 }
 
 /// One sweep run reduced to its exported bytes (trace JSON + metrics CSV
-/// + event count) — what the determinism check compares.
-std::string SweepRun(std::uint64_t seed) {
+/// + event count) — what the determinism check compares. The stressed
+/// fading config over 30 virtual seconds makes a single run tens of
+/// wall-milliseconds, so a 16-run sweep is a workload parallel scaling
+/// can actually be measured on.
+std::string SweepRun(std::uint64_t seed, double* wall_seconds) {
   sim::Simulator sim;
   obs::ObsSession::Options options;
   options.metrics_period = sim::Duration{100'000};
   obs::ObsSession observability{sim, options};
   app::SessionConfig config;
   config.seed = seed;
-  app::Session session{sim, config};
-  session.Run(1s);
+  config.channel = ran::ChannelModel::FadingRadio();
   std::ostringstream out;
-  out << sim.events_executed() << '\n';
-  observability.recorder().WriteJson(out);
-  observability.registry().WriteCsv(out);
+  const double secs = WallSeconds([&] {
+    app::Session session{sim, config};
+    session.Run(30s);
+    out << sim.events_executed() << '\n';
+    observability.recorder().WriteJson(out);
+    observability.registry().WriteCsv(out);
+  });
+  if (wall_seconds != nullptr) *wall_seconds = secs;
   return out.str();
 }
 
@@ -125,41 +138,62 @@ int main(int argc, char** argv) {
   constexpr int kQueueReps = 20;
   constexpr int kQueueItems = 50'000;
   constexpr int kSessionReps = 8;
-  constexpr std::size_t kSweepRuns = 8;
+  constexpr std::size_t kSweepRuns = 16;
 
   // --- 1. event queue: production vs legacy ---
   const auto [new_ops, legacy_ops] = QueueThroughputs(kQueueReps, kQueueItems);
   const double speedup = legacy_ops > 0.0 ? new_ops / legacy_ops : 0.0;
 
-  // --- 2. trace emit ---
+  // --- 2. trace emit: batched production path + direct comparison ---
   constexpr std::size_t kEmits = 2'000'000;
+  const auto emit_workload = [&] {
+    for (std::size_t i = 0; i < kEmits; ++i) {
+      obs::TraceInstant(obs::Layer::kNet, obs::names::kPktHop,
+                        sim::kEpoch + sim::Duration{static_cast<std::int64_t>(i)},
+                        {{"packet", static_cast<double>(i)}, {"bytes", 1200.0}});
+    }
+  };
   double emit_ns = 0.0;
   {
     obs::TraceRecorder recorder;
-    obs::ScopedTraceSink scope{&recorder};
-    const double secs = WallSeconds([&] {
-      for (std::size_t i = 0; i < kEmits; ++i) {
-        obs::TraceInstant(obs::Layer::kNet, obs::names::kPktHop,
-                          sim::kEpoch + sim::Duration{static_cast<std::int64_t>(i)},
-                          {{"packet", static_cast<double>(i)}, {"bytes", 1200.0}});
-      }
-    });
-    if (recorder.size() != kEmits) std::abort();
+    obs::TraceBatcher batcher{&recorder};
+    obs::ScopedTraceSink scope{&batcher};
+    emit_workload();  // untimed warmup (chunk pool grows once)
+    const double secs = WallSeconds(emit_workload);
+    batcher.Flush();
+    if (recorder.size() != 2 * kEmits) std::abort();
     emit_ns = secs * 1e9 / static_cast<double>(kEmits);
   }
+  double emit_ns_direct = 0.0;
+  {
+    obs::TraceRecorder recorder;
+    obs::ScopedTraceSink scope{&recorder};
+    const double secs = WallSeconds(emit_workload);
+    if (recorder.size() != kEmits) std::abort();
+    emit_ns_direct = secs * 1e9 / static_cast<double>(kEmits);
+  }
 
-  // --- 3. sweep: serial vs parallel, with determinism check ---
-  const std::function<std::string(std::size_t)> sweep_task = [](std::size_t i) {
-    return SweepRun(sim::DeriveSeed(42, i));
+  // --- 3. sweep: serial vs parallel, with determinism check and per-run
+  // wall times (run_seconds_* expose straggler imbalance — a run that
+  // takes 3× its siblings caps scaling no matter the job count) ---
+  std::vector<double> serial_run_secs(kSweepRuns, 0.0);
+  std::vector<double> parallel_run_secs(kSweepRuns, 0.0);
+  const auto sweep_task = [](std::vector<double>& walls) {
+    return std::function<std::string(std::size_t)>{[&walls](std::size_t i) {
+      return SweepRun(sim::DeriveSeed(42, i), &walls[i]);
+    }};
   };
+  SweepRun(sim::DeriveSeed(42, 0), nullptr);  // untimed warmup
   std::vector<std::string> serial_out;
   const double serial_secs = WallSeconds([&] {
-    serial_out = sim::ParallelRunner{1}.Map<std::string>(kSweepRuns, sweep_task);
+    serial_out =
+        sim::ParallelRunner{1}.Map<std::string>(kSweepRuns, sweep_task(serial_run_secs));
   });
   sim::ParallelRunner parallel_runner{0};
   std::vector<std::string> parallel_out;
   const double parallel_secs = WallSeconds([&] {
-    parallel_out = parallel_runner.Map<std::string>(kSweepRuns, sweep_task);
+    parallel_out =
+        parallel_runner.Map<std::string>(kSweepRuns, sweep_task(parallel_run_secs));
   });
   const bool deterministic = serial_out == parallel_out;
   const double scaling = parallel_secs > 0.0 ? serial_secs / parallel_secs : 0.0;
@@ -209,15 +243,23 @@ int main(int argc, char** argv) {
   os << "    \"legacy_ops_per_sec\": " << legacy_ops << ",\n";
   os << "    \"speedup_vs_legacy\": " << speedup << "\n";
   os << "  },\n";
+  const auto write_array = [&os](const char* key, const std::vector<double>& v) {
+    os << "    \"" << key << "\": [";
+    for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+    os << "],\n";
+  };
   os << "  \"trace_emit\": {\n";
   os << "    \"emits\": " << kEmits << ",\n";
-  os << "    \"ns_per_event\": " << emit_ns << "\n";
+  os << "    \"ns_per_event\": " << emit_ns << ",\n";
+  os << "    \"ns_per_event_direct\": " << emit_ns_direct << "\n";
   os << "  },\n";
   os << "  \"sweep\": {\n";
   os << "    \"runs\": " << kSweepRuns << ",\n";
   os << "    \"jobs\": " << parallel_runner.jobs() << ",\n";
   os << "    \"serial_seconds\": " << serial_secs << ",\n";
   os << "    \"parallel_seconds\": " << parallel_secs << ",\n";
+  write_array("run_seconds_serial", serial_run_secs);
+  write_array("run_seconds_parallel", parallel_run_secs);
   os << "    \"scaling\": " << scaling << ",\n";
   os << "    \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
   os << "  },\n";
@@ -230,7 +272,8 @@ int main(int argc, char** argv) {
 
   std::cout << "event queue: " << new_ops / 1e6 << " M ops/s vs legacy "
             << legacy_ops / 1e6 << " M ops/s (x" << speedup << ")\n";
-  std::cout << "trace emit: " << emit_ns << " ns/event\n";
+  std::cout << "trace emit: " << emit_ns << " ns/event batched, " << emit_ns_direct
+            << " ns/event direct\n";
   std::cout << "sweep x" << kSweepRuns << ": serial " << serial_secs << " s, "
             << parallel_runner.jobs() << " jobs " << parallel_secs << " s (x"
             << scaling << "), deterministic=" << (deterministic ? "yes" : "no")

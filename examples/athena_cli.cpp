@@ -35,6 +35,18 @@
 //     --chaos-seeds=N                   seeds per chaos scenario (default 4)
 //     --chaos-out=FILE                  write the chaos matrix as JSON
 //     --chaos-list                      list the built-in chaos scenarios
+//     --ingest-out=FILE                 stream trace events through the
+//                                       telemetry ingest pipeline into a
+//                                       compact ATHC columnar file
+//     --rollup-bucket=MS                rollup bucket width (default 100);
+//                                       activates the pipeline rollup
+//     --rollup-out=FILE                 write the time-bucketed rollup as JSON
+//     --export-shards=N                 write the fleet exposition as N
+//                                       sharded Prometheus files (requires
+//                                       --expose as the base path)
+//     --perfetto-out=FILE               convert the finished --ingest-out
+//                                       columnar stream to Chrome trace JSON
+//                                       (chunked: O(block) memory)
 //     --checkpoint-every=MS             snapshot the session every MS of
 //                                       virtual time (resilient mode)
 //     --checkpoint-out=FILE             spill the latest checkpoint to FILE
@@ -70,6 +82,8 @@
 #include "fault/chaos.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
+#include "obs/pipeline/export.hpp"
+#include "obs/pipeline/pipeline.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/supervisor.hpp"
 #include "sim/runner.hpp"
@@ -97,6 +111,18 @@ struct Options {
   std::size_t chaos_seeds = 4;
   std::string chaos_out;
   bool chaos_list = false;
+
+  // --- telemetry ingest pipeline (src/obs/pipeline/) ---
+  std::string ingest_out;      ///< ATHC columnar stream destination
+  int rollup_bucket_ms = 0;    ///< 0 = default width; >0 activates rollup out
+  std::string rollup_out;      ///< rollup JSON destination
+  unsigned export_shards = 0;  ///< 0 = no sharded exposition
+  std::string perfetto_out;    ///< chunked columnar→Chrome-JSON conversion
+
+  [[nodiscard]] bool pipeline() const {
+    return !ingest_out.empty() || rollup_bucket_ms > 0 || !rollup_out.empty() ||
+           export_shards > 0 || !perfetto_out.empty();
+  }
 
   // --- resilient mode (src/resilience/) ---
   int checkpoint_every_ms = 0;          ///< 0 = no periodic snapshots
@@ -158,6 +184,16 @@ Options Parse(int argc, char** argv) {
       opt.chaos_out = value;
     } else if (arg == "--chaos-list") {
       opt.chaos_list = true;
+    } else if (ParseFlag(arg, "ingest-out", &value)) {
+      opt.ingest_out = value;
+    } else if (ParseFlag(arg, "rollup-bucket", &value)) {
+      opt.rollup_bucket_ms = std::stoi(value);
+    } else if (ParseFlag(arg, "rollup-out", &value)) {
+      opt.rollup_out = value;
+    } else if (ParseFlag(arg, "export-shards", &value)) {
+      opt.export_shards = static_cast<unsigned>(std::stoul(value));
+    } else if (ParseFlag(arg, "perfetto-out", &value)) {
+      opt.perfetto_out = value;
     } else if (ParseFlag(arg, "checkpoint-every", &value)) {
       opt.checkpoint_every_ms = std::stoi(value);
     } else if (ParseFlag(arg, "checkpoint-out", &value)) {
@@ -183,7 +219,9 @@ Options Parse(int argc, char** argv) {
                    "[--metrics=FILE] [--diagnose] [--expose=FILE] "
                    "[--anomalies=FILE] [--sweep=N] [--jobs=J] "
                    "[--chaos=NAME|all] [--chaos-seeds=N] [--chaos-out=FILE] "
-                   "[--chaos-list] [--checkpoint-every=MS] [--checkpoint-out=FILE] "
+                   "[--chaos-list] [--ingest-out=FILE] [--rollup-bucket=MS] "
+                   "[--rollup-out=FILE] [--export-shards=N] [--perfetto-out=FILE] "
+                   "[--checkpoint-every=MS] [--checkpoint-out=FILE] "
                    "[--restore=FILE] [--mem-budget=BYTES] [--supervise] "
                    "[--kill-at=MS] [--kill-every-events=N]\n";
       std::exit(0);
@@ -228,16 +266,21 @@ app::SessionConfig BuildConfig(const Options& opt, std::uint64_t seed) {
   return config;
 }
 
-/// "trace.json" + run 3 -> "trace.run3.json"; suffix-less paths just append.
-std::string RunPath(const std::string& path, std::size_t run_index, bool sweep) {
-  if (!sweep) return path;
-  const std::string tag = ".run" + std::to_string(run_index);
+/// Inserts `tag` before the path's extension: ("m.prom", ".shard0") ->
+/// "m.shard0.prom"; suffix-less paths just append.
+std::string TagPath(const std::string& path, const std::string& tag) {
   const auto dot = path.find_last_of('.');
   const auto slash = path.find_last_of('/');
   if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
     return path + tag;
   }
   return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+/// "trace.json" + run 3 -> "trace.run3.json".
+std::string RunPath(const std::string& path, std::size_t run_index, bool sweep) {
+  if (!sweep) return path;
+  return TagPath(path, ".run" + std::to_string(run_index));
 }
 
 /// One complete session: build, run, export, report. All console output
@@ -251,11 +294,15 @@ std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index
 
   // Observability: installed before the session is built so constructor-time
   // events are captured too. The correlator runs inside the session scope so
-  // its core/pkt.uplink track lands in the same trace.
+  // its core/pkt.uplink track lands in the same trace. When the telemetry
+  // pipeline is active, this worker thread's ring shard (bound by the
+  // ParallelRunner hooks, or by main for a single run) joins the fanout.
   const bool live =
       opt.diagnose || !opt.expose_path.empty() || !opt.anomalies_path.empty();
+  obs::TraceSink* ring_sink = obs::pipeline::TelemetryPipeline::CurrentThreadSink();
   std::unique_ptr<obs::ObsSession> observability;
-  if (!opt.trace_path.empty() || !opt.metrics_path.empty() || live) {
+  if (!opt.trace_path.empty() || !opt.metrics_path.empty() || live ||
+      ring_sink != nullptr) {
     obs::ObsSession::Options obs_options;
     obs_options.trace = !opt.trace_path.empty();
     obs_options.metrics = true;
@@ -263,6 +310,7 @@ std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index
                                      ? sim::Duration{0}
                                      : sim::Duration{std::chrono::milliseconds{100}};
     obs_options.live = live;
+    obs_options.extra_sink = ring_sink;
     observability = std::make_unique<obs::ObsSession>(simulator, obs_options);
   }
 
@@ -458,12 +506,44 @@ int main(int argc, char** argv) {
       }
       return RunResilient(opt);
     }
+    if (opt.export_shards > 0 && opt.expose_path.empty()) {
+      std::cerr << "--export-shards needs --expose=FILE as the shard base path\n";
+      return 2;
+    }
+    if (!opt.perfetto_out.empty() && opt.ingest_out.empty()) {
+      std::cerr << "--perfetto-out needs --ingest-out (it converts that file)\n";
+      return 2;
+    }
+
+    // Telemetry ingest pipeline: per-producer ring shards → one collector
+    // thread → rollup + columnar stream. Runs (single or sweep) join it
+    // through ObsSession::extra_sink; see src/obs/pipeline/pipeline.hpp.
+    std::unique_ptr<obs::pipeline::TelemetryPipeline> pipeline;
+    std::ofstream ingest_os;
+    if (opt.pipeline()) {
+      obs::pipeline::TelemetryPipeline::Options popt;
+      popt.collector.ring_capacity = 1 << 16;
+      if (opt.rollup_bucket_ms > 0) {
+        popt.rollup.bucket_width = std::chrono::milliseconds{opt.rollup_bucket_ms};
+      }
+      if (!opt.ingest_out.empty()) {
+        ingest_os.open(opt.ingest_out, std::ios::binary);
+        if (!ingest_os) throw std::runtime_error("cannot write " + opt.ingest_out);
+        popt.columnar_out = &ingest_os;
+      }
+      popt.background = true;
+      pipeline = std::make_unique<obs::pipeline::TelemetryPipeline>(popt);
+    }
+
     if (opt.sweep > 0) {
       // Every run is a pure function of its index (seed derived from
       // --seed), and outputs print in index order — so the sweep's output
-      // is byte-identical for --jobs=1 and --jobs=8.
+      // is byte-identical for --jobs=1 and --jobs=8. (The pipeline's
+      // rollup folds are commutative, so its aggregates are too; only the
+      // columnar stream's cross-run interleaving depends on scheduling.)
       const auto n = static_cast<std::size_t>(opt.sweep);
       sim::ParallelRunner runner{opt.jobs};
+      if (pipeline) runner.set_worker_hooks(pipeline->MakeWorkerHooks());
       std::cout << "sweep: " << n << " runs, " << runner.jobs() << " jobs, base seed "
                 << opt.seed << '\n';
       const std::vector<std::string> outputs =
@@ -474,7 +554,50 @@ int main(int argc, char** argv) {
         std::cout << "--- run " << i << " ---\n" << outputs[i];
       }
     } else {
+      if (pipeline) pipeline->BindCurrentThread();
       std::cout << RunOne(opt, opt.seed, 0, /*sweep=*/false);
+      if (pipeline) pipeline->UnbindCurrentThread();
+    }
+
+    if (pipeline) {
+      // Finish publishes `pipeline.*` gauges into whichever registry is
+      // installed here — a fleet-scope one, so the sharded exposition
+      // carries the ingest counters alongside the rollup series.
+      obs::MetricsRegistry fleet_registry;
+      {
+        obs::ScopedMetrics fleet_scope{&fleet_registry};
+        pipeline->Finish();
+      }
+      ingest_os.close();
+      if (!opt.ingest_out.empty()) std::cout << "wrote " << opt.ingest_out << '\n';
+
+      if (!opt.rollup_out.empty()) {
+        std::ofstream os{opt.rollup_out};
+        if (!os) throw std::runtime_error("cannot write " + opt.rollup_out);
+        pipeline->rollup().WriteJson(os);
+        std::cout << "wrote " << opt.rollup_out << '\n';
+      }
+      for (unsigned s = 0; s < opt.export_shards; ++s) {
+        const std::string path = TagPath(opt.expose_path, ".shard" + std::to_string(s));
+        std::ofstream os{path};
+        if (!os) throw std::runtime_error("cannot write " + path);
+        obs::pipeline::WritePrometheusShard(
+            os, pipeline->rollup(), &fleet_registry,
+            {.shard = s, .shard_count = opt.export_shards});
+        std::cout << "wrote " << path << '\n';
+      }
+      if (!opt.perfetto_out.empty()) {
+        if (opt.ingest_out.empty()) {
+          std::cerr << "--perfetto-out needs --ingest-out (it converts that file)\n";
+          return 2;
+        }
+        std::ifstream in{opt.ingest_out, std::ios::binary};
+        if (!in) throw std::runtime_error("cannot read " + opt.ingest_out);
+        std::ofstream os{opt.perfetto_out};
+        if (!os) throw std::runtime_error("cannot write " + opt.perfetto_out);
+        const std::uint64_t emitted = obs::pipeline::WriteChunkedPerfetto(in, os);
+        std::cout << "wrote " << opt.perfetto_out << " (" << emitted << " events)\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';

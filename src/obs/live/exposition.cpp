@@ -1,39 +1,18 @@
 #include "obs/live/exposition.hpp"
 
-#include <cmath>
-#include <limits>
 #include <ostream>
 #include <string>
 #include <string_view>
 
 #include "obs/live/detectors.hpp"
 #include "obs/live/live.hpp"
+#include "obs/prom_text.hpp"
 
 namespace athena::obs::live {
 namespace {
 
-bool ValidStart(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
-}
-
-bool ValidRest(char c) { return ValidStart(c) || (c >= '0' && c <= '9'); }
-
-/// The text format requires non-finite values as `+Inf`/`-Inf`/`NaN`.
-void WriteValue(std::ostream& os, double v) {
-  if (std::isnan(v)) {
-    os << "NaN";
-  } else if (std::isinf(v)) {
-    os << (v > 0 ? "+Inf" : "-Inf");
-  } else {
-    os << v;
-  }
-}
-
-void WriteHeader(std::ostream& os, const std::string& name, std::string_view type,
-                 std::string_view help) {
-  os << "# HELP " << name << ' ' << help << '\n';
-  os << "# TYPE " << name << ' ' << type << '\n';
-}
+using prom::WriteHeader;
+using prom::WriteValue;
 
 void WriteHistogram(std::ostream& os, const std::string& name,
                     const stats::Histogram& h) {
@@ -97,14 +76,6 @@ void WriteLiveState(std::ostream& os, const LiveEngine& live,
 }
 
 }  // namespace
-
-std::string SanitizeMetricName(std::string_view name) {
-  std::string out;
-  out.reserve(name.size() + 1);
-  if (name.empty() || !ValidStart(name.front())) out.push_back('_');
-  for (char c : name) out.push_back(ValidRest(c) ? c : '_');
-  return out;
-}
 
 void WritePrometheus(std::ostream& os, const MetricsRegistry& registry,
                      const LiveEngine* live, ExpositionOptions options) {

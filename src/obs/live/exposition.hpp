@@ -22,14 +22,15 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/prom_text.hpp"
 
 namespace athena::obs::live {
 
 class LiveEngine;
 
-/// `athena.cc.target-bps` → `athena_cc_target_bps`. Prepends '_' when
-/// the first character would be invalid (e.g. a digit).
-[[nodiscard]] std::string SanitizeMetricName(std::string_view name);
+/// The sanitization rule is shared with the sharded fleet exporter
+/// (obs/pipeline/export.hpp); both delegate to obs/prom_text.hpp.
+using prom::SanitizeMetricName;
 
 struct ExpositionOptions {
   std::string prefix = "athena_";

@@ -80,6 +80,10 @@ class ObsSession {
     /// the budget, low-priority events are shed and critical events
     /// evict the oldest chunk; see TraceRecorder.
     std::size_t trace_byte_budget = 0;
+    /// An additional sink fanned out alongside the recorder/live engine
+    /// — how a run joins the telemetry ingest pipeline (pass
+    /// pipeline::TelemetryPipeline::CurrentThreadSink()). Null is fine.
+    TraceSink* extra_sink = nullptr;
   };
 
   ObsSession(sim::Simulator& sim, Options options)
@@ -129,18 +133,18 @@ class ObsSession {
 
  private:
   /// Called after live_ is constructed (declaration order) to decide the
-  /// installed global sink: recorder, live engine, or a fanout of both.
+  /// installed global sink: recorder, live engine, extra sink, or a
+  /// fanout of whichever subset is active.
   [[nodiscard]] TraceSink* PickSink() {
-    const bool trace = options_.trace;
-    const bool live = live_ != nullptr;
-    if (trace && live) {
-      fanout_.Add(&recorder_);
-      fanout_.Add(live_.get());
-      return &fanout_;
-    }
-    if (trace) return &recorder_;
-    if (live) return live_.get();
-    return nullptr;
+    TraceSink* singles[3] = {};
+    std::size_t n = 0;
+    if (options_.trace) singles[n++] = &recorder_;
+    if (live_ != nullptr) singles[n++] = live_.get();
+    if (options_.extra_sink != nullptr) singles[n++] = options_.extra_sink;
+    if (n == 0) return nullptr;
+    if (n == 1) return singles[0];
+    for (std::size_t i = 0; i < n; ++i) fanout_.Add(singles[i]);
+    return &fanout_;
   }
 
   sim::Simulator& sim_;

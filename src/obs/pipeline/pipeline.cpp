@@ -1,0 +1,73 @@
+#include "obs/pipeline/pipeline.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace athena::obs::pipeline {
+namespace {
+
+/// The calling thread's bound shard, plus the pipeline it belongs to so
+/// a stale binding from a destroyed pipeline is never handed out.
+thread_local RingTraceSink* t_shard = nullptr;
+thread_local const TelemetryPipeline* t_shard_owner = nullptr;
+
+}  // namespace
+
+TelemetryPipeline::TelemetryPipeline(Options options)
+    : options_(std::move(options)),
+      rollup_(options_.rollup),
+      collector_(options_.collector) {
+  if (options_.columnar_out != nullptr) {
+    columnar_ = std::make_unique<ColumnarWriter>(*options_.columnar_out);
+  }
+  collector_.AddSink(&rollup_);
+  if (columnar_) collector_.AddSink(columnar_.get());
+  for (TraceSink* s : options_.sinks) collector_.AddSink(s);
+  if (options_.background) collector_.Start();
+}
+
+TelemetryPipeline::~TelemetryPipeline() {
+  Finish();
+  if (t_shard_owner == this) {
+    t_shard = nullptr;
+    t_shard_owner = nullptr;
+  }
+}
+
+void TelemetryPipeline::BindCurrentThread() {
+  if (t_shard_owner == this && t_shard != nullptr) return;
+  t_shard = collector_.AddShard();
+  t_shard_owner = this;
+}
+
+void TelemetryPipeline::UnbindCurrentThread() {
+  if (t_shard_owner != this) return;
+  if (t_shard != nullptr) t_shard->Flush();
+  t_shard = nullptr;
+  t_shard_owner = nullptr;
+}
+
+TraceSink* TelemetryPipeline::CurrentThreadSink() { return t_shard; }
+
+sim::WorkerHooks TelemetryPipeline::MakeWorkerHooks() {
+  return sim::WorkerHooks{
+      .on_start = [this](unsigned) { BindCurrentThread(); },
+      .on_stop = [this](unsigned) { UnbindCurrentThread(); },
+  };
+}
+
+std::size_t TelemetryPipeline::Drain() {
+  if (t_shard_owner == this && t_shard != nullptr) t_shard->Flush();
+  return collector_.DrainOnce();
+}
+
+void TelemetryPipeline::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (t_shard_owner == this && t_shard != nullptr) t_shard->Flush();
+  collector_.Stop();
+  if (columnar_) columnar_->Finish();
+  collector_.PublishMetrics();
+}
+
+}  // namespace athena::obs::pipeline

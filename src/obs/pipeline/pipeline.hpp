@@ -1,0 +1,87 @@
+// TelemetryPipeline — the assembled ingest path tools use:
+//
+//   producer threads (sweep workers / live sessions)
+//        │ RingTraceSink (per-thread SPSC shard, batched push)
+//        ▼
+//   Collector (one drain thread, or inline DrainOnce)
+//        ├─► TimeBucketRollup      (bounded-memory series + CDF sketches)
+//        ├─► ColumnarWriter        (ATHC stream, optional)
+//        └─► live::LiveEngine      (optional: detectors on the merged feed)
+//
+// Wiring a sweep: pass MakeWorkerHooks() to sim::ParallelRunner, then
+// each run installs CurrentThreadSink() as (or alongside) its trace
+// sink — see ObsSession::Options::extra_sink. Wiring a single run:
+// BindCurrentThread() once and drain inline.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "obs/pipeline/collector.hpp"
+#include "obs/pipeline/columnar.hpp"
+#include "obs/pipeline/rollup.hpp"
+#include "sim/runner.hpp"
+
+namespace athena::obs::pipeline {
+
+class TelemetryPipeline {
+ public:
+  struct Options {
+    Collector::Options collector{};
+    TimeBucketRollup::Options rollup{};
+    /// Destination for the ATHC columnar stream; null = no columnar out.
+    /// Must outlive Finish().
+    std::ostream* columnar_out = nullptr;
+    /// Extra downstream sinks on the collector thread (e.g. a
+    /// LiveEngine). Single-threaded consumption guaranteed.
+    std::vector<TraceSink*> sinks;
+    /// Run the background collector thread. Off = inline draining
+    /// (deterministic single-run mode; call Drain()/Finish() yourself).
+    bool background = false;
+  };
+
+  explicit TelemetryPipeline(Options options);
+  ~TelemetryPipeline();
+
+  TelemetryPipeline(const TelemetryPipeline&) = delete;
+  TelemetryPipeline& operator=(const TelemetryPipeline&) = delete;
+
+  /// Binds a fresh ring shard to the calling thread (idempotent per
+  /// thread per pipeline). The bound sink is reachable via
+  /// CurrentThreadSink() until UnbindCurrentThread().
+  void BindCurrentThread();
+
+  /// Flushes and unbinds the calling thread's shard sink.
+  void UnbindCurrentThread();
+
+  /// The calling thread's bound shard sink, or null when unbound. Null
+  /// is safe to pass to ObsSession::Options::extra_sink.
+  [[nodiscard]] static TraceSink* CurrentThreadSink();
+
+  /// ParallelRunner wiring: binds/unbinds one shard per worker thread.
+  [[nodiscard]] sim::WorkerHooks MakeWorkerHooks();
+
+  /// Inline drain of everything currently ringed (background == false).
+  std::size_t Drain();
+
+  /// Stops the collector (final drain included), finishes the columnar
+  /// stream, publishes `pipeline.*` metrics. Idempotent; the destructor
+  /// calls it.
+  void Finish();
+
+  [[nodiscard]] TimeBucketRollup& rollup() { return rollup_; }
+  [[nodiscard]] const TimeBucketRollup& rollup() const { return rollup_; }
+  [[nodiscard]] Collector& collector() { return collector_; }
+  [[nodiscard]] const Collector& collector() const { return collector_; }
+  /// Null when no columnar_out was configured.
+  [[nodiscard]] ColumnarWriter* columnar() { return columnar_.get(); }
+
+ private:
+  Options options_;
+  TimeBucketRollup rollup_;
+  Collector collector_;
+  std::unique_ptr<ColumnarWriter> columnar_;
+  bool finished_ = false;
+};
+
+}  // namespace athena::obs::pipeline

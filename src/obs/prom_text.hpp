@@ -1,0 +1,38 @@
+// Shared Prometheus text-format (0.0.4) primitives.
+//
+// Two writers emit expositions — the single-stream live exposition
+// (obs/live/exposition.cpp) and the sharded fleet exporter
+// (obs/pipeline/export.cpp) — and they must agree byte-for-byte on name
+// sanitization and value tokens, or a fleet's scrape targets drift apart
+// under the same metric. The rules live here, once:
+//
+//   - metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (dots and
+//     dashes become underscores; a leading digit gains a '_' prefix),
+//   - non-finite values serialize as the tokens +Inf / -Inf / NaN,
+//   - every series is preceded by `# HELP` / `# TYPE` comment lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace athena::obs::prom {
+
+/// `athena.cc.target-bps` → `athena_cc_target_bps`. Prepends '_' when the
+/// first character would be invalid (e.g. a digit).
+[[nodiscard]] std::string SanitizeMetricName(std::string_view name);
+
+/// Writes `v` as Prometheus text: regular ostream formatting for finite
+/// values, the tokens `+Inf` / `-Inf` / `NaN` otherwise.
+void WriteValue(std::ostream& os, double v);
+
+/// The `# HELP` / `# TYPE` preamble for one metric family.
+void WriteHeader(std::ostream& os, std::string_view name, std::string_view type,
+                 std::string_view help);
+
+/// FNV-1a over the metric name — the shard assignment hash. Stable across
+/// platforms/releases so a fleet's scrape config doesn't churn: shard =
+/// NameShard(name) % shard_count, forever.
+[[nodiscard]] std::uint64_t NameShard(std::string_view name);
+
+}  // namespace athena::obs::prom

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "obs/trace_json.hpp"
+
 namespace athena::obs {
 
 const char* ToString(Layer layer) {
@@ -22,7 +24,7 @@ const char* ToString(Layer layer) {
   return "?";
 }
 
-namespace {
+namespace jsonio {
 
 /// Human-readable track titles for the Perfetto sidebar.
 const char* TrackTitle(Layer layer) {
@@ -73,20 +75,62 @@ void WriteNumber(std::ostream& os, double v) {
   }
 }
 
-/// Resolves each distinct interned id once per export, not per event.
-class NameCache {
- public:
-  const std::string& Resolve(NameId id) {
-    auto [it, inserted] = cache_.try_emplace(id);
-    if (inserted) it->second = TraceNameRegistry::Instance().NameOf(id);
-    return it->second;
+/// One Chrome trace-event JSON object (no surrounding comma/newline).
+void WriteEventJson(std::ostream& os, const TraceEvent& e, const std::string& name) {
+  const auto tid = static_cast<std::size_t>(e.layer) + 1;
+  os << "{\"name\":\"";
+  WriteEscaped(os, name);
+  os << "\",\"cat\":\"" << ToString(e.layer) << "\",\"ph\":\""
+     << static_cast<char>(e.phase) << "\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":" << e.ts.us();
+  switch (e.phase) {
+    case TraceEvent::Phase::kComplete:
+      os << ",\"dur\":" << e.dur.count();
+      break;
+    case TraceEvent::Phase::kAsyncBegin:
+    case TraceEvent::Phase::kAsyncEnd:
+      os << ",\"id\":\"0x" << std::hex << e.id << std::dec << "\"";
+      break;
+    case TraceEvent::Phase::kInstant:
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+      break;
+    case TraceEvent::Phase::kCounter:
+      break;
   }
+  if (e.arg_count > 0) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < e.arg_count; ++i) {
+      if (i > 0) os << ",";
+      os << "\"";
+      WriteEscaped(os, e.args[i].key);
+      os << "\":";
+      WriteNumber(os, e.args[i].value);
+    }
+    os << "}";
+  }
+  os << "}";
+}
 
- private:
-  std::unordered_map<NameId, std::string> cache_;
-};
+void WriteTraceHeader(std::ostream& os, const bool layer_used[kLayerCount]) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"athena\"}}";
+  for (std::size_t i = 0; i < kLayerCount; ++i) {
+    if (!layer_used[i]) continue;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
+       << ",\"args\":{\"name\":\"";
+    WriteEscaped(os, TrackTitle(static_cast<Layer>(i)));
+    os << "\"}}";
+  }
+}
 
-}  // namespace
+const std::string& NameCache::Resolve(NameId id) {
+  auto [it, inserted] = cache_.try_emplace(id);
+  if (inserted) it->second = TraceNameRegistry::Instance().NameOf(id);
+  return it->second;
+}
+
+}  // namespace jsonio
 
 std::size_t TraceRecorder::CountLayer(Layer layer) const {
   std::size_t n = 0;
@@ -109,53 +153,11 @@ void TraceRecorder::WriteJson(std::ostream& os) const {
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const TraceEvent* a, const TraceEvent* b) { return a->ts < b->ts; });
 
-  NameCache names;
-
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-        "\"args\":{\"name\":\"athena\"}}";
-  for (std::size_t i = 0; i < kLayerCount; ++i) {
-    if (!layer_used[i]) continue;
-    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
-       << ",\"args\":{\"name\":\"";
-    WriteEscaped(os, TrackTitle(static_cast<Layer>(i)));
-    os << "\"}}";
-  }
-
+  jsonio::NameCache names;
+  jsonio::WriteTraceHeader(os, layer_used);
   for (const TraceEvent* ep : sorted) {
-    const TraceEvent& e = *ep;
-    const auto tid = static_cast<std::size_t>(e.layer) + 1;
-    os << ",\n{\"name\":\"";
-    WriteEscaped(os, names.Resolve(e.name));
-    os << "\",\"cat\":\"" << ToString(e.layer) << "\",\"ph\":\""
-       << static_cast<char>(e.phase) << "\",\"pid\":1,\"tid\":" << tid
-       << ",\"ts\":" << e.ts.us();
-    switch (e.phase) {
-      case TraceEvent::Phase::kComplete:
-        os << ",\"dur\":" << e.dur.count();
-        break;
-      case TraceEvent::Phase::kAsyncBegin:
-      case TraceEvent::Phase::kAsyncEnd:
-        os << ",\"id\":\"0x" << std::hex << e.id << std::dec << "\"";
-        break;
-      case TraceEvent::Phase::kInstant:
-        os << ",\"s\":\"t\"";  // thread-scoped instant
-        break;
-      case TraceEvent::Phase::kCounter:
-        break;
-    }
-    if (e.arg_count > 0) {
-      os << ",\"args\":{";
-      for (std::size_t i = 0; i < e.arg_count; ++i) {
-        if (i > 0) os << ",";
-        os << "\"";
-        WriteEscaped(os, e.args[i].key);
-        os << "\":";
-        WriteNumber(os, e.args[i].value);
-      }
-      os << "}";
-    }
-    os << "}";
+    os << ",\n";
+    jsonio::WriteEventJson(os, *ep, names.Resolve(ep->name));
   }
   os << "\n]}\n";
 }

@@ -35,10 +35,11 @@ void ParallelRunner::ForEach(std::size_t n,
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned worker_index) {
+    if (hooks_.on_start) hooks_.on_start(worker_index);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
       try {
         // Contain ATHENA_CHECK: a violated precondition inside one run
         // becomes that run's CheckViolation (caught below and rethrown
@@ -51,15 +52,16 @@ void ParallelRunner::ForEach(std::size_t n,
         if (!first_error) first_error = std::current_exception();
       }
     }
+    if (hooks_.on_stop) hooks_.on_stop(worker_index);
   };
 
   const unsigned threads = jobs_ > n ? static_cast<unsigned>(n) : jobs_;
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
   }
 

@@ -21,6 +21,18 @@ namespace athena::sim {
 /// sweep is reproducible run-by-run, not just as a whole.
 [[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index);
 
+/// Per-worker-thread lifecycle callbacks. The telemetry pipeline
+/// (obs/pipeline/) uses these to bind one ring shard per worker: every
+/// run a worker executes then feeds that worker's ring, so a sweep's
+/// ingest topology is exactly `jobs` producers → one collector.
+struct WorkerHooks {
+  /// Runs on the worker thread before it claims its first task.
+  /// `worker` ∈ [0, jobs). Must not throw.
+  std::function<void(unsigned worker)> on_start;
+  /// Runs on the worker thread after its last task (before join).
+  std::function<void(unsigned worker)> on_stop;
+};
+
 /// A small thread pool for index-addressed parallel work.
 class ParallelRunner {
  public:
@@ -29,6 +41,12 @@ class ParallelRunner {
   explicit ParallelRunner(unsigned jobs = 0);
 
   [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Installs worker lifecycle hooks for subsequent ForEach/Map calls.
+  /// Inline execution (jobs == 1 or n == 1) still runs them, as worker 0
+  /// on the calling thread, so hook-dependent state behaves identically
+  /// at any job count.
+  void set_worker_hooks(WorkerHooks hooks) { hooks_ = std::move(hooks); }
 
   /// Runs `task(i)` for every i in [0, n). Tasks are claimed from an
   /// atomic counter, so scheduling is work-stealing-free and any task
@@ -49,6 +67,7 @@ class ParallelRunner {
 
  private:
   unsigned jobs_ = 1;
+  WorkerHooks hooks_;
 };
 
 }  // namespace athena::sim
