@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds and runs the fleet-observability baseline:
+#   - bench_fleet — SessionSummary fold/merge throughput into the
+#     population aggregator + SLO engine, serialized report size/cost,
+#     the sharded-merge byte-identity / JSON round-trip / self-gate
+#     invariants, and the chaos-matrix extraction overhead — written to
+#     BENCH_fleet.json at the repo root.
+#
+# Usage: bench/run_bench_fleet.sh [build-dir] [--smoke]
+#   (default build dir: ./build; --smoke uses the reduced CI sizing)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+smoke=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke="--smoke" ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_fleet -j "$(nproc)"
+
+echo "== bench_fleet =="
+"$build_dir/bench/bench_fleet" "$repo_root/BENCH_fleet.json" $smoke

@@ -62,10 +62,37 @@
 //     --kill-at=MS                      inject a crash at virtual time MS
 //                                       (exercises the restore path)
 //     --kill-every-events=N             inject a crash every N events
+//     --fleet-report=FILE               aggregate every run of this
+//                                       invocation (single, --sweep or
+//                                       --chaos) into a fleet report:
+//                                       population delay-decomposition CDFs,
+//                                       anomaly prevalence and the SLO
+//                                       scoreboard as deterministic JSON
+//                                       (byte-identical at any --jobs)
+//     --fleet-slo=FILE                  SLO spec file (one per line:
+//                                       "name: sample metric <= T @ 0.95
+//                                       window 64"); default = built-ins
+//     --fleet-expose=FILE               write the fleet.slo.* and
+//                                       fleet.prevalence.* gauges in
+//                                       Prometheus text format
+//     --fleet-baseline=FILE             stored baseline report to gate
+//                                       against
+//     --fleet-gate                      with --chaos/--sweep: after the run,
+//                                       compare the fleet report against
+//                                       --fleet-baseline (CDF dominance +
+//                                       SLO compliance) and exit nonzero on
+//                                       regression. Without a run mode:
+//                                       gate --fleet-report (an existing
+//                                       file) against the baseline directly
 //
 // Example:
 //   athena_cli --access=5g --fading --cross-mbps=16 --duration=120
 //       --out=/tmp/athena_run --trace=/tmp/athena_run/trace.json --diagnose
+//
+// CI regression gate:
+//   athena_cli --chaos=all --chaos-seeds=2 --jobs=2
+//       --fleet-report=fleet.json --fleet-baseline=tests/data/fleet_baseline.json
+//       --fleet-gate
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -80,6 +107,7 @@
 #include "athena.hpp"
 #include "core/report.hpp"
 #include "fault/chaos.hpp"
+#include "obs/fleet/report.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
 #include "obs/pipeline/export.hpp"
@@ -137,6 +165,17 @@ struct Options {
     return checkpoint_every_ms > 0 || !checkpoint_out.empty() ||
            !restore_path.empty() || mem_budget > 0 || supervise ||
            kill_at_ms > 0 || kill_every_events > 0;
+  }
+
+  // --- fleet observability (src/obs/fleet/) ---
+  std::string fleet_report;    ///< report JSON destination
+  std::string fleet_slo;       ///< SLO spec file (empty = built-in catalog)
+  std::string fleet_expose;    ///< fleet gauges, Prometheus text format
+  std::string fleet_baseline;  ///< stored baseline for the gate
+  bool fleet_gate = false;
+
+  [[nodiscard]] bool fleet() const {
+    return !fleet_report.empty() || !fleet_expose.empty() || fleet_gate;
   }
 };
 
@@ -206,6 +245,16 @@ Options Parse(int argc, char** argv) {
       opt.kill_at_ms = std::stoi(value);
     } else if (ParseFlag(arg, "kill-every-events", &value)) {
       opt.kill_every_events = std::stoull(value);
+    } else if (ParseFlag(arg, "fleet-report", &value)) {
+      opt.fleet_report = value;
+    } else if (ParseFlag(arg, "fleet-slo", &value)) {
+      opt.fleet_slo = value;
+    } else if (ParseFlag(arg, "fleet-expose", &value)) {
+      opt.fleet_expose = value;
+    } else if (ParseFlag(arg, "fleet-baseline", &value)) {
+      opt.fleet_baseline = value;
+    } else if (arg == "--fleet-gate") {
+      opt.fleet_gate = true;
     } else if (arg == "--supervise") {
       opt.supervise = true;
     } else if (arg == "--diagnose") {
@@ -223,7 +272,9 @@ Options Parse(int argc, char** argv) {
                    "[--rollup-out=FILE] [--export-shards=N] [--perfetto-out=FILE] "
                    "[--checkpoint-every=MS] [--checkpoint-out=FILE] "
                    "[--restore=FILE] [--mem-budget=BYTES] [--supervise] "
-                   "[--kill-at=MS] [--kill-every-events=N]\n";
+                   "[--kill-at=MS] [--kill-every-events=N] "
+                   "[--fleet-report=FILE] [--fleet-slo=FILE] "
+                   "[--fleet-expose=FILE] [--fleet-baseline=FILE] [--fleet-gate]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -266,6 +317,72 @@ app::SessionConfig BuildConfig(const Options& opt, std::uint64_t seed) {
   return config;
 }
 
+std::vector<obs::fleet::SloSpec> LoadSlos(const Options& opt) {
+  if (opt.fleet_slo.empty()) return obs::fleet::DefaultSlos();
+  std::ifstream in{opt.fleet_slo};
+  if (!in) throw std::runtime_error("cannot read " + opt.fleet_slo);
+  return obs::fleet::ParseSloSpecs(in);
+}
+
+/// Runs the gate of `report` against the stored baseline. Returns the
+/// process exit code (nonzero on regression).
+int GateReport(const Options& opt, const obs::fleet::FleetReport& report) {
+  std::ifstream in{opt.fleet_baseline};
+  if (!in) throw std::runtime_error("cannot read " + opt.fleet_baseline);
+  const obs::fleet::FleetReport baseline = obs::fleet::ParseReport(in);
+  const obs::fleet::GateResult gate = obs::fleet::GateAgainstBaseline(report, baseline);
+  for (const std::string& failure : gate.failures) {
+    std::cout << "fleet gate: " << failure << '\n';
+  }
+  std::cout << "fleet gate vs " << opt.fleet_baseline << ": "
+            << (gate.ok ? "PASS" : "FAIL") << " (" << report.sessions
+            << " sessions, " << gate.failures.size() << " regression(s))\n";
+  return gate.ok ? 0 : 1;
+}
+
+/// Fleet outputs for one invocation's aggregated summaries: the report
+/// JSON, the fleet.slo.* / fleet.prevalence.* exposition, and the gate.
+/// Returns the process exit code.
+int FinishFleet(const Options& opt, const obs::fleet::FleetAggregator& aggregator,
+                const obs::fleet::SloEngine& engine) {
+  const obs::fleet::FleetReport report = obs::fleet::BuildReport(aggregator, engine);
+
+  if (!opt.fleet_report.empty()) {
+    std::ofstream os{opt.fleet_report};
+    if (!os) throw std::runtime_error("cannot write " + opt.fleet_report);
+    obs::fleet::WriteJson(report, os);
+    std::cout << "wrote " << opt.fleet_report << " (" << report.sessions
+              << " sessions)\n";
+  }
+
+  if (!opt.fleet_expose.empty()) {
+    // Publish into a scoped registry and render through the shared
+    // prom_text exposition path — the same formatter every other metric
+    // family uses.
+    obs::MetricsRegistry registry;
+    {
+      obs::ScopedMetrics scope{&registry};
+      engine.PublishMetrics();
+      obs::fleet::PublishPrevalenceMetrics(aggregator.fleet());
+    }
+    std::ofstream os{opt.fleet_expose};
+    if (!os) throw std::runtime_error("cannot write " + opt.fleet_expose);
+    const obs::pipeline::TimeBucketRollup empty;
+    obs::pipeline::WritePrometheusShard(os, empty, &registry,
+                                        {.shard = 0, .shard_count = 1});
+    std::cout << "wrote " << opt.fleet_expose << '\n';
+  }
+
+  if (opt.fleet_gate) {
+    if (opt.fleet_baseline.empty()) {
+      std::cerr << "--fleet-gate needs --fleet-baseline=FILE\n";
+      return 2;
+    }
+    return GateReport(opt, report);
+  }
+  return 0;
+}
+
 /// Inserts `tag` before the path's extension: ("m.prom", ".shard0") ->
 /// "m.shard0.prom"; suffix-less paths just append.
 std::string TagPath(const std::string& path, const std::string& tag) {
@@ -283,12 +400,18 @@ std::string RunPath(const std::string& path, std::size_t run_index, bool sweep) 
   return TagPath(path, ".run" + std::to_string(run_index));
 }
 
+/// One run's console output plus (when fleet mode is on) its fleet digest.
+struct RunResult {
+  std::string text;
+  obs::fleet::SessionSummary summary;
+};
+
 /// One complete session: build, run, export, report. All console output
 /// goes to the returned string so sweep runs can execute concurrently and
 /// still print in index order. Thread-safe because the obs globals are
 /// thread_local and everything else here is per-call state.
-std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
-                   bool sweep) {
+RunResult RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
+                 bool sweep) {
   std::ostringstream out;
   sim::Simulator simulator;
 
@@ -297,8 +420,8 @@ std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index
   // its core/pkt.uplink track lands in the same trace. When the telemetry
   // pipeline is active, this worker thread's ring shard (bound by the
   // ParallelRunner hooks, or by main for a single run) joins the fanout.
-  const bool live =
-      opt.diagnose || !opt.expose_path.empty() || !opt.anomalies_path.empty();
+  const bool live = opt.diagnose || !opt.expose_path.empty() ||
+                    !opt.anomalies_path.empty() || opt.fleet();
   obs::TraceSink* ring_sink = obs::pipeline::TelemetryPipeline::CurrentThreadSink();
   std::unique_ptr<obs::ObsSession> observability;
   if (!opt.trace_path.empty() || !opt.metrics_path.empty() || live ||
@@ -381,7 +504,22 @@ std::string RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index
       core::CsvExport::Capture(os, session.sender_capture().records());
     });
   }
-  return out.str();
+
+  RunResult result;
+  if (opt.fleet()) {
+    const obs::live::DetectorBank* bank =
+        observability && observability->live() != nullptr
+            ? &observability->live()->bank()
+            : nullptr;
+    result.summary =
+        obs::fleet::SummarizeSession({.dataset = &data,
+                                      .qoe = &session.qoe(),
+                                      .detectors = bank,
+                                      .scenario = opt.access + "_" + opt.controller,
+                                      .seed = seed});
+  }
+  result.text = out.str();
+  return result;
 }
 
 /// Chaos mode: run fault scenarios × derived seeds through the matrix
@@ -407,8 +545,8 @@ int RunChaos(const Options& opt) {
   sim::ParallelRunner probe{opt.jobs};
   std::cout << "chaos: " << selected.size() << " scenario(s) x " << opt.chaos_seeds
             << " seed(s), " << probe.jobs() << " jobs, base seed " << opt.seed << '\n';
-  const fault::ChaosMatrixResult result =
-      fault::RunChaosMatrix(selected, opt.seed, opt.chaos_seeds, opt.jobs);
+  const fault::ChaosMatrixResult result = fault::RunChaosMatrix(
+      selected, opt.seed, opt.chaos_seeds, opt.jobs, /*summarize=*/opt.fleet());
   fault::RenderChaosTable(std::cout, result);
 
   if (!opt.chaos_out.empty()) {
@@ -417,7 +555,21 @@ int RunChaos(const Options& opt) {
     fault::WriteChaosJson(os, result, opt.seed, opt.chaos_seeds, probe.jobs());
     std::cout << "wrote " << opt.chaos_out << '\n';
   }
-  return result.all_ok() ? 0 : 1;
+
+  int exit_code = result.all_ok() ? 0 : 1;
+  if (opt.fleet()) {
+    // Outcomes arrive in index order regardless of --jobs, so the fold
+    // (and therefore the report bytes and SLO windows) is reproducible.
+    obs::fleet::FleetAggregator aggregator;
+    obs::fleet::SloEngine engine{LoadSlos(opt)};
+    for (const fault::ChaosOutcome& o : result.outcomes) {
+      aggregator.Fold(o.summary);
+      engine.Observe(o.summary);
+    }
+    const int fleet_code = FinishFleet(opt, aggregator, engine);
+    if (exit_code == 0) exit_code = fleet_code;
+  }
+  return exit_code;
 }
 
 /// Resilient mode: checkpointed, optionally supervised, optionally
@@ -499,9 +651,27 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!opt.chaos.empty()) return RunChaos(opt);
+    if (opt.fleet_gate && opt.sweep == 0 && !opt.resilient()) {
+      // Gate-only mode: no run requested — compare an existing report
+      // file against the baseline (the cheap CI re-check path).
+      if (opt.fleet_report.empty() || opt.fleet_baseline.empty()) {
+        std::cerr << "gate-only mode needs --fleet-report=FILE (existing) and "
+                     "--fleet-baseline=FILE\n";
+        return 2;
+      }
+      std::ifstream in{opt.fleet_report};
+      if (!in) throw std::runtime_error("cannot read " + opt.fleet_report);
+      return GateReport(opt, obs::fleet::ParseReport(in));
+    }
     if (opt.resilient()) {
       if (opt.sweep > 0) {
         std::cerr << "--sweep and the resilience flags are mutually exclusive\n";
+        return 2;
+      }
+      if (opt.fleet()) {
+        std::cerr << "the fleet flags and the resilience flags are mutually "
+                     "exclusive (use --chaos=kill_restore_midrun for supervised "
+                     "fleet runs)\n";
         return 2;
       }
       return RunResilient(opt);
@@ -535,6 +705,11 @@ int main(int argc, char** argv) {
       pipeline = std::make_unique<obs::pipeline::TelemetryPipeline>(popt);
     }
 
+    // Fleet aggregation folds every run's summary in index order, so the
+    // report is byte-identical at any --jobs.
+    obs::fleet::FleetAggregator fleet_aggregator;
+    obs::fleet::SloEngine fleet_engine{LoadSlos(opt)};
+
     if (opt.sweep > 0) {
       // Every run is a pure function of its index (seed derived from
       // --seed), and outputs print in index order — so the sweep's output
@@ -546,17 +721,26 @@ int main(int argc, char** argv) {
       if (pipeline) runner.set_worker_hooks(pipeline->MakeWorkerHooks());
       std::cout << "sweep: " << n << " runs, " << runner.jobs() << " jobs, base seed "
                 << opt.seed << '\n';
-      const std::vector<std::string> outputs =
-          runner.Map<std::string>(n, [&](std::size_t i) {
+      const std::vector<RunResult> outputs =
+          runner.Map<RunResult>(n, [&](std::size_t i) {
             return RunOne(opt, sim::DeriveSeed(opt.seed, i), i, /*sweep=*/true);
           });
       for (std::size_t i = 0; i < outputs.size(); ++i) {
-        std::cout << "--- run " << i << " ---\n" << outputs[i];
+        std::cout << "--- run " << i << " ---\n" << outputs[i].text;
+        if (opt.fleet()) {
+          fleet_aggregator.Fold(outputs[i].summary);
+          fleet_engine.Observe(outputs[i].summary);
+        }
       }
     } else {
       if (pipeline) pipeline->BindCurrentThread();
-      std::cout << RunOne(opt, opt.seed, 0, /*sweep=*/false);
+      const RunResult result = RunOne(opt, opt.seed, 0, /*sweep=*/false);
       if (pipeline) pipeline->UnbindCurrentThread();
+      std::cout << result.text;
+      if (opt.fleet()) {
+        fleet_aggregator.Fold(result.summary);
+        fleet_engine.Observe(result.summary);
+      }
     }
 
     if (pipeline) {
@@ -598,6 +782,11 @@ int main(int argc, char** argv) {
         const std::uint64_t emitted = obs::pipeline::WriteChunkedPerfetto(in, os);
         std::cout << "wrote " << opt.perfetto_out << " (" << emitted << " events)\n";
       }
+    }
+
+    if (opt.fleet()) {
+      const int fleet_code = FinishFleet(opt, fleet_aggregator, fleet_engine);
+      if (fleet_code != 0) return fleet_code;
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';

@@ -263,10 +263,37 @@ void ReplayIntoBank(const core::CorrelatorInput& input, obs::live::DetectorBank&
   }
 }
 
+/// Fleet extraction for supervised scenarios: the process faults only
+/// kill the *driver*; the simulated session itself is untouched. Re-run
+/// the same (config, seed) plainly and summarize that — deterministic
+/// and identical to what the supervised run computed between crashes.
+obs::fleet::SessionSummary SummarizePlainRun(const ChaosScenario& scenario,
+                                             std::uint64_t seed) {
+  sim::Simulator simulator;
+  app::SessionConfig config;
+  config.seed = seed;
+  if (scenario.cross_mbps > 0.0) {
+    config.cross_traffic = net::CapacityTrace{scenario.cross_mbps * 1e6};
+    config.cross_burstiness = 0.35;
+  }
+  app::Session session{simulator, config};
+  session.Run(scenario.duration);
+  const core::CorrelatorInput input = session.BuildCorrelatorInput();
+  const core::CrossLayerDataset data = core::Correlator::Correlate(input);
+  obs::live::DetectorBank bank;
+  ReplayIntoBank(input, bank);
+  return obs::fleet::SummarizeSession({.dataset = &data,
+                                       .qoe = &session.qoe(),
+                                       .detectors = &bank,
+                                       .scenario = scenario.name,
+                                       .seed = seed});
+}
+
 /// Supervised scenarios: run the plan under the resilience Supervisor
 /// with an injected process kill, then run the same plan uninterrupted
 /// and demand byte-identical final + report digests.
-ChaosOutcome RunSupervisedScenario(const ChaosScenario& scenario, std::uint64_t seed) {
+ChaosOutcome RunSupervisedScenario(const ChaosScenario& scenario, std::uint64_t seed,
+                                   bool summarize) {
   ChaosOutcome out;
   out.scenario = scenario.name;
   out.seed = seed;
@@ -336,6 +363,7 @@ ChaosOutcome RunSupervisedScenario(const ChaosScenario& scenario, std::uint64_t 
       out.contract_met = out.contract_met && out.kills > 0 && out.restores > 0 &&
                          out.digest_match;
     }
+    if (summarize) out.summary = SummarizePlainRun(scenario, seed);
   } catch (const std::exception& e) {
     out.survived = false;
     out.failure = std::string("exception: ") + e.what();
@@ -348,8 +376,9 @@ ChaosOutcome RunSupervisedScenario(const ChaosScenario& scenario, std::uint64_t 
 
 }  // namespace
 
-ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed) {
-  if (scenario.supervised) return RunSupervisedScenario(scenario, seed);
+ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed,
+                              bool summarize) {
+  if (scenario.supervised) return RunSupervisedScenario(scenario, seed, summarize);
 
   ChaosOutcome out;
   out.scenario = scenario.name;
@@ -427,6 +456,16 @@ ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed)
         bank.anomaly_count(obs::live::AnomalyKind::kTelemetryGap);
     out.overload_anomalies = bank.anomaly_count(obs::live::AnomalyKind::kOverload);
 
+    if (summarize) {
+      // The fleet digest of what this run observed: the (impaired)
+      // correlated dataset, the receiver-side QoE and the live verdicts.
+      out.summary = obs::fleet::SummarizeSession({.dataset = &data,
+                                                  .qoe = &session.qoe(),
+                                                  .detectors = &bank,
+                                                  .scenario = scenario.name,
+                                                  .seed = seed});
+    }
+
     // Degradation must be *reported*, not just computed: the gauges the
     // rest of the stack scrapes have to agree with the dataset verdict.
     const bool gauges_agree =
@@ -502,7 +541,7 @@ ChaosOutcome RunChaosScenario(const ChaosScenario& scenario, std::uint64_t seed)
 
 ChaosMatrixResult RunChaosMatrix(const std::vector<ChaosScenario>& scenarios,
                                  std::uint64_t base_seed, std::size_t seeds,
-                                 unsigned jobs) {
+                                 unsigned jobs, bool summarize) {
   const std::size_t n = scenarios.size() * seeds;
   const sim::ParallelRunner runner{jobs};
   ChaosMatrixResult result;
@@ -510,7 +549,7 @@ ChaosMatrixResult RunChaosMatrix(const std::vector<ChaosScenario>& scenarios,
   // returns index order, so the matrix is identical for any job count.
   result.outcomes = runner.Map<ChaosOutcome>(n, [&](std::size_t i) {
     const ChaosScenario& scenario = scenarios[i / seeds];
-    return RunChaosScenario(scenario, sim::DeriveSeed(base_seed, i % seeds));
+    return RunChaosScenario(scenario, sim::DeriveSeed(base_seed, i % seeds), summarize);
   });
   return result;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/fleet/summary.hpp"
 #include "sim/time.hpp"
 
 namespace athena::fault {
@@ -123,6 +124,10 @@ struct ChaosOutcome {
 
   std::string failure;  ///< first violated check, empty when ok()
 
+  /// Fleet digest of this run (delay decomposition, QoE, detector
+  /// verdicts); only populated when the run was asked to summarize.
+  obs::fleet::SessionSummary summary;
+
   [[nodiscard]] bool ok() const {
     return survived && time_monotone && queues_bounded && contract_met &&
            !silently_degraded;
@@ -131,9 +136,12 @@ struct ChaosOutcome {
 
 /// Runs one scenario under one seed: session → impair → correlate →
 /// detector replay → invariant checks. Never throws; a crashed run
-/// returns survived == false.
+/// returns survived == false. With `summarize`, the outcome also carries
+/// the fleet SessionSummary (supervised scenarios re-run the same plan
+/// uninterrupted to extract it — the underlying session is identical).
 [[nodiscard]] ChaosOutcome RunChaosScenario(const ChaosScenario& scenario,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed,
+                                            bool summarize = false);
 
 struct ChaosMatrixResult {
   /// Scenario-major, seed-minor — index order, identical for any job count.
@@ -153,10 +161,12 @@ struct ChaosMatrixResult {
 };
 
 /// Runs every scenario under every derived seed (run (s, i) gets
-/// sim::DeriveSeed(base_seed, i)) on `jobs` workers.
+/// sim::DeriveSeed(base_seed, i)) on `jobs` workers. `summarize` attaches
+/// a fleet SessionSummary to every outcome (results stay in index order,
+/// so downstream aggregation is byte-identical at any job count).
 [[nodiscard]] ChaosMatrixResult RunChaosMatrix(const std::vector<ChaosScenario>& scenarios,
                                                std::uint64_t base_seed, std::size_t seeds,
-                                               unsigned jobs);
+                                               unsigned jobs, bool summarize = false);
 
 /// Machine-readable matrix report (BENCH_chaos.json schema).
 void WriteChaosJson(std::ostream& os, const ChaosMatrixResult& result,

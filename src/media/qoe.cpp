@@ -31,6 +31,7 @@ void QoeCollector::OnFrameRendered(const RenderedFrame& f) {
     mouth_to_ear_ms_.Add(m2e_ms);
     if (f.is_audio) audio_m2e_ms_.Add(m2e_ms);
   }
+  jb_hold_ms_.Add(sim::ToMs(f.rendered_at - f.completed_at));
   if (f.is_audio) {
     ++audio_rendered_;
     return;

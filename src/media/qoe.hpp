@@ -59,6 +59,10 @@ class QoeCollector {
   /// Mouth-to-ear (capture→render) delay per rendered unit, ms.
   [[nodiscard]] const stats::Cdf& MouthToEarMs() const { return mouth_to_ear_ms_; }
 
+  /// Jitter-buffer hold (complete-at-receiver → rendered) per unit, ms —
+  /// the last segment of the fleet delay decomposition.
+  [[nodiscard]] const stats::Cdf& JitterHoldMs() const { return jb_hold_ms_; }
+
   /// Audio-only mouth-to-ear delay, ms.
   [[nodiscard]] const stats::Cdf& AudioMouthToEarMs() const { return audio_m2e_ms_; }
 
@@ -92,6 +96,7 @@ class QoeCollector {
   stats::Cdf frame_jitter_ms_;
   stats::Cdf ssim_;
   stats::Cdf mouth_to_ear_ms_;
+  stats::Cdf jb_hold_ms_;
   stats::Cdf audio_m2e_ms_;
   std::uint64_t audio_sent_ = 0;
   std::uint64_t audio_rendered_ = 0;

@@ -1,0 +1,46 @@
+#include "obs/fleet/aggregate.hpp"
+
+namespace athena::obs::fleet {
+
+void ScenarioAggregate::Fold(const SessionSummary& summary) {
+  ++sessions;
+  if (!summary.valid) {
+    ++invalid_sessions;
+    return;
+  }
+  if (summary.degraded) ++degraded_sessions;
+  for (std::size_t i = 0; i < kFleetMetricCount; ++i) {
+    metrics[i].Merge(summary.metrics[i]);
+  }
+  for (std::size_t k = 0; k < obs::live::kAnomalyKindCount; ++k) {
+    anomalies_total += summary.anomalies[k];
+    if (summary.anomalies[k] > 0) ++prevalence[k];
+  }
+}
+
+void ScenarioAggregate::Merge(const ScenarioAggregate& other) {
+  sessions += other.sessions;
+  invalid_sessions += other.invalid_sessions;
+  degraded_sessions += other.degraded_sessions;
+  anomalies_total += other.anomalies_total;
+  for (std::size_t i = 0; i < kFleetMetricCount; ++i) {
+    metrics[i].Merge(other.metrics[i]);
+  }
+  for (std::size_t k = 0; k < obs::live::kAnomalyKindCount; ++k) {
+    prevalence[k] += other.prevalence[k];
+  }
+}
+
+void FleetAggregator::Fold(const SessionSummary& summary) {
+  fleet_.Fold(summary);
+  scenarios_[summary.scenario].Fold(summary);
+}
+
+void FleetAggregator::Merge(const FleetAggregator& other) {
+  fleet_.Merge(other.fleet_);
+  for (const auto& [name, aggregate] : other.scenarios_) {
+    scenarios_[name].Merge(aggregate);
+  }
+}
+
+}  // namespace athena::obs::fleet

@@ -1,0 +1,68 @@
+// Fleet observability, stage 2: N SessionSummaries → one population view.
+//
+// The aggregator is a pile of commutative, mergeable folds: per-scenario
+// groups of per-metric accumulators (population CDFs via the quantile
+// sketch), anomaly-prevalence counts (in how many sessions did detector X
+// fire), and degradation tallies. Folding is order-insensitive, and
+// Merge() combines two aggregators exactly, so a sweep may fold on every
+// ParallelRunner worker and combine in run-index order — the fleet report
+// comes out byte-identical at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/fleet/summary.hpp"
+
+namespace athena::obs::fleet {
+
+/// One scenario's (or the whole fleet's) population aggregate.
+struct ScenarioAggregate {
+  std::uint64_t sessions = 0;
+  std::uint64_t invalid_sessions = 0;  ///< summaries without a dataset
+  std::uint64_t degraded_sessions = 0;
+  std::uint64_t anomalies_total = 0;
+
+  /// Population accumulators per metric (merged across sessions).
+  std::array<obs::pipeline::RollupBucket, kFleetMetricCount> metrics{};
+
+  /// Sessions in which detector `kind` fired at least once.
+  std::array<std::uint64_t, obs::live::kAnomalyKindCount> prevalence{};
+
+  void Fold(const SessionSummary& summary);
+  void Merge(const ScenarioAggregate& other);
+
+  [[nodiscard]] const obs::pipeline::RollupBucket& metric(FleetMetric m) const {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+
+  /// Fraction of sessions in which detector `kind` fired (0 when empty).
+  [[nodiscard]] double PrevalenceFraction(obs::live::AnomalyKind kind) const {
+    return sessions == 0
+               ? 0.0
+               : static_cast<double>(prevalence[static_cast<std::size_t>(kind)]) /
+                     static_cast<double>(sessions);
+  }
+};
+
+/// The fleet-level rollup: scenario-keyed groups plus the all-sessions
+/// union. Scenario keys are ordered (std::map), so iteration — and
+/// therefore the serialized report — is deterministic.
+class FleetAggregator {
+ public:
+  void Fold(const SessionSummary& summary);
+  void Merge(const FleetAggregator& other);
+
+  [[nodiscard]] std::uint64_t sessions() const { return fleet_.sessions; }
+  [[nodiscard]] const ScenarioAggregate& fleet() const { return fleet_; }
+  [[nodiscard]] const std::map<std::string, ScenarioAggregate>& scenarios() const {
+    return scenarios_;
+  }
+
+ private:
+  ScenarioAggregate fleet_;
+  std::map<std::string, ScenarioAggregate> scenarios_;
+};
+
+}  // namespace athena::obs::fleet

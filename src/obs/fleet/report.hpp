@@ -1,0 +1,102 @@
+// Fleet observability, stage 4: the serialized fleet report and the
+// regression gate over it.
+//
+// The report is a deterministic JSON document: fleet- and per-scenario
+// population aggregates (each metric as count/mean/min/max plus a fixed
+// 21-point quantile grid — enough to reconstruct a comparable CDF), the
+// anomaly-prevalence table, and the SLO scoreboard. Determinism contract:
+// the same sweep produces byte-identical bytes at any --jobs, so reports
+// can be diffed, committed as baselines, and gated in CI.
+//
+// The gate replays `stats::StochasticallyBelow` over CDFs reconstructed
+// from the quantile grids: a candidate passes when every fleet metric is
+// stochastically no worse than the baseline (within slack) and every SLO
+// meets its target. Exit-nonzero plumbing lives in athena_cli.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/fleet/aggregate.hpp"
+#include "obs/fleet/slo.hpp"
+#include "stats/cdf.hpp"
+
+namespace athena::obs::fleet {
+
+/// Quantile-grid resolution: q = 0, 0.05, …, 1.0.
+inline constexpr std::size_t kReportQuantilePoints = 21;
+
+/// One metric's population digest as serialized.
+struct MetricReport {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> quantiles;  ///< kReportQuantilePoints sketch quantiles
+
+  /// Rebuilds a comparable CDF from the quantile grid (empty when count==0).
+  [[nodiscard]] stats::Cdf ToCdf() const;
+};
+
+struct ScenarioReport {
+  std::uint64_t sessions = 0;
+  std::uint64_t invalid_sessions = 0;
+  std::uint64_t degraded_sessions = 0;
+  std::uint64_t anomalies_total = 0;
+  std::map<std::string, MetricReport> metrics;        ///< keyed by metric name
+  std::map<std::string, std::uint64_t> prevalence;    ///< keyed by anomaly slug
+};
+
+struct SloReport {
+  SloSpec spec;
+  double good = 0.0;
+  double total = 0.0;
+  double compliance = 1.0;
+  double window_compliance = 1.0;
+  double budget_remaining = 1.0;
+  double burn_rate = 0.0;
+  bool ok = true;
+};
+
+struct FleetReport {
+  std::uint64_t sessions = 0;
+  ScenarioReport fleet;
+  std::map<std::string, ScenarioReport> scenarios;
+  std::vector<SloReport> slos;
+};
+
+/// Snapshots an aggregator + SLO engine into the serializable report.
+[[nodiscard]] FleetReport BuildReport(const FleetAggregator& aggregator,
+                                      const SloEngine& slos);
+
+/// Deterministic JSON serialization (sorted keys, fixed float format,
+/// trailing newline). Byte-identical for equal reports.
+void WriteJson(const FleetReport& report, std::ostream& os);
+
+/// Parses a report previously written by WriteJson (the baseline side of
+/// the gate). Throws std::runtime_error on malformed input.
+[[nodiscard]] FleetReport ParseReport(std::istream& in);
+
+struct GateOptions {
+  /// CDF-dominance slack (probability units) passed to StochasticallyBelow;
+  /// absorbs sketch bucketing and seed noise.
+  double slack = 0.05;
+};
+
+struct GateResult {
+  bool ok = true;
+  std::vector<std::string> failures;  ///< human-readable, deterministic order
+};
+
+/// Compares `current` against `baseline`: every fleet-level metric present
+/// in both must be stochastically no worse (within slack), anomaly
+/// prevalence must not grow beyond slack, and every current SLO must meet
+/// its target.
+[[nodiscard]] GateResult GateAgainstBaseline(const FleetReport& current,
+                                             const FleetReport& baseline,
+                                             const GateOptions& options = {});
+
+}  // namespace athena::obs::fleet

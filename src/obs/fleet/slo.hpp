@@ -1,0 +1,114 @@
+// Fleet observability, stage 3: declarative SLOs with error budgets.
+//
+// An SLO is "fraction `target` of <samples|sessions> must keep `metric`
+// at or below `threshold`, judged over a sliding window of `window`
+// sessions". The engine evaluates online: summaries stream in (run-index
+// order), each updates a cumulative good/total ledger and a bounded ring
+// of recent per-session ledgers. From those it derives the SRE trio:
+//
+//   compliance        = good / total (cumulative)
+//   budget_remaining  = 1 − (1 − compliance) / (1 − target)
+//                       (1 = untouched, 0 = spent, negative = overspent)
+//   burn_rate         = windowed violation rate / (1 − target)
+//                       (1.0 = burning exactly at budget; >1 = alert)
+//
+// Every metric is lower-is-better by the summary normalization rule, so
+// "at or below threshold" is the only comparison the spec needs.
+//
+// Text spec format (one SLO per line, '#' comments):
+//
+//   <name>: <sample|session> <metric> <= <threshold> @ <target> [window <N>]
+//   uplink_owd_p95: sample uplink_owd_ms <= 20 @ 0.95 window 64
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/fleet/aggregate.hpp"
+#include "obs/fleet/summary.hpp"
+
+namespace athena::obs::fleet {
+
+struct SloSpec {
+  std::string name;
+  FleetMetric metric = FleetMetric::kUplinkOwdMs;
+  /// kSample judges every sample in the session's sketch; kSession judges
+  /// one value per session (the session mean for sample metrics).
+  Granularity granularity = Granularity::kSample;
+  double threshold = 0.0;      ///< good ⇔ value <= threshold
+  double target = 0.99;        ///< required good fraction, (0, 1)
+  std::uint32_t window = 64;   ///< burn-rate window, in sessions
+};
+
+/// Parses one spec line; empty/comment lines return nullopt, malformed
+/// lines throw std::runtime_error naming the defect.
+[[nodiscard]] std::optional<SloSpec> ParseSloLine(std::string_view line);
+
+/// Parses a whole spec stream (athena_cli --fleet-slo=FILE).
+[[nodiscard]] std::vector<SloSpec> ParseSloSpecs(std::istream& in);
+
+/// The built-in fleet SLO catalog: uplink delay, frame lateness, audio
+/// continuity and mouth-to-ear bounds calibrated to the clean paper cell.
+[[nodiscard]] std::vector<SloSpec> DefaultSlos();
+
+struct SloResult {
+  SloSpec spec;
+  double good = 0.0;              ///< cumulative good samples/sessions
+  double total = 0.0;             ///< cumulative samples/sessions observed
+  double compliance = 1.0;        ///< good / total (1 when nothing observed)
+  double window_compliance = 1.0; ///< same, over the last `window` sessions
+  double budget_remaining = 1.0;  ///< 1 − violations/budget (cumulative)
+  double burn_rate = 0.0;         ///< windowed violation rate / budget
+  [[nodiscard]] bool ok() const { return compliance >= spec.target; }
+};
+
+/// Online evaluator over a stream of SessionSummaries.
+class SloEngine {
+ public:
+  SloEngine() : SloEngine(DefaultSlos()) {}
+  explicit SloEngine(std::vector<SloSpec> specs);
+
+  /// Folds one session (in run-index order for reproducible windows).
+  void Observe(const SessionSummary& summary);
+
+  [[nodiscard]] std::uint64_t sessions_observed() const { return sessions_; }
+  [[nodiscard]] const std::vector<SloSpec>& specs() const { return specs_; }
+
+  /// Current verdict per spec, in spec order.
+  [[nodiscard]] std::vector<SloResult> Results() const;
+
+  /// True when every SLO currently meets its target.
+  [[nodiscard]] bool AllOk() const;
+
+  /// Publishes `fleet.slo.<name>.{compliance,budget_remaining,burn_rate,ok}`
+  /// gauges into the installed obs::MetricsRegistry (no-op when none),
+  /// rendering through the shared prom_text exposition path.
+  void PublishMetrics() const;
+
+ private:
+  struct Ledger {
+    double good = 0.0;
+    double total = 0.0;
+  };
+  struct State {
+    Ledger cumulative;
+    std::deque<Ledger> window;  ///< per-session ledgers, newest at back
+    Ledger window_sum;
+  };
+
+  std::vector<SloSpec> specs_;
+  std::vector<State> states_;  ///< parallel to specs_
+  std::uint64_t sessions_ = 0;
+};
+
+/// Publishes `fleet.prevalence.<slug>` gauges (fraction of sessions in
+/// which each detector fired) for one aggregate into the installed
+/// registry — the population companion of the per-session anomaly counts.
+void PublishPrevalenceMetrics(const ScenarioAggregate& aggregate);
+
+}  // namespace athena::obs::fleet

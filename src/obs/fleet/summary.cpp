@@ -1,0 +1,130 @@
+#include "obs/fleet/summary.hpp"
+
+#include "sim/time.hpp"
+
+namespace athena::obs::fleet {
+
+const char* ToString(FleetMetric metric) {
+  switch (metric) {
+    case FleetMetric::kUplinkOwdMs: return "uplink_owd_ms";
+    case FleetMetric::kSlotWaitMs: return "slot_wait_ms";
+    case FleetMetric::kBsrWaitMs: return "bsr_wait_ms";
+    case FleetMetric::kHarqInflationMs: return "harq_inflation_ms";
+    case FleetMetric::kTxSpreadMs: return "tx_spread_ms";
+    case FleetMetric::kCoreSfuMs: return "core_sfu_ms";
+    case FleetMetric::kFrameDelayMs: return "frame_delay_ms";
+    case FleetMetric::kJbHoldMs: return "jb_hold_ms";
+    case FleetMetric::kFrameJitterMs: return "frame_jitter_ms";
+    case FleetMetric::kMouthToEarMs: return "mouth_to_ear_ms";
+    case FleetMetric::kSsimDistortion: return "ssim_distortion";
+    case FleetMetric::kFrameLateFraction: return "frame_late_fraction";
+    case FleetMetric::kAudioGapFraction: return "audio_gap_fraction";
+    case FleetMetric::kMosDeficit: return "mos_deficit";
+    case FleetMetric::kMatchDeficit: return "match_deficit";
+  }
+  return "unknown";
+}
+
+std::optional<FleetMetric> MetricFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kFleetMetricCount; ++i) {
+    const auto m = static_cast<FleetMetric>(i);
+    if (name == ToString(m)) return m;
+  }
+  return std::nullopt;
+}
+
+Granularity GranularityOf(FleetMetric metric) {
+  switch (metric) {
+    case FleetMetric::kFrameLateFraction:
+    case FleetMetric::kAudioGapFraction:
+    case FleetMetric::kMosDeficit:
+    case FleetMetric::kMatchDeficit:
+      return Granularity::kSession;
+    default:
+      return Granularity::kSample;
+  }
+}
+
+namespace {
+
+/// Folds every sample of an offline CDF into a fleet accumulator,
+/// optionally transformed (deficit normalization).
+void FoldCdf(SessionSummary& s, FleetMetric m, const stats::Cdf& cdf,
+             double (*transform)(double) = nullptr) {
+  auto& bucket = s.metric(m);
+  for (const double v : cdf.sorted_samples()) {
+    bucket.Add(transform != nullptr ? transform(v) : v);
+  }
+}
+
+}  // namespace
+
+SessionSummary SummarizeSession(const SummaryInputs& inputs) {
+  SessionSummary s;
+  s.scenario = inputs.scenario;
+  s.seed = inputs.seed;
+  if (inputs.dataset == nullptr) return s;
+  const core::CrossLayerDataset& data = *inputs.dataset;
+  s.valid = true;
+  s.degraded = data.health.degraded();
+
+  // --- per-packet delay decomposition (media packets that reached ②) ---
+  for (const core::CrossLayerRecord& r : data.packets) {
+    if (!r.is_media() || !r.reached_core) continue;
+    s.metric(FleetMetric::kUplinkOwdMs).Add(sim::ToMs(r.uplink_owd));
+    s.metric(FleetMetric::kTxSpreadMs).Add(sim::ToMs(r.transmission_spread));
+    if (r.rtx_inflation.count() > 0) {
+      s.metric(FleetMetric::kHarqInflationMs).Add(sim::ToMs(r.rtx_inflation));
+    }
+    switch (r.primary_cause) {
+      case core::RootCause::kSlotAlignment:
+        s.metric(FleetMetric::kSlotWaitMs).Add(sim::ToMs(r.sched_wait));
+        break;
+      case core::RootCause::kBsrWait:
+        s.metric(FleetMetric::kBsrWaitMs).Add(sim::ToMs(r.sched_wait));
+        break;
+      default:
+        break;
+    }
+    if (r.reached_receiver) {
+      s.metric(FleetMetric::kCoreSfuMs).Add(sim::ToMs(r.wan_owd));
+    }
+  }
+
+  // --- per-frame delay (what the renderer gates on) ---
+  for (const core::FrameRecord& f : data.frames) {
+    if (!f.complete_at_core || f.is_audio) continue;
+    s.metric(FleetMetric::kFrameDelayMs).Add(sim::ToMs(f.FrameDelay()));
+  }
+
+  // --- session scalar: correlation confidence deficit ---
+  s.metric(FleetMetric::kMatchDeficit).Add(1.0 - data.health.mean_match_confidence);
+
+  // --- QoE (receiver-side) ---
+  if (inputs.qoe != nullptr) {
+    const media::QoeCollector& qoe = *inputs.qoe;
+    FoldCdf(s, FleetMetric::kJbHoldMs, qoe.JitterHoldMs());
+    FoldCdf(s, FleetMetric::kFrameJitterMs, qoe.FrameJitterMs());
+    FoldCdf(s, FleetMetric::kMouthToEarMs, qoe.MouthToEarMs());
+    FoldCdf(s, FleetMetric::kSsimDistortion, qoe.Ssim(),
+            +[](double ssim) { return 1.0 - ssim; });
+
+    const double rendered = static_cast<double>(qoe.video_frames_rendered());
+    const double late_fraction =
+        rendered > 0.0 ? static_cast<double>(qoe.late_frames()) / rendered : 0.0;
+    s.metric(FleetMetric::kFrameLateFraction).Add(late_fraction);
+    s.metric(FleetMetric::kAudioGapFraction).Add(qoe.AudioLossFraction());
+    s.metric(FleetMetric::kMosDeficit).Add(5.0 - qoe.AudioMos());
+  }
+
+  // --- live-detector verdicts ---
+  if (inputs.detectors != nullptr) {
+    for (std::size_t k = 0; k < obs::live::kAnomalyKindCount; ++k) {
+      s.anomalies[k] =
+          inputs.detectors->anomaly_count(static_cast<obs::live::AnomalyKind>(k));
+    }
+  }
+  return s;
+}
+
+}  // namespace athena::obs::fleet

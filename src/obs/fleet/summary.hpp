@@ -1,0 +1,111 @@
+// Fleet observability, stage 1: one session → one SessionSummary.
+//
+// A SessionSummary is the EDAF-style per-session digest the fleet layer
+// aggregates: the end-to-end delay decomposed into per-segment
+// components (slot-quantization wait, BSR grant wait, HARQ inflation,
+// in-RAN transmission trickle, core/SFU residence, jitter-buffer hold),
+// the application-side QoE the user actually felt (SSIM, frame-late
+// fraction, audio gaps, mouth-to-ear), and which live detectors fired.
+// Every metric is held as a mergeable count/sum/min/max + quantile-sketch
+// accumulator (obs/pipeline rollup machinery), so N summaries fold into
+// population CDFs without retaining samples, in any order, on any worker.
+//
+// Normalization rule: every metric is *lower-is-better*. Quality scores
+// are stored as deficits (1−SSIM, 5−MOS, 1−match-confidence) so the SLO
+// engine and the regression gate apply one uniform dominance test, and so
+// the log-domain sketch — accurate near 0, coarse near 1 — spends its
+// resolution where quality metrics actually move.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/correlator.hpp"
+#include "media/qoe.hpp"
+#include "obs/live/detectors.hpp"
+#include "obs/pipeline/rollup.hpp"
+
+namespace athena::obs::fleet {
+
+/// The fixed metric catalog. Append only — report consumers key on the
+/// names, and the SLO spec format references them. Keep ToString /
+/// MetricFromName / GranularityOf in summary.cpp in sync.
+enum class FleetMetric : std::uint8_t {
+  // --- delay decomposition, per media packet/frame (ms) ---
+  kUplinkOwdMs,        ///< sender egress → mobile core, total
+  kSlotWaitMs,         ///< sched_wait of packets that (only) waited for a UL slot
+  kBsrWaitMs,          ///< sched_wait of packets that queued for a BSR grant (§3.1)
+  kHarqInflationMs,    ///< HARQ retransmission inflation on the final chain (§3.2)
+  kTxSpreadMs,         ///< first-TB → last-byte-TB slot trickle
+  kCoreSfuMs,          ///< core → receiver residence (WAN + SFU fan-out)
+  kFrameDelayMs,       ///< frame-level: first packet sent → last packet at core
+  kJbHoldMs,           ///< jitter-buffer hold: frame complete → rendered
+  // --- QoE, per sample (ms / normalized) ---
+  kFrameJitterMs,      ///< |inter-completion − inter-capture| per video frame
+  kMouthToEarMs,       ///< capture → render per rendered unit
+  kSsimDistortion,     ///< 1 − SSIM per rendered video frame
+  // --- session scalars (one sample per session) ---
+  kFrameLateFraction,  ///< late frames / rendered frames
+  kAudioGapFraction,   ///< sent audio samples never rendered
+  kMosDeficit,         ///< 5 − E-model audio MOS
+  kMatchDeficit,       ///< 1 − mean correlator match confidence
+};
+inline constexpr std::size_t kFleetMetricCount = 15;
+
+/// Stable report/SLO-spec identifier, e.g. "uplink_owd_ms".
+[[nodiscard]] const char* ToString(FleetMetric metric);
+
+/// Inverse of ToString; nullopt for unknown names.
+[[nodiscard]] std::optional<FleetMetric> MetricFromName(std::string_view name);
+
+/// Whether a metric folds one sample per packet/frame or one per session.
+enum class Granularity : std::uint8_t { kSample, kSession };
+[[nodiscard]] Granularity GranularityOf(FleetMetric metric);
+
+/// One session's mergeable digest. Plain value type: ParallelRunner map
+/// slots, chaos outcomes and the aggregator all copy it freely.
+struct SessionSummary {
+  std::string scenario;  ///< population grouping key (chaos scenario, sweep label)
+  std::uint64_t seed = 0;
+  bool valid = false;    ///< false = extraction skipped (no dataset)
+
+  /// Per-metric accumulators (count/sum/min/max + quantile sketch).
+  std::array<obs::pipeline::RollupBucket, kFleetMetricCount> metrics{};
+
+  /// Live-detector verdict counts for this session, by AnomalyKind.
+  std::array<std::uint64_t, obs::live::kAnomalyKindCount> anomalies{};
+  /// Correlation health: the dataset-level degradation verdict.
+  bool degraded = false;
+
+  [[nodiscard]] const obs::pipeline::RollupBucket& metric(FleetMetric m) const {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] obs::pipeline::RollupBucket& metric(FleetMetric m) {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+
+  /// The single sample of a session-granularity metric (0 when absent).
+  [[nodiscard]] double SessionValue(FleetMetric m) const {
+    const auto& b = metric(m);
+    return b.count == 0 ? 0.0 : b.sum / static_cast<double>(b.count);
+  }
+};
+
+/// Extraction inputs. `dataset` is required; the rest degrade gracefully
+/// (missing QoE ⇒ no QoE metrics, missing detectors ⇒ zero anomalies).
+struct SummaryInputs {
+  const core::CrossLayerDataset* dataset = nullptr;
+  const media::QoeCollector* qoe = nullptr;
+  const obs::live::DetectorBank* detectors = nullptr;
+  std::string scenario = "session";
+  std::uint64_t seed = 0;
+};
+
+/// Computes the per-session delay decomposition and QoE digest. Pure and
+/// deterministic: the same inputs always produce the same summary.
+[[nodiscard]] SessionSummary SummarizeSession(const SummaryInputs& inputs);
+
+}  // namespace athena::obs::fleet

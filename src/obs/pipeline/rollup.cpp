@@ -29,18 +29,24 @@ std::size_t BucketIndex(double v) {
          static_cast<std::size_t>(clamped_sub);
 }
 
-/// Geometric midpoint of bucket i — the value a quantile query reports.
-double BucketMid(std::size_t i) {
+/// Lower edge of bucket i's value range.
+double BucketLow(std::size_t i) {
   const auto octave = static_cast<int>(i) / QuantileSketch::kSubBuckets;
   const auto sub = static_cast<int>(i) % QuantileSketch::kSubBuckets;
-  const double lo =
-      std::ldexp(1.0 + static_cast<double>(sub) / QuantileSketch::kSubBuckets,
-                 octave + QuantileSketch::kMinExponent);
-  const double hi =
-      std::ldexp(1.0 + static_cast<double>(sub + 1) / QuantileSketch::kSubBuckets,
-                 octave + QuantileSketch::kMinExponent);
-  return std::sqrt(lo * hi);
+  return std::ldexp(1.0 + static_cast<double>(sub) / QuantileSketch::kSubBuckets,
+                    octave + QuantileSketch::kMinExponent);
 }
+
+/// Upper edge of bucket i's value range (== BucketLow(i + 1) in-range).
+double BucketHigh(std::size_t i) {
+  const auto octave = static_cast<int>(i) / QuantileSketch::kSubBuckets;
+  const auto sub = static_cast<int>(i) % QuantileSketch::kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / QuantileSketch::kSubBuckets,
+                    octave + QuantileSketch::kMinExponent);
+}
+
+/// Geometric midpoint of bucket i — the value a quantile query reports.
+double BucketMid(std::size_t i) { return std::sqrt(BucketLow(i) * BucketHigh(i)); }
 
 }  // namespace
 
@@ -65,6 +71,26 @@ double QuantileSketch::Quantile(double q) const {
     if (seen > rank) return i == 0 ? 0.0 : BucketMid(i);
   }
   return BucketMid(kBuckets - 1);
+}
+
+double QuantileSketch::CountAtOrBelow(double x) const {
+  if (count_ == 0 || x < 0.0 || !std::isfinite(x)) return 0.0;
+  const std::size_t idx = BucketIndex(x);
+  double n = 0.0;
+  for (std::size_t i = 0; i < idx; ++i) n += buckets_[i];
+  if (idx == 0) {
+    // The pinned low bucket holds zeros and sub-range values; any x ≥ 0
+    // landing here dominates them all.
+    n += buckets_[0];
+  } else {
+    const double lo = BucketLow(idx);
+    const double hi = BucketHigh(idx);
+    double frac = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    n += frac * buckets_[idx];
+  }
+  return n;
 }
 
 // --- RollupBucket ---

@@ -51,6 +51,11 @@ class QuantileSketch {
   /// Inverse CDF at q ∈ [0, 1] (geometric bucket midpoint). 0 when empty.
   [[nodiscard]] double Quantile(double q) const;
 
+  /// Estimated number of recorded values ≤ x: full buckets below x plus a
+  /// linear fraction of the straddling bucket. Deterministic, monotone in
+  /// x — the SLO engine's "good samples" primitive. 0 when empty or x < 0.
+  [[nodiscard]] double CountAtOrBelow(double x) const;
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] const std::array<std::uint32_t, kBuckets>& buckets() const {
     return buckets_;

@@ -1,10 +1,11 @@
 #include "stats/cdf.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
+
+#include "sim/check.hpp"
 
 namespace athena::stats {
 
@@ -21,7 +22,7 @@ void Cdf::EnsureSorted() const {
 }
 
 double Cdf::Quantile(double q) const {
-  assert(!samples_.empty() && "quantile of an empty CDF");
+  ATHENA_CHECK(!samples_.empty(), "Quantile() requires at least one sample");
   EnsureSorted();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);

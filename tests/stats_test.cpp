@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/check.hpp"
 #include "stats/cdf.hpp"
 #include "stats/histogram.hpp"
 #include "stats/running_stats.hpp"
@@ -314,6 +315,22 @@ TEST(TableTest, BannerContainsTitle) {
   std::ostringstream os;
   PrintBanner(os, "Figure 5");
   EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}
+
+// ---------- release-mode precondition guards ----------
+
+TEST(CdfCheckDeathTest, QuantileOfEmptyCdfAbortsWithDiagnostic) {
+  // The guard must be armed in release builds too (ATHENA_CHECK, not
+  // assert): quantile of an empty CDF would index samples_[-0u].
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Cdf empty;
+  EXPECT_DEATH((void)empty.Quantile(0.5), "ATHENA_CHECK failed");
+}
+
+TEST(CdfCheckDeathTest, ScopedThrowConvertsTheAbortIntoAnException) {
+  const Cdf empty;
+  sim::ScopedCheckThrow guard;
+  EXPECT_THROW((void)empty.Quantile(0.5), sim::CheckViolation);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "app/session.hpp"
+#include "obs/fleet/slo.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/obs.hpp"
 #include "obs/pipeline/collector.hpp"
@@ -458,6 +459,27 @@ TEST(Exposition, MatchesGoldenFile) {
   for (const double v : {1.0, 2.0, 3.0, 4.0}) registry.Stats("owd.ms").Add(v);
   auto& histogram = registry.Histogram("frame.interval-ms", 0.0, 100.0, 4);
   for (const double v : {-5.0, 10.0, 50.0, 1000.0}) histogram.Add(v);
+
+  // The fleet families ride the same exposition path: one synthetic
+  // session through the SLO engine and the prevalence publisher pins
+  // fleet.slo.* and fleet.prevalence.* formatting alongside the rest.
+  fleet::SessionSummary summary;
+  summary.scenario = "golden";
+  summary.valid = true;
+  for (const double owd : {4.0, 8.0, 40.0}) {
+    summary.metric(fleet::FleetMetric::kUplinkOwdMs).Add(owd);
+  }
+  summary.metric(fleet::FleetMetric::kAudioGapFraction).Add(0.2);
+  summary.anomalies[static_cast<std::size_t>(live::AnomalyKind::kTelemetryGap)] = 3;
+  fleet::SloEngine slos;
+  slos.Observe(summary);
+  fleet::ScenarioAggregate aggregate;
+  aggregate.Fold(summary);
+  {
+    ScopedMetrics scope{&registry};
+    slos.PublishMetrics();
+    fleet::PublishPrevalenceMetrics(aggregate);
+  }
 
   std::ostringstream os;
   live::WritePrometheus(os, registry);
