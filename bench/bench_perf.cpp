@@ -14,10 +14,13 @@
 //   3. sweep         — a 16-run derived-seed session sweep (stressed
 //      fading config, 30 virtual seconds per run, so serial wall time
 //      is O(seconds) and parallel scaling is measured against a real
-//      workload, not scheduler noise) executed serially and with
-//      sim::ParallelRunner at hardware concurrency; records wall-time
-//      scaling, per-run wall times under both schedules, and verifies
-//      the exported outputs are byte-identical (`deterministic`).
+//      workload, not scheduler noise) executed serially and then at an
+//      explicit 2/4/8-job ladder (not "hardware concurrency", which
+//      collapses to jobs=1 on a single-core host and measures nothing);
+//      each rung records wall time, speedup vs serial, and byte-identity
+//      of the exported outputs (`deterministic`). A second sweep on the
+//      reused 8-job runner checks the persistent pool: the repeat must
+//      not regress past 1.5x the first (no per-Run thread respawn).
 //   4. overheads     — the BENCH_obs/BENCH_live overhead fractions
 //      recomputed with the same 8-rep methodology, so one file carries
 //      every acceptance number for this subsystem.
@@ -30,6 +33,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -173,30 +177,62 @@ int main(int argc, char** argv) {
     emit_ns_direct = secs * 1e9 / static_cast<double>(kEmits);
   }
 
-  // --- 3. sweep: serial vs parallel, with determinism check and per-run
-  // wall times (run_seconds_* expose straggler imbalance — a run that
-  // takes 3× its siblings caps scaling no matter the job count) ---
+  // --- 3. sweep: serial vs an explicit 2/4/8-job ladder, with a
+  // determinism check at every rung and per-run wall times for the
+  // serial schedule (a run that takes 3× its siblings caps scaling no
+  // matter the job count) ---
   std::vector<double> serial_run_secs(kSweepRuns, 0.0);
-  std::vector<double> parallel_run_secs(kSweepRuns, 0.0);
-  const auto sweep_task = [](std::vector<double>& walls) {
-    return std::function<std::string(std::size_t)>{[&walls](std::size_t i) {
-      return SweepRun(sim::DeriveSeed(42, i), &walls[i]);
+  const auto sweep_task = [](std::vector<double>* walls) {
+    return std::function<std::string(std::size_t)>{[walls](std::size_t i) {
+      return SweepRun(sim::DeriveSeed(42, i),
+                      walls != nullptr ? &(*walls)[i] : nullptr);
     }};
   };
   SweepRun(sim::DeriveSeed(42, 0), nullptr);  // untimed warmup
   std::vector<std::string> serial_out;
   const double serial_secs = WallSeconds([&] {
-    serial_out =
-        sim::ParallelRunner{1}.Map<std::string>(kSweepRuns, sweep_task(serial_run_secs));
+    serial_out = sim::ParallelRunner{1}.Map<std::string>(
+        kSweepRuns, sweep_task(&serial_run_secs));
   });
-  sim::ParallelRunner parallel_runner{0};
-  std::vector<std::string> parallel_out;
-  const double parallel_secs = WallSeconds([&] {
-    parallel_out =
-        parallel_runner.Map<std::string>(kSweepRuns, sweep_task(parallel_run_secs));
+
+  struct SweepRung {
+    std::size_t jobs = 0;
+    double seconds = 0.0;
+    double speedup = 0.0;  ///< serial_secs / seconds
+    bool deterministic = false;
+  };
+  constexpr std::array<std::size_t, 3> kJobLadder{2, 4, 8};
+  std::vector<SweepRung> ladder;
+  bool deterministic = true;
+  sim::ParallelRunner top_runner{kJobLadder.back()};
+  for (const std::size_t jobs : kJobLadder) {
+    // The top rung reuses `top_runner` so the pool-reuse check below
+    // measures a genuinely warm pool.
+    std::optional<sim::ParallelRunner> local;
+    sim::ParallelRunner& runner =
+        jobs == kJobLadder.back() ? top_runner : local.emplace(jobs);
+    std::vector<std::string> out;
+    SweepRung rung;
+    rung.jobs = runner.jobs();
+    rung.seconds = WallSeconds([&] {
+      out = runner.Map<std::string>(kSweepRuns, sweep_task(nullptr));
+    });
+    rung.speedup = rung.seconds > 0.0 ? serial_secs / rung.seconds : 0.0;
+    rung.deterministic = out == serial_out;
+    deterministic = deterministic && rung.deterministic;
+    ladder.push_back(rung);
+  }
+
+  // Persistent-pool check: a repeat sweep on the already-used runner must
+  // reuse its workers. 1.5x headroom absorbs host noise; a pool that
+  // respawned threads per Run (or worse, serialized) would blow past it
+  // together with startup cost on every one of the 16 tasks.
+  const double reuse_first = ladder.back().seconds;
+  const double reuse_repeat = WallSeconds([&] {
+    (void)top_runner.Map<std::string>(kSweepRuns, sweep_task(nullptr));
   });
-  const bool deterministic = serial_out == parallel_out;
-  const double scaling = parallel_secs > 0.0 ? serial_secs / parallel_secs : 0.0;
+  const double reuse_ratio = reuse_first > 0.0 ? reuse_repeat / reuse_first : 0.0;
+  const bool reuse_ok = reuse_ratio <= 1.5;
 
   // --- 4. overhead fractions (bench_obs / bench_live methodology, but
   // with off/on reps strictly interleaved so host noise cancels) ---
@@ -255,12 +291,23 @@ int main(int argc, char** argv) {
   os << "  },\n";
   os << "  \"sweep\": {\n";
   os << "    \"runs\": " << kSweepRuns << ",\n";
-  os << "    \"jobs\": " << parallel_runner.jobs() << ",\n";
   os << "    \"serial_seconds\": " << serial_secs << ",\n";
-  os << "    \"parallel_seconds\": " << parallel_secs << ",\n";
   write_array("run_seconds_serial", serial_run_secs);
-  write_array("run_seconds_parallel", parallel_run_secs);
-  os << "    \"scaling\": " << scaling << ",\n";
+  os << "    \"jobs_ladder\": [\n";
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const SweepRung& rung = ladder[i];
+    os << "      {\"jobs\": " << rung.jobs << ", \"seconds\": " << rung.seconds
+       << ", \"speedup_vs_serial\": " << rung.speedup << ", \"deterministic\": "
+       << (rung.deterministic ? "true" : "false") << "}"
+       << (i + 1 < ladder.size() ? "," : "") << '\n';
+  }
+  os << "    ],\n";
+  os << "    \"pool_reuse\": {\n";
+  os << "      \"first_seconds\": " << reuse_first << ",\n";
+  os << "      \"repeat_seconds\": " << reuse_repeat << ",\n";
+  os << "      \"ratio\": " << reuse_ratio << ",\n";
+  os << "      \"ok\": " << (reuse_ok ? "true" : "false") << "\n";
+  os << "    },\n";
   os << "    \"deterministic\": " << (deterministic ? "true" : "false") << "\n";
   os << "  },\n";
   os << "  \"session_overheads\": {\n";
@@ -274,16 +321,24 @@ int main(int argc, char** argv) {
             << legacy_ops / 1e6 << " M ops/s (x" << speedup << ")\n";
   std::cout << "trace emit: " << emit_ns << " ns/event batched, " << emit_ns_direct
             << " ns/event direct\n";
-  std::cout << "sweep x" << kSweepRuns << ": serial " << serial_secs << " s, "
-            << parallel_runner.jobs() << " jobs " << parallel_secs << " s (x"
-            << scaling << "), deterministic=" << (deterministic ? "yes" : "no")
-            << '\n';
+  std::cout << "sweep x" << kSweepRuns << ": serial " << serial_secs << " s";
+  for (const SweepRung& rung : ladder) {
+    std::cout << ", " << rung.jobs << " jobs " << rung.seconds << " s (x"
+              << rung.speedup << ")";
+  }
+  std::cout << ", deterministic=" << (deterministic ? "yes" : "no") << '\n';
+  std::cout << "pool reuse: repeat/first = " << reuse_ratio << " ("
+            << (reuse_ok ? "ok" : "REGRESSED") << ")\n";
   std::cout << "session overheads: obs " << obs_overhead * 100.0 << "%, obs+live "
             << live_overhead * 100.0 << "%\n";
   std::cout << "wrote " << out_path << '\n';
 
   if (!deterministic) {
     std::cerr << "ERROR: parallel sweep diverged from serial\n";
+    return 1;
+  }
+  if (!reuse_ok) {
+    std::cerr << "ERROR: repeated sweep regressed on the reused worker pool\n";
     return 1;
   }
   return 0;

@@ -75,6 +75,24 @@
 //     --fleet-expose=FILE               write the fleet.slo.* and
 //                                       fleet.prevalence.* gauges in
 //                                       Prometheus text format
+//     --world-ues=N                     world mode: run N concurrent
+//                                       sessions sharing --world-cells
+//                                       cells across --world-shards
+//                                       shard workers (sharded engine,
+//                                       src/world/); prints the world
+//                                       digest + population summary and
+//                                       honours --fleet-report
+//     --world-cells=C                   cells in the world  (default 4)
+//     --world-shards=S                  shards (clamped to C, default 1)
+//     --world-handover=K                every K-th UE hands over mid-run
+//     --world-mode=threads|seq          one worker per shard vs the
+//                                       sequential oracle (default threads)
+//     --world-crosscheck                after the run, repeat at 1 shard
+//                                       sequentially and require a
+//                                       byte-identical digest + report
+//     --world-chaos                     run the world chaos contract
+//                                       (cell outage; see
+//                                       src/fault/world_chaos.hpp)
 //     --fleet-baseline=FILE             stored baseline report to gate
 //                                       against
 //     --fleet-gate                      with --chaos/--sweep: after the run,
@@ -107,6 +125,7 @@
 #include "athena.hpp"
 #include "core/report.hpp"
 #include "fault/chaos.hpp"
+#include "fault/world_chaos.hpp"
 #include "obs/fleet/report.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
@@ -115,6 +134,7 @@
 #include "resilience/checkpoint.hpp"
 #include "resilience/supervisor.hpp"
 #include "sim/runner.hpp"
+#include "world/engine.hpp"
 
 namespace {
 
@@ -177,6 +197,17 @@ struct Options {
   [[nodiscard]] bool fleet() const {
     return !fleet_report.empty() || !fleet_expose.empty() || fleet_gate;
   }
+
+  // --- world mode (src/world/) ---
+  std::size_t world_ues = 0;  ///< >0 activates the sharded world engine
+  std::size_t world_cells = 4;
+  std::size_t world_shards = 1;
+  std::size_t world_handover_every = 0;
+  std::string world_mode = "threads";  ///< threads | seq
+  bool world_crosscheck = false;
+  bool world_chaos = false;
+
+  [[nodiscard]] bool world() const { return world_ues > 0; }
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -253,6 +284,20 @@ Options Parse(int argc, char** argv) {
       opt.fleet_expose = value;
     } else if (ParseFlag(arg, "fleet-baseline", &value)) {
       opt.fleet_baseline = value;
+    } else if (ParseFlag(arg, "world-ues", &value)) {
+      opt.world_ues = std::stoul(value);
+    } else if (ParseFlag(arg, "world-cells", &value)) {
+      opt.world_cells = std::stoul(value);
+    } else if (ParseFlag(arg, "world-shards", &value)) {
+      opt.world_shards = std::stoul(value);
+    } else if (ParseFlag(arg, "world-handover", &value)) {
+      opt.world_handover_every = std::stoul(value);
+    } else if (ParseFlag(arg, "world-mode", &value)) {
+      opt.world_mode = value;
+    } else if (arg == "--world-crosscheck") {
+      opt.world_crosscheck = true;
+    } else if (arg == "--world-chaos") {
+      opt.world_chaos = true;
     } else if (arg == "--fleet-gate") {
       opt.fleet_gate = true;
     } else if (arg == "--supervise") {
@@ -274,7 +319,10 @@ Options Parse(int argc, char** argv) {
                    "[--restore=FILE] [--mem-budget=BYTES] [--supervise] "
                    "[--kill-at=MS] [--kill-every-events=N] "
                    "[--fleet-report=FILE] [--fleet-slo=FILE] "
-                   "[--fleet-expose=FILE] [--fleet-baseline=FILE] [--fleet-gate]\n";
+                   "[--fleet-expose=FILE] [--fleet-baseline=FILE] [--fleet-gate] "
+                   "[--world-ues=N] [--world-cells=C] [--world-shards=S] "
+                   "[--world-handover=K] [--world-mode=threads|seq] "
+                   "[--world-crosscheck] [--world-chaos]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -638,6 +686,103 @@ int RunResilient(const Options& opt) {
   return 0;
 }
 
+world::WorldConfig BuildWorldConfig(const Options& opt) {
+  world::WorldConfig config;
+  config.seed = opt.seed;
+  config.ues = opt.world_ues;
+  config.cells = opt.world_cells;
+  config.shards = opt.world_shards;
+  config.threaded = opt.world_mode != "seq";
+  config.duration = sim::Duration{std::chrono::seconds{opt.duration_s}};
+  config.handover_every = opt.world_handover_every;
+  config.correlate_jobs = opt.jobs;
+  return config;
+}
+
+void PrintWorldSummary(const world::WorldResult& result) {
+  std::cout << "world: " << result.shards << " shard(s) ("
+            << (result.threaded ? "threaded" : "sequential") << "), "
+            << result.windows << " windows\n"
+            << "  wall " << result.wall_seconds << " s, busy "
+            << result.busy_seconds << " s, critical path "
+            << result.critical_path_seconds << " s\n"
+            << "  events " << result.events_executed << ", mailbox msgs "
+            << result.messages_delivered << ", handovers " << result.handovers
+            << '\n'
+            << "  ledger: offered " << result.offered << " = delivered "
+            << result.delivered << " + lost " << result.lost << " + in-flight "
+            << result.in_flight << " (transit " << result.in_transit_uplink
+            << " up / " << result.in_transit_delivery << " down)\n"
+            << "  conservation: " << (result.conservation_ok ? "OK" : "VIOLATED")
+            << '\n'
+            << "  digest: " << std::hex << result.digest << std::dec << '\n';
+  if (!result.conservation_ok) {
+    std::cout << "  violation: " << result.conservation_error << '\n';
+  }
+}
+
+/// World mode: the sharded multi-cell engine. Returns the process exit
+/// code (nonzero on conservation violation or cross-check mismatch).
+int RunWorld(const Options& opt) {
+  if (opt.world_mode != "threads" && opt.world_mode != "seq") {
+    std::cerr << "--world-mode must be 'threads' or 'seq'\n";
+    return 2;
+  }
+
+  if (opt.world_chaos) {
+    fault::WorldChaosConfig config;
+    config.seed = opt.seed;
+    config.ues = opt.world_ues;
+    config.cells = opt.world_cells;
+    config.shards = opt.world_shards;
+    config.threaded = opt.world_mode != "seq";
+    config.duration = sim::Duration{std::chrono::seconds{opt.duration_s}};
+    if (opt.world_handover_every > 0) {
+      config.handover_every = opt.world_handover_every;
+    }
+    const fault::WorldChaosOutcome outcome = fault::RunWorldChaos(config);
+    std::cout << "world chaos: cell " << config.outage_cell << " outage, clean "
+              << outcome.clean.delivered << " delivered vs faulted "
+              << outcome.faulted.delivered << '\n';
+    for (const std::string& violation : outcome.violations) {
+      std::cerr << "violation: " << violation << '\n';
+    }
+    std::cout << "world chaos invariants: "
+              << (outcome.invariants_ok ? "PASS" : "FAIL") << '\n';
+    return outcome.invariants_ok ? 0 : 1;
+  }
+
+  world::WorldEngine engine{BuildWorldConfig(opt)};
+  const world::WorldResult result = engine.Run();
+  PrintWorldSummary(result);
+  std::cout << "fleet: " << result.report.sessions << " session(s), "
+            << result.report.scenarios.size() << " cell group(s)\n";
+
+  if (!opt.fleet_report.empty()) {
+    std::ofstream os{opt.fleet_report};
+    if (!os) throw std::runtime_error("cannot write " + opt.fleet_report);
+    os << result.fleet_json;
+    std::cout << "wrote " << opt.fleet_report << '\n';
+  }
+
+  int exit_code = result.conservation_ok ? 0 : 1;
+  if (opt.world_crosscheck) {
+    // The determinism oracle: a 1-shard sequential run of the same
+    // world must produce the exact same digest and report bytes.
+    world::WorldConfig reference = BuildWorldConfig(opt);
+    reference.shards = 1;
+    reference.threaded = false;
+    world::WorldEngine oracle{std::move(reference)};
+    const world::WorldResult ref = oracle.Run();
+    const bool match =
+        ref.digest == result.digest && ref.fleet_json == result.fleet_json;
+    std::cout << "digest cross-check: " << (match ? "PASS" : "FAIL") << " ("
+              << result.shards << " shard(s) vs 1-shard oracle)\n";
+    if (!match && exit_code == 0) exit_code = 1;
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -651,6 +796,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!opt.chaos.empty()) return RunChaos(opt);
+    if (opt.world()) return RunWorld(opt);
     if (opt.fleet_gate && opt.sweep == 0 && !opt.resilient()) {
       // Gate-only mode: no run requested — compare an existing report
       // file against the baseline (the cheap CI re-check path).

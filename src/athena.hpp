@@ -41,6 +41,8 @@
 #include "mitigation/phy_informed.hpp"       // IWYU pragma: export
 #include "mitigation/traffic_predictor.hpp"  // IWYU pragma: export
 #include "ran/uplink.hpp"         // IWYU pragma: export
+#include "ran/multi_ue.hpp"       // IWYU pragma: export
 #include "sim/simulator.hpp"      // IWYU pragma: export
 #include "stats/cdf.hpp"          // IWYU pragma: export
 #include "stats/table.hpp"        // IWYU pragma: export
+#include "world/engine.hpp"       // IWYU pragma: export

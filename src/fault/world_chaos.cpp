@@ -1,0 +1,78 @@
+#include "fault/world_chaos.hpp"
+
+#include <utility>
+
+namespace athena::fault {
+namespace {
+
+world::WorldConfig BaseWorld(const WorldChaosConfig& config) {
+  world::WorldConfig wc;
+  wc.seed = config.seed;
+  wc.ues = config.ues;
+  wc.cells = config.cells;
+  wc.shards = config.shards;
+  wc.threaded = config.threaded;
+  wc.duration = config.duration;
+  wc.handover_every = config.handover_every;
+  wc.scenario = "world-chaos";
+  return wc;
+}
+
+world::WorldResult RunOnce(world::WorldConfig config) {
+  world::WorldEngine engine(std::move(config));
+  return engine.Run();
+}
+
+}  // namespace
+
+WorldChaosOutcome RunWorldChaos(const WorldChaosConfig& config) {
+  WorldChaosOutcome outcome;
+  auto violate = [&outcome](std::string msg) {
+    outcome.violations.push_back(std::move(msg));
+  };
+
+  outcome.clean = RunOnce(BaseWorld(config));
+
+  world::WorldConfig faulted_config = BaseWorld(config);
+  faulted_config.outage_cell = config.outage_cell;
+  faulted_config.outage_start = sim::TimePoint{sim::Duration{static_cast<std::int64_t>(
+      config.outage_start_frac * static_cast<double>(config.duration.count()))}};
+  faulted_config.outage_end = sim::TimePoint{config.duration};
+  outcome.faulted = RunOnce(faulted_config);
+
+  // --- hard invariants ---
+  if (!outcome.clean.conservation_ok) {
+    violate("clean world violated conservation: " + outcome.clean.conservation_error);
+  }
+  if (!outcome.faulted.conservation_ok) {
+    violate("faulted world violated conservation: " + outcome.faulted.conservation_error);
+  }
+
+  // Determinism under fault: the impaired run is as reproducible as the
+  // clean one.
+  const world::WorldResult repeat = RunOnce(faulted_config);
+  if (repeat.digest != outcome.faulted.digest) {
+    violate("faulted world digest not reproducible across same-seed runs");
+  }
+  if (repeat.fleet_json != outcome.faulted.fleet_json) {
+    violate("faulted world FleetReport not byte-identical across same-seed runs");
+  }
+
+  // --- degradation contract ---
+  if (outcome.faulted.delivered >= outcome.clean.delivered) {
+    violate("cell outage did not reduce population delivery (" +
+            std::to_string(outcome.faulted.delivered) + " >= " +
+            std::to_string(outcome.clean.delivered) + ")");
+  }
+  const std::string faulted_group =
+      "world-chaos/cell" + std::to_string(config.outage_cell);
+  if (outcome.faulted.report.scenarios.count(faulted_group) == 0) {
+    violate("faulted cell's population group missing from the FleetReport: " +
+            faulted_group);
+  }
+
+  outcome.invariants_ok = outcome.violations.empty();
+  return outcome;
+}
+
+}  // namespace athena::fault

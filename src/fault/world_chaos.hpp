@@ -1,0 +1,52 @@
+// World-scale chaos: fault injection against the sharded multi-cell
+// engine instead of a single session.
+//
+// Where chaos.hpp impairs one session's correlator input, a world chaos
+// run blacks out a whole cell mid-run and checks the population-level
+// degradation contract:
+//
+//   - packet conservation holds for every UE even under the fault;
+//   - the run stays a pure function of (config, seed) — a second run
+//     produces a byte-identical digest and FleetReport;
+//   - the blast radius is visible: the faulted world delivers strictly
+//     less than the clean one, and the per-cell scenario groups in the
+//     FleetReport let an operator see *which* population degraded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "world/config.hpp"
+#include "world/engine.hpp"
+
+namespace athena::fault {
+
+struct WorldChaosConfig {
+  std::uint64_t seed = 7;
+  std::size_t ues = 32;
+  std::size_t cells = 4;
+  std::size_t shards = 2;
+  bool threaded = true;
+  sim::Duration duration{std::chrono::milliseconds{500}};
+  /// Cell to black out, from `outage_start_frac · duration` to the end
+  /// of the run (so the backlog cannot silently drain).
+  std::size_t outage_cell = 0;
+  double outage_start_frac = 0.25;
+  /// Every k-th UE also performs a handover during the fault (0 = none):
+  /// chaos and mobility interleave.
+  std::size_t handover_every = 8;
+};
+
+struct WorldChaosOutcome {
+  world::WorldResult clean;
+  world::WorldResult faulted;
+  bool invariants_ok = false;
+  std::vector<std::string> violations;
+};
+
+/// Runs the clean world, the faulted world, and a repeat of the faulted
+/// world (the determinism probe), then checks the degradation contract.
+[[nodiscard]] WorldChaosOutcome RunWorldChaos(const WorldChaosConfig& config);
+
+}  // namespace athena::fault

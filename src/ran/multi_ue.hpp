@@ -1,0 +1,185 @@
+// The multi-UE 5G uplink: one cell, N contending UEs.
+//
+// `RanUplink` (uplink.hpp) models the paper's measured single-UE cell.
+// `MultiUeUplink` generalizes it to a population sharing the PUSCH: one
+// slot clock, one per-slot byte budget, per-UE RLC buffers / HARQ chains /
+// channel models, and a MultiUeGrantPolicy that divides the budget. All
+// single-UE mechanics (slot-grid alignment, BSR path, TB segmentation,
+// HARQ retransmission with soft-combining, ECN marking) are preserved
+// packet-for-packet; what changes is that grants now *compete*.
+//
+// UEs are mobile: a UE's radio-side state (`UeRadioState` — channel model,
+// RLC queue, undelivered-packet ledger, telemetry stream) can be detached
+// from one cell and attached to another mid-session (the world engine's
+// handover choreography). Detach drops the UE's pending HARQ
+// retransmissions — RLC-UM style handover loss — and hands everything
+// else over intact, so packet conservation is exact:
+//
+//   offered == delivered + lost + |in_flight|      (per UE, at any time)
+//
+// Unlike RanUplink, this class performs no ground-truth recording and
+// does not deliver to the core itself: decode completions surface through
+// a callback with the decode timestamp, and the caller (world::NrCell)
+// applies the gNB→core latency — in the sharded world that latency is a
+// cross-shard mailbox hop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "ran/channel.hpp"
+#include "ran/config.hpp"
+#include "ran/grant_policy.hpp"
+#include "ran/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace athena::ran {
+
+/// One queued datagram's remaining bytes in a UE's RLC buffer.
+struct UeQueuedPacket {
+  net::Packet pkt;
+  std::uint32_t remaining = 0;
+  sim::TimePoint enqueued_at;
+};
+
+/// A packet that entered the modem and has not yet fully delivered.
+struct UeDeliveryState {
+  net::Packet pkt;
+  std::uint32_t undelivered = 0;
+  sim::TimePoint enqueued_at;
+};
+
+/// Everything that travels with a UE across cells. Movable value type;
+/// the sharded world ships it through a mailbox on handover.
+struct UeRadioState {
+  ChannelModel channel{ChannelModel::Config{}, sim::Rng{1}};
+  std::deque<UeQueuedPacket> queue;
+  std::unordered_map<net::PacketId, UeDeliveryState> in_flight;
+  /// The UE's control-channel telemetry stream, accumulated across every
+  /// cell it visits (slot-time ordered: handover is one-way in time).
+  std::vector<TbRecord> telemetry;
+
+  // --- conservation ledger ---
+  std::uint64_t offered = 0;    ///< packets handed to SendFromUe
+  std::uint64_t delivered = 0;  ///< packets fully decoded (on their way to the core)
+  std::uint64_t lost = 0;       ///< HARQ-chain drops + handover-dropped chains
+
+  [[nodiscard]] std::uint32_t TotalBufferBytes() const {
+    std::uint32_t bytes = 0;
+    for (const auto& q : queue) bytes += q.remaining;
+    return bytes;
+  }
+};
+
+class MultiUeUplink {
+ public:
+  /// Decode completion: `pkt` fully decoded for `ue` at `decoded_at` (the
+  /// slot time). The caller adds the gNB→core transfer latency.
+  using DeliverFn =
+      std::function<void(std::uint32_t ue, const net::Packet& pkt, sim::TimePoint decoded_at)>;
+
+  /// `cell_tag` namespaces TB/chain ids (bits 40+) so the telemetry
+  /// streams of different cells never collide in a handed-over UE's
+  /// concatenated stream. `policy` null = SharedBsrGrantPolicy baseline.
+  MultiUeUplink(sim::Simulator& sim, RanConfig config, std::uint32_t cell_tag,
+                std::unique_ptr<MultiUeGrantPolicy> policy = nullptr);
+
+  /// Starts the slot clock (idempotent). Slots stay on the epoch-aligned
+  /// UL grid, so every cell in a world ticks the same instants.
+  void Start();
+  void Stop();
+
+  /// Hands a UE's radio state to this cell. The UE takes part in grant
+  /// contention from the next slot.
+  void AttachUe(std::uint32_t ue, UeRadioState state);
+
+  /// Removes the UE, returning its radio state for transfer. Pending HARQ
+  /// retransmissions are dropped (their packets count as `lost` — the
+  /// RLC-UM handover loss); queued and in-flight packets travel intact.
+  [[nodiscard]] UeRadioState DetachUe(std::uint32_t ue);
+
+  [[nodiscard]] bool HasUe(std::uint32_t ue) const { return ues_.count(ue) != 0; }
+  [[nodiscard]] std::vector<std::uint32_t> AttachedUes() const;
+  [[nodiscard]] const UeRadioState* FindUe(std::uint32_t ue) const;
+
+  /// A datagram from `ue`'s IP stack enters its RLC buffer.
+  void SendFromUe(std::uint32_t ue, const net::Packet& p);
+
+  void set_deliver_sink(DeliverFn sink) { deliver_ = std::move(sink); }
+
+  /// Cell-wide outage window (world-scale chaos): while now ∈
+  /// [start, end) nothing transmits and HARQ retransmissions slide,
+  /// exactly like RanUplink's in-handover slots.
+  void SetOutage(sim::TimePoint start, sim::TimePoint end) {
+    outage_start_ = start;
+    outage_end_ = end;
+  }
+
+  [[nodiscard]] const RanCounters& counters() const { return counters_; }
+  [[nodiscard]] const RanConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t slots_run() const { return slot_index_; }
+  [[nodiscard]] MultiUeGrantPolicy& policy() { return *policy_; }
+
+ private:
+  struct Segment {
+    net::PacketId packet_id = 0;
+    std::uint32_t bytes = 0;
+    bool last = false;
+  };
+
+  struct Tb {
+    std::uint32_t ue = 0;
+    TbId id = 0;
+    TbId chain_id = 0;
+    GrantType grant = GrantType::kProactive;
+    std::uint32_t tbs = 0;
+    std::uint32_t used = 0;
+    std::uint8_t round = 0;
+    sim::TimePoint first_tx_slot;
+    std::vector<Segment> segments;
+    bool has_bsr = false;
+    std::uint32_t bsr_bytes = 0;
+  };
+
+  void OnUplinkSlot();
+  void TransmitNewTb(UeRadioState& ue_state, const MultiUeGrantPolicy::Allocation& alloc,
+                     sim::TimePoint slot_time);
+  void Transmit(Tb tb, sim::TimePoint slot_time);
+  void OnTbDecoded(const Tb& tb, sim::TimePoint slot_time);
+  void OnChainDropped(const Tb& tb, sim::TimePoint slot_time);
+  void RecordTelemetry(UeRadioState& ue_state, const Tb& tb, sim::TimePoint slot_time,
+                       bool crc_ok);
+  [[nodiscard]] static std::uint32_t EligibleBufferBytes(const UeRadioState& ue_state,
+                                                        sim::TimePoint slot_time,
+                                                        sim::Duration processing_delay);
+  [[nodiscard]] bool InOutage(sim::TimePoint t) const {
+    return outage_end_ > outage_start_ && t >= outage_start_ && t < outage_end_;
+  }
+
+  sim::Simulator& sim_;
+  RanConfig config_;
+  std::unique_ptr<MultiUeGrantPolicy> policy_;
+  DeliverFn deliver_;
+
+  /// Ordered by UE id: all per-slot iteration is deterministic.
+  std::map<std::uint32_t, UeRadioState> ues_;
+  /// Retransmissions waiting for their slot, keyed by absolute slot time
+  /// (µs); within a slot, insertion order.
+  std::map<std::int64_t, std::vector<Tb>> pending_rtx_;
+
+  RanCounters counters_;
+  TbId next_tb_id_ = 1;
+  std::uint64_t slot_index_ = 0;
+  sim::TimePoint outage_start_;
+  sim::TimePoint outage_end_;
+  bool started_ = false;
+  sim::EventHandle slot_timer_;
+};
+
+}  // namespace athena::ran

@@ -1,0 +1,46 @@
+#include "sim/barrier.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace athena::sim {
+
+WindowSchedule WindowSchedule::Cover(TimePoint start, TimePoint end, Duration lookahead) {
+  ATHENA_CHECK(lookahead.count() > 0, "window lookahead must be positive");
+  ATHENA_CHECK(end >= start, "window schedule must not run backwards");
+  WindowSchedule s;
+  s.start = start;
+  s.lookahead = lookahead;
+  s.end_ = end;
+  const auto span = (end - start).count();
+  const auto step = lookahead.count();
+  s.windows = static_cast<std::uint64_t>((span + step - 1) / step);
+  return s;
+}
+
+TimePoint WindowSchedule::WindowEnd(std::uint64_t k) const {
+  const TimePoint edge = start + Duration{static_cast<Duration::rep>(k) * lookahead.count()};
+  return edge < end_ ? edge : end_;
+}
+
+double BusyRecorder::TotalSeconds() const {
+  double total = 0.0;
+  for (const double b : busy_) total += b;
+  return total;
+}
+
+double BusyRecorder::CriticalPathSeconds() const {
+  if (shards_ == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t w = 0; w * shards_ < busy_.size(); ++w) {
+    double worst = 0.0;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      worst = std::max(worst, busy_[w * shards_ + s]);
+    }
+    total += worst;
+  }
+  return total;
+}
+
+}  // namespace athena::sim

@@ -1,0 +1,103 @@
+// Conservative time-synchronization primitives for sharded simulation.
+//
+// A sharded world advances in fixed *windows* of `lookahead` virtual
+// time: every cross-shard interaction carries at least `lookahead` of
+// latency, so a shard executing window k can never receive an event that
+// lands inside window k — messages published during window k are only
+// deliverable in window k+1 or later. That is the classical conservative
+// (CMB-style) synchronization argument, with the lookahead supplied by
+// the model (the minimum cross-entity link latency) instead of computed
+// per channel.
+//
+// `WindowBarrier` is the two-phase rendezvous shard workers run between
+// windows: phase A publishes every shard's outboxes, phase B lets every
+// shard collect its inbound mail; a second rendezvous keeps publishers of
+// window k+1 from racing collectors of window k.
+//
+// `WindowSchedule` is the shared window arithmetic (window k covers
+// (start + (k-1)·lookahead, start + k·lookahead]), used identically by
+// the threaded and the sequential drivers so both execute the very same
+// window sequence — the root of the engine's digest identity across
+// shard counts and execution modes.
+//
+// `BusyRecorder` accumulates per-shard, per-window wall-clock busy time.
+// The sum over windows of the slowest shard's busy time is the modeled
+// critical-path wall time of a perfectly parallel execution — the
+// scaling evidence bench_world reports alongside measured wall clock
+// (meaningful even when the host lacks the cores to realize it).
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace athena::sim {
+
+/// Shared window arithmetic for a conservative sharded run.
+struct WindowSchedule {
+  TimePoint start = kEpoch;
+  Duration lookahead{0};
+  std::uint64_t windows = 0;
+
+  /// Builds the schedule covering (start, end] in `lookahead`-sized
+  /// windows (the last window is clipped to `end` by WindowEnd).
+  [[nodiscard]] static WindowSchedule Cover(TimePoint start, TimePoint end,
+                                            Duration lookahead);
+
+  /// Exclusive upper edge of window k (k ∈ [1, windows]); clipped so the
+  /// final window never overshoots the configured end.
+  [[nodiscard]] TimePoint WindowEnd(std::uint64_t k) const;
+
+  [[nodiscard]] TimePoint end() const { return end_; }
+
+ private:
+  TimePoint end_ = kEpoch;
+};
+
+/// Reusable two-phase barrier for `parties` shard workers.
+class WindowBarrier {
+ public:
+  explicit WindowBarrier(unsigned parties) : barrier_(parties) {}
+
+  WindowBarrier(const WindowBarrier&) = delete;
+  WindowBarrier& operator=(const WindowBarrier&) = delete;
+
+  /// Phase A rendezvous: every shard has published its outboxes for the
+  /// window just executed. After it returns, all published mail is
+  /// visible to every worker.
+  void PublishDone() { barrier_.arrive_and_wait(); }
+
+  /// Phase B rendezvous: every shard has collected (and cleared) its
+  /// inbound mail. After it returns, outboxes may be written again.
+  void CollectDone() { barrier_.arrive_and_wait(); }
+
+ private:
+  std::barrier<> barrier_;
+};
+
+/// Per-shard, per-window wall-clock busy time (seconds).
+class BusyRecorder {
+ public:
+  BusyRecorder() = default;
+  BusyRecorder(std::size_t shards, std::uint64_t windows)
+      : shards_(shards), busy_(shards * windows, 0.0) {}
+
+  void Record(std::size_t shard, std::uint64_t window /* 1-based */, double seconds) {
+    busy_[(window - 1) * shards_ + shard] += seconds;
+  }
+
+  /// Total busy time across all shards and windows (the serial work).
+  [[nodiscard]] double TotalSeconds() const;
+
+  /// Σ over windows of the slowest shard's busy time: the wall clock a
+  /// perfectly parallel host would need (barrier overhead excluded).
+  [[nodiscard]] double CriticalPathSeconds() const;
+
+ private:
+  std::size_t shards_ = 0;
+  std::vector<double> busy_;
+};
+
+}  // namespace athena::sim

@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -20,6 +21,111 @@ std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
+/// The persistent workers. All coordination is generation-based: a
+/// ForEach publishes one generation (task pointer, size, participant
+/// count), wakes everyone, and waits until the participating workers have
+/// drained the index counter. Workers whose index is >= the participant
+/// count skip the generation (n < jobs leaves the surplus parked), so the
+/// per-call behaviour — which workers run, when hooks fire — is exactly
+/// what per-call thread spawning produced.
+struct ParallelRunner::Pool {
+  explicit Pool(unsigned workers) {
+    threads.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      threads.emplace_back([this, t] { WorkerMain(t); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+    }
+    cv_work.notify_all();
+    for (auto& th : threads) th.join();
+  }
+
+  void Run(std::size_t n, unsigned participants,
+           const std::function<void(std::size_t)>& run_task, const WorkerHooks& run_hooks) {
+    // Serialize callers: the pool executes one generation at a time.
+    std::lock_guard<std::mutex> serialize(run_mu);
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      task = &run_task;
+      hooks = &run_hooks;
+      task_count = n;
+      active = participants;
+      next.store(0, std::memory_order_relaxed);
+      remaining = participants;
+      first_error = nullptr;
+      ++generation;
+      cv_work.notify_all();
+      cv_done.wait(lock, [this] { return remaining == 0; });
+      error = first_error;
+      task = nullptr;
+      hooks = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void WorkerMain(unsigned index) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv_work.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      if (index >= active) continue;  // parked for this generation
+      const auto* run_task = task;
+      const auto* run_hooks = hooks;
+      const std::size_t n = task_count;
+      lock.unlock();
+
+      if (run_hooks->on_start) run_hooks->on_start(index);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          // Contain ATHENA_CHECK: a violated precondition inside one run
+          // becomes that run's CheckViolation (caught below and rethrown
+          // after the generation completes) instead of an abort() that
+          // kills every sibling run in the sweep.
+          ScopedCheckThrow contain;
+          (*run_task)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> error_lock(mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (run_hooks->on_stop) run_hooks->on_stop(index);
+
+      lock.lock();
+      if (--remaining == 0) cv_done.notify_all();
+    }
+  }
+
+  std::mutex run_mu;  ///< serializes Run() callers
+
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  // Current generation (valid while remaining > 0).
+  const std::function<void(std::size_t)>* task = nullptr;
+  const WorkerHooks* hooks = nullptr;
+  std::size_t task_count = 0;
+  unsigned active = 0;
+  std::atomic<std::size_t> next{0};
+  unsigned remaining = 0;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+};
+
 ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
   if (jobs_ == 0) {
     jobs_ = std::thread::hardware_concurrency();
@@ -27,45 +133,32 @@ ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
   }
 }
 
+ParallelRunner::~ParallelRunner() = default;
+
 void ParallelRunner::ForEach(std::size_t n,
                              const std::function<void(std::size_t)>& task) const {
   if (n == 0) return;
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  const auto worker = [&](unsigned worker_index) {
-    if (hooks_.on_start) hooks_.on_start(worker_index);
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+  const unsigned threads = jobs_ > n ? static_cast<unsigned>(n) : jobs_;
+  if (threads <= 1) {
+    // Inline path: worker 0 on the calling thread, hooks included.
+    if (hooks_.on_start) hooks_.on_start(0);
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
       try {
-        // Contain ATHENA_CHECK: a violated precondition inside one run
-        // becomes that run's CheckViolation (caught below and rethrown
-        // after the join) instead of an abort() that kills every sibling
-        // run in the sweep.
         ScopedCheckThrow contain;
         task(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     }
-    if (hooks_.on_stop) hooks_.on_stop(worker_index);
-  };
-
-  const unsigned threads = jobs_ > n ? static_cast<unsigned>(n) : jobs_;
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& th : pool) th.join();
+    if (hooks_.on_stop) hooks_.on_stop(0);
+    if (first_error) std::rethrow_exception(first_error);
+    return;
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  std::call_once(pool_once_, [this] { pool_ = std::make_unique<Pool>(jobs_); });
+  pool_->Run(n, threads, task, hooks_);
 }
 
 }  // namespace athena::sim

@@ -7,10 +7,21 @@
 // see each other), and returns a value. Results are assembled strictly in
 // index order, so the output is bit-identical whatever `jobs` is — the
 // thread count changes wall-clock time only, never results.
+//
+// Threading model: the runner owns a *persistent* worker pool, created
+// lazily on the first parallel ForEach and reused for every subsequent
+// call — a sweep of sweeps (chaos matrix, fleet sweep, the world engine's
+// correlation fan-out) pays thread creation once, not per invocation.
+// With `jobs == 1` (or n == 1) everything runs inline on the calling
+// thread and no pool is ever created. With `jobs > 1` *all* tasks run on
+// pool threads — the caller only waits — so a run never inherits the
+// caller's thread_local observability state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace athena::sim {
@@ -25,20 +36,30 @@ namespace athena::sim {
 /// (obs/pipeline/) uses these to bind one ring shard per worker: every
 /// run a worker executes then feeds that worker's ring, so a sweep's
 /// ingest topology is exactly `jobs` producers → one collector.
+///
+/// Hooks run once per ForEach/Map call on every participating worker
+/// (exactly as they did when workers were spawned per call): on_start
+/// before the worker claims its first task of that call, on_stop after
+/// its last.
 struct WorkerHooks {
   /// Runs on the worker thread before it claims its first task.
   /// `worker` ∈ [0, jobs). Must not throw.
   std::function<void(unsigned worker)> on_start;
-  /// Runs on the worker thread after its last task (before join).
+  /// Runs on the worker thread after its last task (before the caller is
+  /// released).
   std::function<void(unsigned worker)> on_stop;
 };
 
-/// A small thread pool for index-addressed parallel work.
+/// A small persistent thread pool for index-addressed parallel work.
 class ParallelRunner {
  public:
   /// `jobs` = number of worker threads; 0 picks the hardware concurrency
   /// (at least 1). `jobs == 1` executes inline on the calling thread.
   explicit ParallelRunner(unsigned jobs = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
 
   [[nodiscard]] unsigned jobs() const { return jobs_; }
 
@@ -52,7 +73,8 @@ class ParallelRunner {
   /// atomic counter, so scheduling is work-stealing-free and any task
   /// order is possible — tasks must not depend on each other. If any task
   /// throws, the first exception (by completion order) is rethrown after
-  /// all threads join.
+  /// every worker has finished the call. Calls are serialized: concurrent
+  /// ForEach invocations on the same runner queue behind one another.
   void ForEach(std::size_t n, const std::function<void(std::size_t)>& task) const;
 
   /// Runs `fn(i)` for every i in [0, n) and returns the results in index
@@ -66,8 +88,14 @@ class ParallelRunner {
   }
 
  private:
+  struct Pool;  // the persistent workers (runner.cpp)
+
   unsigned jobs_ = 1;
   WorkerHooks hooks_;
+  /// Created on the first ForEach that needs >1 worker; mutable so the
+  /// logically-const ForEach can build it lazily.
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<Pool> pool_;
 };
 
 }  // namespace athena::sim

@@ -1,0 +1,105 @@
+// Configuration for the sharded multi-cell world.
+//
+// A world is U concurrent video-conferencing sessions (one per UE)
+// sharing C cells, partitioned across S shards. Each shard owns one
+// `sim::EventQueue` and advances under a conservative time-sync barrier
+// (engine.hpp); `link_latency` is the lookahead — every cross-entity
+// message travels at least this long, which is what makes windowed
+// parallel execution safe.
+//
+// Defaults are sized for livability: the stock single-UE cell
+// (30 Mbps ⇒ 9 375 B/slot) would starve a 64-UE population, so the
+// world cell defaults to 100 Mbps shared uplink.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "app/receiver.hpp"
+#include "app/sender.hpp"
+#include "cc/gcc.hpp"
+#include "ran/channel.hpp"
+#include "ran/config.hpp"
+#include "sim/time.hpp"
+
+namespace athena::obs::pipeline {
+class TelemetryPipeline;
+}  // namespace athena::obs::pipeline
+
+namespace athena::world {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+
+  // --- population & layout ---
+  std::size_t ues = 64;
+  std::size_t cells = 4;
+  /// Shard count (clamped to `cells`; each cell lives on shard c mod S,
+  /// each session on its initial cell's shard).
+  std::size_t shards = 1;
+  /// true: one worker thread per shard, barrier-synchronized.
+  /// false: same window loop, round-robin on the calling thread —
+  /// bit-identical results (the determinism tests prove it) and clean
+  /// per-shard busy-time measurement.
+  bool threaded = true;
+
+  // --- time ---
+  sim::Duration duration{std::chrono::seconds{2}};
+  /// Minimum cross-entity (UE↔cell, cell→core) latency; doubles as the
+  /// conservative lookahead. Must be > 0.
+  sim::Duration link_latency{std::chrono::milliseconds{1}};
+
+  // --- radio ---
+  ran::RanConfig cell = WorldCell();
+  ran::ChannelModel::Config channel{};
+
+  // --- mobility ---
+  /// Every k-th UE (ue mod k == 0) performs one mid-run handover to the
+  /// next cell; 0 disables mobility.
+  std::size_t handover_every = 0;
+  /// Radio-state transfer time between cells (detach → attach).
+  sim::Duration handover_latency{std::chrono::milliseconds{20}};
+
+  // --- wired tail (per-session, downstream of the core) ---
+  sim::Duration wan_delay{std::chrono::milliseconds{10}};
+  sim::Duration wan_jitter{std::chrono::microseconds{300}};
+  /// Receiver → sender feedback path (TWCC / NACK), modeled as a fixed
+  /// link outside the contended uplink.
+  sim::Duration feedback_delay{std::chrono::milliseconds{22}};
+
+  // --- application ---
+  app::VcaSender::Config sender{};
+  app::VcaReceiver::Config receiver = app::VcaReceiver::DefaultConfig();
+  cc::GoogCc::Config gcc{};
+
+  // --- chaos (world-scale fault injection) ---
+  /// Cell index to black out for [outage_start, outage_end); kNoOutage
+  /// disables.
+  static constexpr std::size_t kNoOutage = std::numeric_limits<std::size_t>::max();
+  std::size_t outage_cell = kNoOutage;
+  sim::TimePoint outage_start{};
+  sim::TimePoint outage_end{};
+
+  // --- observability ---
+  /// Scenario prefix for fleet grouping; sessions report as
+  /// "<scenario>/cell<initial-cell>".
+  std::string scenario = "world";
+  /// Optional: per-shard telemetry ring ingest. Each shard worker binds
+  /// its own collector shard for the duration of the run.
+  obs::pipeline::TelemetryPipeline* pipeline = nullptr;
+  /// Worker threads for the end-of-run correlate/summarize fan-out
+  /// (deterministic at any value; results are folded in UE order).
+  unsigned correlate_jobs = 1;
+
+  /// The world's default shared cell: 100 Mbps uplink so a default
+  /// population is capacity-constrained but not starved.
+  [[nodiscard]] static ran::RanConfig WorldCell() {
+    ran::RanConfig c;
+    c.cell_ul_capacity_bps = 100e6;
+    return c;
+  }
+};
+
+}  // namespace athena::world

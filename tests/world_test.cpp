@@ -1,0 +1,160 @@
+// World engine invariants: digest identity across shard layouts and
+// execution modes, run-to-run reproducibility, handover conservation,
+// contention backpressure, and outage degradation.
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/world_chaos.hpp"
+#include "world/engine.hpp"
+
+namespace athena::world {
+namespace {
+
+using namespace std::chrono_literals;
+
+WorldConfig SmallWorld() {
+  WorldConfig config;
+  config.seed = 1234;
+  config.ues = 16;
+  config.cells = 8;
+  config.duration = sim::Duration{400ms};
+  config.handover_every = 4;  // UEs 0, 4, 8, 12 migrate mid-run
+  return config;
+}
+
+WorldResult RunWorld(WorldConfig config, std::size_t shards, bool threaded) {
+  config.shards = shards;
+  config.threaded = threaded;
+  WorldEngine engine(std::move(config));
+  return engine.Run();
+}
+
+TEST(WorldEngineTest, DigestIdenticalAcrossShardCounts) {
+  const WorldResult one = RunWorld(SmallWorld(), 1, /*threaded=*/false);
+  const WorldResult two = RunWorld(SmallWorld(), 2, /*threaded=*/true);
+  const WorldResult eight = RunWorld(SmallWorld(), 8, /*threaded=*/true);
+
+  ASSERT_TRUE(one.conservation_ok) << one.conservation_error;
+  ASSERT_TRUE(two.conservation_ok) << two.conservation_error;
+  ASSERT_TRUE(eight.conservation_ok) << eight.conservation_error;
+
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.digest, eight.digest);
+  // The population report must also be byte-identical — not just the
+  // simulation state but everything derived from it.
+  EXPECT_EQ(one.fleet_json, two.fleet_json);
+  EXPECT_EQ(one.fleet_json, eight.fleet_json);
+  EXPECT_EQ(eight.shards, 8u);
+  EXPECT_TRUE(eight.threaded);
+}
+
+TEST(WorldEngineTest, SameSeedRunsAreByteIdentical) {
+  const WorldResult a = RunWorld(SmallWorld(), 4, /*threaded=*/true);
+  const WorldResult b = RunWorld(SmallWorld(), 4, /*threaded=*/true);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.fleet_json, b.fleet_json);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.handovers, b.handovers);
+}
+
+TEST(WorldEngineTest, ThreadedMatchesSequential) {
+  const WorldResult threaded = RunWorld(SmallWorld(), 4, /*threaded=*/true);
+  const WorldResult sequential = RunWorld(SmallWorld(), 4, /*threaded=*/false);
+  EXPECT_EQ(threaded.digest, sequential.digest);
+  EXPECT_EQ(threaded.fleet_json, sequential.fleet_json);
+  EXPECT_FALSE(sequential.threaded);
+}
+
+TEST(WorldEngineTest, SeedChangesTheWorld) {
+  WorldConfig other = SmallWorld();
+  other.seed = 99;
+  const WorldResult a = RunWorld(SmallWorld(), 2, /*threaded=*/true);
+  const WorldResult b = RunWorld(other, 2, /*threaded=*/true);
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(WorldEngineTest, HandoverConservesEveryUe) {
+  WorldConfig config = SmallWorld();
+  config.handover_every = 2;  // half the population migrates
+  const WorldResult result = RunWorld(config, 4, /*threaded=*/true);
+
+  ASSERT_TRUE(result.conservation_ok) << result.conservation_error;
+  EXPECT_EQ(result.handovers, 8u);  // UEs 0, 2, ..., 14
+  // Population-wide packet conservation: nothing created, nothing
+  // silently destroyed.
+  EXPECT_EQ(result.offered, result.delivered + result.lost + result.in_flight);
+}
+
+TEST(WorldEngineTest, ContentionCreatesBackpressure) {
+  WorldConfig tight = SmallWorld();
+  tight.ues = 8;
+  tight.cells = 1;
+  tight.handover_every = 0;
+  tight.cell.cell_ul_capacity_bps = 1e6;  // 8 UEs into a 1 Mbps cell
+  WorldConfig roomy = tight;
+  roomy.cell.cell_ul_capacity_bps = 100e6;
+
+  const WorldResult starved = RunWorld(tight, 1, /*threaded=*/false);
+  const WorldResult fed = RunWorld(roomy, 1, /*threaded=*/false);
+
+  ASSERT_TRUE(starved.conservation_ok) << starved.conservation_error;
+  ASSERT_GT(starved.offered, 0u);
+  ASSERT_GT(fed.offered, 0u);
+  const double starved_ratio =
+      static_cast<double>(starved.delivered) / static_cast<double>(starved.offered);
+  const double fed_ratio =
+      static_cast<double>(fed.delivered) / static_cast<double>(fed.offered);
+  EXPECT_LT(starved_ratio, fed_ratio);
+}
+
+TEST(WorldEngineTest, CellOutageDegradesItsPopulation) {
+  WorldConfig config = SmallWorld();
+  config.handover_every = 0;
+  config.outage_cell = 0;
+  // Black the cell out until the end of the run: a window that closes
+  // early lets the 100 Mbps cell drain the whole backlog and the
+  // end-state totals converge again.
+  config.outage_start = sim::TimePoint{sim::Duration{100ms}};
+  config.outage_end = sim::TimePoint{config.duration};
+  WorldConfig clean_config = config;
+  clean_config.outage_cell = WorldConfig::kNoOutage;
+
+  const WorldResult faulted = RunWorld(config, 4, /*threaded=*/true);
+  const WorldResult clean = RunWorld(clean_config, 4, /*threaded=*/true);
+
+  ASSERT_TRUE(faulted.conservation_ok) << faulted.conservation_error;
+  EXPECT_LT(faulted.delivered, clean.delivered);
+  // Per-cell population groups surface the blast radius.
+  EXPECT_EQ(faulted.report.scenarios.count("world/cell0"), 1u);
+  EXPECT_EQ(faulted.report.scenarios.count("world/cell1"), 1u);
+}
+
+TEST(WorldEngineTest, FleetReportCoversThePopulation) {
+  const WorldResult result = RunWorld(SmallWorld(), 2, /*threaded=*/true);
+  EXPECT_EQ(result.report.sessions, 16u);
+  EXPECT_FALSE(result.fleet_json.empty());
+  EXPECT_GT(result.events_executed, 0u);
+  EXPECT_GT(result.messages_delivered, 0u);
+  EXPECT_GT(result.busy_seconds, 0.0);
+  EXPECT_GT(result.critical_path_seconds, 0.0);
+  EXPECT_LE(result.critical_path_seconds, result.busy_seconds + 1e-9);
+}
+
+TEST(WorldChaosTest, CellOutageContractHolds) {
+  fault::WorldChaosConfig config;
+  config.ues = 24;
+  config.cells = 4;
+  config.shards = 2;
+  config.duration = sim::Duration{400ms};
+  const fault::WorldChaosOutcome outcome = fault::RunWorldChaos(config);
+  EXPECT_TRUE(outcome.invariants_ok)
+      << (outcome.violations.empty() ? "" : outcome.violations.front());
+  EXPECT_TRUE(outcome.clean.conservation_ok);
+  EXPECT_TRUE(outcome.faulted.conservation_ok);
+  EXPECT_LT(outcome.faulted.delivered, outcome.clean.delivered);
+}
+
+}  // namespace
+}  // namespace athena::world
