@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds and runs the mitigation control-plane baseline:
+#   - bench_mitigation — the mitigation on/off chaos matrix (per-scenario
+#     QoE deltas, guardrail engagement, sense-to-act latency, decision
+#     ledger digests) plus the cross-jobs byte-identity check — written
+#     to BENCH_mitigation.json at the repo root. Exits non-zero on any
+#     contract violation.
+#
+# Usage: bench/run_bench_mitigation.sh [build-dir] [--smoke]
+#   (default build dir: ./build; --smoke uses the reduced CI sizing)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+smoke=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke="--smoke" ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+if [ ! -d "$build_dir" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_mitigation -j "$(nproc)"
+
+echo "== bench_mitigation =="
+"$build_dir/bench/bench_mitigation" "$repo_root/BENCH_mitigation.json" $smoke

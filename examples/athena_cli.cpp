@@ -16,7 +16,20 @@
 //                                       (open in Perfetto / chrome://tracing)
 //     --metrics=FILE                    write periodic metric snapshots as CSV
 //     --diagnose                        run the live anomaly detectors and
-//                                       print the ranked health report
+//                                       print the ranked health report (with
+//                                       --mitigate: also the decision ledger —
+//                                       trigger, attribution, knob delta,
+//                                       outcome per decision)
+//     --mitigate                        close the loop: a MitigationController
+//                                       subscribes to the live detectors and
+//                                       actuates the grant/CC/pacing knobs
+//                                       under fail-safe guardrails. With
+//                                       --chaos: runs mitigation-on/off pairs
+//                                       and checks the QoE + guardrail
+//                                       contracts instead of the plain
+//                                       degradation contract
+//     --mitigate-budget-ms=N            hard sense-to-act budget, virtual
+//                                       time (default 50)
 //     --expose=FILE                     write metrics + live detector state in
 //                                       Prometheus text format
 //     --anomalies=FILE                  write the structured event log as JSONL
@@ -27,8 +40,8 @@
 //     --jobs=J                          worker threads for --sweep/--chaos
 //                                       (default: hardware concurrency).
 //                                       Output is bit-identical for any J.
-//     --chaos=NAME|all                  chaos mode: run the named fault
-//                                       scenario (or the whole catalog) under
+//     --chaos=NAME[,NAME...]|all        chaos mode: run the named fault
+//                                       scenario(s) (or the whole catalog) under
 //                                       --chaos-seeds derived seeds and check
 //                                       the degradation-contract invariants;
 //                                       exits nonzero on any violation
@@ -122,10 +135,14 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "athena.hpp"
 #include "core/report.hpp"
 #include "fault/chaos.hpp"
+#include "fault/mitigation_chaos.hpp"
 #include "fault/world_chaos.hpp"
+#include "mitigation/control/runtime.hpp"
 #include "obs/fleet/report.hpp"
 #include "obs/live/exposition.hpp"
 #include "obs/live/health.hpp"
@@ -151,6 +168,8 @@ struct Options {
   std::string trace_path;
   std::string metrics_path;
   bool diagnose = false;
+  bool mitigate = false;       ///< closed-loop mitigation control plane
+  int mitigate_budget_ms = 50; ///< sense-to-act budget (virtual ms)
   std::string expose_path;
   std::string anomalies_path;
   int sweep = 0;       ///< 0 = single run; N>0 = N derived-seed runs
@@ -304,13 +323,18 @@ Options Parse(int argc, char** argv) {
       opt.supervise = true;
     } else if (arg == "--diagnose") {
       opt.diagnose = true;
+    } else if (arg == "--mitigate") {
+      opt.mitigate = true;
+    } else if (ParseFlag(arg, "mitigate-budget-ms", &value)) {
+      opt.mitigate_budget_ms = std::stoi(value);
     } else if (arg == "--fading") {
       opt.fading = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: athena_cli [--access=5g|emulated|wifi|leo] "
                    "[--controller=gcc|nada|scream|l4s] [--duration=S] [--seed=N] "
                    "[--cross-mbps=X] [--fading] [--out=DIR] [--trace=FILE] "
-                   "[--metrics=FILE] [--diagnose] [--expose=FILE] "
+                   "[--metrics=FILE] [--diagnose] [--mitigate] "
+                   "[--mitigate-budget-ms=N] [--expose=FILE] "
                    "[--anomalies=FILE] [--sweep=N] [--jobs=J] "
                    "[--chaos=NAME|all] [--chaos-seeds=N] [--chaos-out=FILE] "
                    "[--chaos-list] [--ingest-out=FILE] [--rollup-bucket=MS] "
@@ -378,13 +402,21 @@ int GateReport(const Options& opt, const obs::fleet::FleetReport& report) {
   std::ifstream in{opt.fleet_baseline};
   if (!in) throw std::runtime_error("cannot read " + opt.fleet_baseline);
   const obs::fleet::FleetReport baseline = obs::fleet::ParseReport(in);
-  const obs::fleet::GateResult gate = obs::fleet::GateAgainstBaseline(report, baseline);
+  obs::fleet::GateOptions gate_options;
+  // Under --mitigate the baseline is the un-mitigated population:
+  // actuations change what the detectors see, so detection-rate deltas
+  // are expected and only the QoE/delay + SLO axes are the contract.
+  gate_options.compare_prevalence = !opt.mitigate;
+  const obs::fleet::GateResult gate =
+      obs::fleet::GateAgainstBaseline(report, baseline, gate_options);
   for (const std::string& failure : gate.failures) {
     std::cout << "fleet gate: " << failure << '\n';
   }
   std::cout << "fleet gate vs " << opt.fleet_baseline << ": "
             << (gate.ok ? "PASS" : "FAIL") << " (" << report.sessions
-            << " sessions, " << gate.failures.size() << " regression(s))\n";
+            << " sessions, " << gate.failures.size() << " regression(s)"
+            << (gate_options.compare_prevalence ? "" : ", prevalence axis skipped")
+            << ")\n";
   return gate.ok ? 0 : 1;
 }
 
@@ -468,12 +500,25 @@ RunResult RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
   // its core/pkt.uplink track lands in the same trace. When the telemetry
   // pipeline is active, this worker thread's ring shard (bound by the
   // ParallelRunner hooks, or by main for a single run) joins the fanout.
+  // Closed-loop mitigation: the runtime's sink joins the trace fanout so
+  // its private LiveEngine sees the same event stream as the diagnostics.
+  std::unique_ptr<mitigation::control::MitigationRuntime> runtime;
+  if (opt.mitigate) {
+    mitigation::control::MitigationRuntime::Options mopt;
+    mopt.controller.budget =
+        sim::Duration{std::chrono::milliseconds{std::max(1, opt.mitigate_budget_ms)}};
+    runtime = std::make_unique<mitigation::control::MitigationRuntime>(mopt);
+  }
+
   const bool live = opt.diagnose || !opt.expose_path.empty() ||
                     !opt.anomalies_path.empty() || opt.fleet();
   obs::TraceSink* ring_sink = obs::pipeline::TelemetryPipeline::CurrentThreadSink();
+  obs::TraceFanout extra_fanout;
+  if (ring_sink != nullptr) extra_fanout.Add(ring_sink);
+  if (runtime) extra_fanout.Add(runtime->sink());
   std::unique_ptr<obs::ObsSession> observability;
   if (!opt.trace_path.empty() || !opt.metrics_path.empty() || live ||
-      ring_sink != nullptr) {
+      extra_fanout.size() > 0) {
     obs::ObsSession::Options obs_options;
     obs_options.trace = !opt.trace_path.empty();
     obs_options.metrics = true;
@@ -481,13 +526,17 @@ RunResult RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
                                      ? sim::Duration{0}
                                      : sim::Duration{std::chrono::milliseconds{100}};
     obs_options.live = live;
-    obs_options.extra_sink = ring_sink;
+    obs_options.extra_sink = extra_fanout.size() > 0 ? &extra_fanout : nullptr;
     observability = std::make_unique<obs::ObsSession>(simulator, obs_options);
   }
 
-  app::Session session{simulator, BuildConfig(opt, seed)};
+  app::SessionConfig config = BuildConfig(opt, seed);
+  if (runtime) runtime->InstallConfigHooks(config);
+  app::Session session{simulator, config};
+  if (runtime) runtime->BindSession(simulator, session);
   out << "running " << opt.duration_s << " s over " << opt.access << " with "
-      << opt.controller << " (seed " << seed << ")...\n";
+      << opt.controller << " (seed " << seed << ")"
+      << (runtime ? " [mitigation on]" : "") << "...\n";
   session.Run(std::chrono::seconds{opt.duration_s});
 
   const auto data = core::Correlator::Correlate(session.BuildCorrelatorInput());
@@ -520,6 +569,18 @@ RunResult RunOne(const Options& opt, std::uint64_t seed, std::size_t run_index,
     }
     if (opt.diagnose && observability->live() != nullptr) {
       obs::live::HealthReport::Build(*observability->live()).Render(out);
+    }
+  }
+
+  if (runtime) {
+    if (opt.diagnose) {
+      runtime->RenderLedger(out);
+    } else if (const auto* c = runtime->controller()) {
+      out << "mitigation: decisions=" << c->ledger().size()
+          << " actuations=" << c->actuations() << " reverts=" << c->reverts()
+          << " guardrail_blocks=" << c->guardrail_blocks()
+          << " max_sense_to_act_us=" << c->max_sense_to_act().count()
+          << " ledger=0x" << std::hex << c->LedgerDigest() << std::dec << '\n';
     }
   }
 
@@ -579,11 +640,23 @@ int RunChaos(const Options& opt) {
   std::vector<fault::ChaosScenario> selected;
   if (opt.chaos == "all") {
     selected = catalog;
-  } else if (const fault::ChaosScenario* s = fault::FindScenario(catalog, opt.chaos)) {
-    selected.push_back(*s);
   } else {
-    std::cerr << "unknown chaos scenario: " << opt.chaos << " (try --chaos-list)\n";
-    return 2;
+    // Comma-separated scenario names, e.g. the CI 2-scenario smoke pair.
+    std::stringstream names{opt.chaos};
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      if (name.empty()) continue;
+      const fault::ChaosScenario* s = fault::FindScenario(catalog, name);
+      if (s == nullptr) {
+        std::cerr << "unknown chaos scenario: " << name << " (try --chaos-list)\n";
+        return 2;
+      }
+      selected.push_back(*s);
+    }
+    if (selected.empty()) {
+      std::cerr << "--chaos needs at least one scenario name\n";
+      return 2;
+    }
   }
   if (opt.chaos_seeds == 0) {
     std::cerr << "--chaos-seeds must be >= 1\n";
@@ -591,6 +664,42 @@ int RunChaos(const Options& opt) {
   }
 
   sim::ParallelRunner probe{opt.jobs};
+
+  if (opt.mitigate) {
+    // Mitigation-on/off pairs: judge the QoE delta + guardrail contract
+    // instead of the plain degradation contract.
+    const sim::Duration budget{
+        std::chrono::milliseconds{std::max(1, opt.mitigate_budget_ms)}};
+    std::cout << "mitigation chaos: " << selected.size() << " scenario(s) x "
+              << opt.chaos_seeds << " seed(s), " << probe.jobs() << " jobs, base seed "
+              << opt.seed << ", budget " << sim::ToMs(budget) << " ms\n";
+    const fault::MitigationMatrixResult result =
+        fault::RunMitigationMatrix(selected, opt.seed, opt.chaos_seeds, opt.jobs,
+                                   budget, /*summarize=*/opt.fleet());
+    fault::RenderMitigationTable(std::cout, result);
+
+    if (!opt.chaos_out.empty()) {
+      std::ofstream os{opt.chaos_out};
+      if (!os) throw std::runtime_error("cannot write " + opt.chaos_out);
+      fault::WriteMitigationJson(os, result, opt.seed, opt.chaos_seeds, probe.jobs(),
+                                 budget);
+      std::cout << "wrote " << opt.chaos_out << '\n';
+    }
+
+    int exit_code = result.all_ok() ? 0 : 1;
+    if (opt.fleet()) {
+      obs::fleet::FleetAggregator aggregator;
+      obs::fleet::SloEngine engine{LoadSlos(opt)};
+      for (const fault::MitigationOutcome& o : result.outcomes) {
+        aggregator.Fold(o.summary);
+        engine.Observe(o.summary);
+      }
+      const int fleet_code = FinishFleet(opt, aggregator, engine);
+      if (exit_code == 0) exit_code = fleet_code;
+    }
+    return exit_code;
+  }
+
   std::cout << "chaos: " << selected.size() << " scenario(s) x " << opt.chaos_seeds
             << " seed(s), " << probe.jobs() << " jobs, base seed " << opt.seed << '\n';
   const fault::ChaosMatrixResult result = fault::RunChaosMatrix(
@@ -623,11 +732,33 @@ int RunChaos(const Options& opt) {
 /// Resilient mode: checkpointed, optionally supervised, optionally
 /// restored run of a single session. Returns the process exit code.
 int RunResilient(const Options& opt) {
+  // The mitigation runtime must outlive the driver/supervisor: RunPlan is
+  // copied per restart attempt and its hooks capture the runtime raw.
+  std::unique_ptr<mitigation::control::MitigationRuntime> runtime;
+  if (opt.mitigate) {
+    mitigation::control::MitigationRuntime::Options mopt;
+    mopt.controller.budget =
+        sim::Duration{std::chrono::milliseconds{std::max(1, opt.mitigate_budget_ms)}};
+    runtime = std::make_unique<mitigation::control::MitigationRuntime>(mopt);
+  }
+
   resilience::RunPlan plan;
   plan.config = BuildConfig(opt, opt.seed);
   plan.duration = std::chrono::seconds{opt.duration_s};
   plan.checkpoint_every = std::chrono::milliseconds{opt.checkpoint_every_ms};
   plan.budget.input_bytes = opt.mem_budget;
+  if (runtime) {
+    // Every attempt (first run, restarts, --restore) rebinds a fresh
+    // controller; the replayed ledger lands in the report appendix, so
+    // restore byte-identity covers the control plane's decisions too.
+    runtime->InstallConfigHooks(plan.config);
+    mitigation::control::MitigationRuntime* rt = runtime.get();
+    plan.trace_sink = rt->sink();
+    plan.on_session = [rt](sim::Simulator& sim, app::Session& session) {
+      rt->BindSession(sim, session);
+    };
+    plan.report_appendix = [rt](std::ostream& os) { rt->RenderLedger(os); };
+  }
   if (!opt.checkpoint_out.empty()) {
     plan.on_checkpoint = [&](const resilience::Checkpoint& c) {
       c.WriteFile(opt.checkpoint_out);

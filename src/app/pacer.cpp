@@ -1,6 +1,9 @@
 #include "app/pacer.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/check.hpp"
 
 namespace athena::app {
 
@@ -8,10 +11,38 @@ Pacer::Pacer(sim::Simulator& sim, Config config)
     : sim_(sim), config_(config), pacing_rate_bps_(config.min_rate_bps) {}
 
 void Pacer::set_target_bitrate(double bps) {
+  last_target_bps_ = bps;
   pacing_rate_bps_ = std::max(config_.min_rate_bps, bps * config_.rate_factor);
 }
 
+void Pacer::set_enabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  if (!enabled_) {
+    // Flush synchronously: a revert to un-paced sending must not strand
+    // queued media behind a timer that would now never fire usefully.
+    while (!queue_.empty()) {
+      const net::Packet p = queue_.front();
+      queue_.pop_front();
+      ++sent_;
+      if (sink_) sink_(p);
+    }
+  }
+}
+
+void Pacer::set_rate_factor(double factor) {
+  ATHENA_CHECK(std::isfinite(factor) && factor > 0.0,
+               "Pacer::set_rate_factor: factor must be finite and positive");
+  config_.rate_factor = std::clamp(factor, 1.0, 8.0);
+  if (last_target_bps_ > 0.0) set_target_bitrate(last_target_bps_);
+}
+
 void Pacer::Send(const net::Packet& p) {
+  if (!enabled_) {
+    ++sent_;
+    if (sink_) sink_(p);
+    return;
+  }
   if (queue_.size() >= config_.max_queue_packets) {
     ++dropped_;
     return;

@@ -36,6 +36,19 @@ class Pacer {
   /// The media target bitrate the pacing rate derives from.
   void set_target_bitrate(double bps);
 
+  /// Runtime actuation knob (mitigation control plane): a disabled pacer
+  /// is a pure pass-through — packets go straight to the sink, preserving
+  /// the exact burst timing an un-paced sender would produce. Disabling
+  /// with packets queued flushes them immediately, so no media is ever
+  /// stranded by a revert.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Runtime actuation knob: adjusts the pacing-rate multiplier, clamped
+  /// to [1, 8]. Takes effect immediately against the last target bitrate.
+  void set_rate_factor(double factor);
+  [[nodiscard]] double rate_factor() const { return config_.rate_factor; }
+
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
@@ -49,6 +62,8 @@ class Pacer {
   net::PacketHandler sink_;
   std::deque<net::Packet> queue_;
   double pacing_rate_bps_;
+  double last_target_bps_ = 0.0;
+  bool enabled_ = true;
   bool armed_ = false;
   sim::TimePoint next_send_;
   std::uint64_t sent_ = 0;

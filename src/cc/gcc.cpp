@@ -1,9 +1,11 @@
 #include "cc/gcc.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/check.hpp"
 
 namespace athena::cc {
 
@@ -35,7 +37,14 @@ GoogCc::GoogCc(Config config)
       inter_arrival_(config.inter_arrival),
       trendline_(config.trendline),
       aimd_(config.aimd),
-      loss_based_bps_(config.aimd.max_bps) {}
+      loss_based_bps_(config.aimd.max_bps) {
+  ATHENA_CHECK(std::isfinite(config.loss_decrease_threshold) &&
+                   std::isfinite(config.loss_increase_threshold) &&
+                   config.loss_increase_threshold >= 0.0 &&
+                   config.loss_decrease_threshold >= config.loss_increase_threshold &&
+                   config.loss_decrease_threshold <= 1.0,
+               "GoogCc: loss thresholds must satisfy 0 <= increase <= decrease <= 1");
+}
 
 double GoogCc::OnFeedback(std::span<const rtp::PacketReport> reports, sim::TimePoint now) {
   if (reports.empty()) return target_bps();

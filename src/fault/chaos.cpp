@@ -180,7 +180,43 @@ std::vector<ChaosScenario> BuiltinScenarios() {
     all.push_back(std::move(s));
   }
 
-  // 13. Everything at once, under cross traffic.
+  // 13. Lying telemetry: the feed keeps flowing but a quarter of it is
+  // wrong (scrambled fields) and late. An online mitigation loop that
+  // trusts it would actuate on fiction — the guardrail contract demands
+  // the confidence gate block (or the watchdog revert) at least once.
+  {
+    auto s = Make("lying_telemetry",
+                  "30% of TbRecords corrupted + 20% timestamped late: the "
+                  "control plane must refuse or roll back, never act blindly",
+                  {.degraded = true, .mitigation_guarded = true});
+    auto& spec = s.plan.For(Stream::kTelemetry);
+    spec.corrupt = 0.3;
+    spec.delay = 0.2;
+    spec.delay_min = 2ms;
+    spec.delay_max = 25ms;
+    all.push_back(std::move(s));
+  }
+
+  // 14. Detector outage during actuation: telemetry goes dark over a
+  // handover-shaped window right when the controller is likely to be
+  // holding knobs away from baseline, then the restarted feed steps its
+  // clock. The feed-silence fail-safe must revert to baseline (or the
+  // gate must hold fire) rather than steering on stale evidence.
+  {
+    auto s = Make("actuate_during_handover",
+                  "telemetry dark for [800ms, 1300ms) with a -15ms clock step "
+                  "on re-attach: fail-safe must revert/hold, not steer blind",
+                  {.degraded = true, .telemetry_gap_anomaly = true,
+                   .telemetry_flagged = true, .mitigation_guarded = true});
+    auto& spec = s.plan.For(Stream::kTelemetry);
+    spec.outage_begin = sim::kEpoch + 800ms;
+    spec.outage_end = sim::kEpoch + 1300ms;
+    spec.clock_step = -15ms;
+    spec.clock_step_at = sim::kEpoch + 1300ms;
+    all.push_back(std::move(s));
+  }
+
+  // 15. Everything at once, under cross traffic.
   {
     auto s = Make("everything_hostile",
                   "compound faults on all streams under 12 Mbps cross traffic",

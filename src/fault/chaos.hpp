@@ -49,6 +49,12 @@ struct ChaosExpectation {
   /// input must fit its byte budget, the live overload detector must
   /// fire, and correlation of the surviving records must still succeed.
   bool bounded_memory = false;
+  /// Under --mitigate, the controller's guardrails must visibly engage:
+  /// the decision ledger must show at least one block or revert (the
+  /// telemetry feeding the control plane is lying or vanishing, so
+  /// acting blindly on it would be the failure). Ignored by the plain
+  /// (un-mitigated) contract.
+  bool mitigation_guarded = false;
 };
 
 struct ChaosScenario {

@@ -1,0 +1,122 @@
+// Mitigation-on/off chaos pairs: every (scenario, seed) cell runs the
+// session twice — once plain, once under the closed-loop
+// MitigationRuntime with the scenario's telemetry faults applied *live*
+// to the control plane's feed — and judges the QoE delta against the
+// scenario's contract:
+//
+//   * clean / wireless-impaired scenarios: mitigation must hold or
+//     improve QoE (never regress beyond the stochastic slack)
+//   * mitigation_guarded scenarios (lying / vanishing telemetry): the
+//     guardrails must visibly engage (>= 1 block or revert in the
+//     ledger) and QoE must still never regress beyond slack — acting
+//     blindly on bad telemetry is the failure this contract prevents
+//
+// Every cell also pins the sense-to-act budget and the decision-ledger
+// digest; both are pure functions of (scenario, seed), so the matrix is
+// byte-identical under sim::ParallelRunner at any job count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.hpp"
+#include "sim/time.hpp"
+
+namespace athena::fault {
+
+/// The QoE facets the on/off comparison is judged on.
+struct MitigationQoe {
+  double ssim_mean = 0.0;
+  double late_fraction = 0.0;  ///< frames late / max(1, frames rendered)
+  double audio_loss = 0.0;
+  double audio_mos = 0.0;
+  std::uint64_t frames_rendered = 0;
+};
+
+/// Stochastic slack for the never-regress checks: two runs of the same
+/// scenario under different control paths jitter by this much without
+/// either being "worse".
+struct MitigationSlack {
+  double late_fraction = 0.08;
+  double ssim = 0.05;
+  double audio_loss = 0.05;
+  double audio_mos = 0.30;
+};
+
+struct MitigationOutcome {
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  bool survived = false;  ///< both runs completed without throwing
+  MitigationQoe baseline;
+  MitigationQoe mitigated;
+
+  // --- controller evidence ---
+  std::uint64_t decisions = 0;
+  std::uint64_t actuations = 0;
+  std::uint64_t reverts = 0;
+  std::uint64_t guardrail_blocks = 0;
+  std::uint64_t ledger_digest = 0;
+  std::int64_t max_sense_to_act_us = 0;
+
+  // --- contract verdicts ---
+  bool budget_ok = false;   ///< every actuation within the sense-to-act budget
+  bool qoe_ok = false;      ///< mitigated QoE never regresses beyond slack
+  bool guarded_ok = false;  ///< guardrail engagement where the scenario demands it
+
+  std::string failure;  ///< first violated check, empty when ok()
+
+  /// Fleet digest of the *mitigated* leg (delay decomposition, QoE,
+  /// detector verdicts); only populated when the run was asked to
+  /// summarize. Gating this report against a mitigation-off baseline is
+  /// the "not stochastically worse" CI check.
+  obs::fleet::SessionSummary summary;
+
+  [[nodiscard]] bool ok() const {
+    return survived && budget_ok && qoe_ok && guarded_ok;
+  }
+};
+
+/// Runs one mitigation-on/off pair. `budget` is the controller's hard
+/// sense-to-act bound (virtual time). Never throws.
+[[nodiscard]] MitigationOutcome RunMitigationScenario(
+    const ChaosScenario& scenario, std::uint64_t seed,
+    sim::Duration budget = sim::Duration{std::chrono::milliseconds{50}},
+    MitigationSlack slack = {}, bool summarize = false);
+
+struct MitigationMatrixResult {
+  /// Scenario-major, seed-minor — index order, identical for any job count.
+  std::vector<MitigationOutcome> outcomes;
+
+  [[nodiscard]] bool all_ok() const {
+    for (const auto& o : outcomes) {
+      if (!o.ok()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t failures() const {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) n += o.ok() ? 0 : 1;
+    return n;
+  }
+};
+
+/// Runs every scenario × derived seed pair on `jobs` workers (run (s, i)
+/// gets sim::DeriveSeed(base_seed, i)); results stay in index order.
+[[nodiscard]] MitigationMatrixResult RunMitigationMatrix(
+    const std::vector<ChaosScenario>& scenarios, std::uint64_t base_seed,
+    std::size_t seeds, unsigned jobs,
+    sim::Duration budget = sim::Duration{std::chrono::milliseconds{50}},
+    bool summarize = false);
+
+/// Machine-readable report (BENCH_mitigation.json schema).
+void WriteMitigationJson(std::ostream& os, const MitigationMatrixResult& result,
+                         std::uint64_t base_seed, std::size_t seeds, unsigned jobs,
+                         sim::Duration budget);
+
+/// Human-readable one-line-per-pair table.
+void RenderMitigationTable(std::ostream& os, const MitigationMatrixResult& result);
+
+}  // namespace athena::fault

@@ -1,0 +1,89 @@
+#include "mitigation/control/runtime.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "app/pacer.hpp"
+#include "app/sender.hpp"
+#include "mitigation/traffic_predictor.hpp"
+#include "ran/uplink.hpp"
+
+namespace athena::mitigation::control {
+
+void MitigationRuntime::InstallConfigHooks(app::SessionConfig& config) {
+  // RAN knob: a switchable baseline/predictor pair. The factory runs
+  // inside Session construction, so the stashed pointer always refers to
+  // the most recently built session's policy.
+  config.grant_policy = [this](const ran::RanConfig& cell) {
+    auto policy = std::make_unique<ran::TunableGrantPolicy>(
+        std::make_unique<ran::BsrGrantPolicy>(cell),
+        std::make_unique<TrafficPredictorPolicy>(cell));
+    grant_ = policy.get();
+    return std::unique_ptr<ran::GrantPolicy>(std::move(policy));
+  };
+
+  // CC knob: the §5.3 controller at zero mask gain — byte-identical to
+  // plain GCC until the controller raises the gain.
+  config.controller_factory = [this, gcc = config.gcc]() {
+    auto controller = std::make_unique<PhyInformedController>(gcc);
+    controller->set_mask_gain(0.0);
+    cc_ = controller.get();
+    return std::unique_ptr<app::RateController>(std::move(controller));
+  };
+
+  // App knob: the pacer exists but starts disabled (pure pass-through),
+  // so the un-actuated session keeps its per-frame burst timing.
+  config.sender.pacing_enabled = true;
+}
+
+void MitigationRuntime::BindSession(sim::Simulator& sim, app::Session& session) {
+  // Fresh per-attempt state: a supervisor restart replays from t=0 and
+  // must re-derive the identical ledger, so nothing carries over.
+  live_ = std::make_unique<obs::live::LiveEngine>(options_.live);
+  controller_ = std::make_unique<MitigationController>(sim, options_.controller);
+  controller_->set_live(live_.get());
+  live_->set_anomaly_listener(
+      [c = controller_.get()](const obs::live::AnomalyEvent& e) { c->OnAnomaly(e); });
+  sink_.set_inner(live_.get());
+
+  Actuators actuators;
+  if (grant_ != nullptr) {
+    actuators.grant_mode = [g = grant_](bool use_predictor) {
+      g->set_use_alternate(use_predictor);
+    };
+    actuators.proactive_scale = [g = grant_](double scale) {
+      g->set_proactive_scale(scale);
+    };
+  }
+  if (cc_ != nullptr) {
+    actuators.cc_mask_gain = [cc = cc_](double gain) { cc->set_mask_gain(gain); };
+  }
+  if (app::Pacer* pacer = session.sender().pacer()) {
+    pacer->set_enabled(false);
+    actuators.pacing = [pacer](bool enabled) { pacer->set_enabled(enabled); };
+  }
+  controller_->set_actuators(std::move(actuators));
+
+  if (ran::RanUplink* uplink = session.ran_uplink()) {
+    controller_->set_has_telemetry_feed(true);
+    uplink->set_telemetry_listener([this](const ran::TbRecord& tb) {
+      std::optional<ran::TbRecord> record =
+          feed_fault_ ? feed_fault_(tb) : std::optional<ran::TbRecord>{tb};
+      if (!record) return;  // dropped — the control plane sees silence
+      if (cc_ != nullptr) cc_->OnTbRecord(*record);
+      if (controller_ != nullptr) controller_->OnTelemetry(*record);
+    });
+  }
+
+  controller_->Start();
+}
+
+void MitigationRuntime::RenderLedger(std::ostream& os) const {
+  if (controller_ == nullptr) {
+    os << "mitigation decision ledger: (controller never bound)\n";
+    return;
+  }
+  controller_->RenderLedger(os);
+}
+
+}  // namespace athena::mitigation::control

@@ -1,0 +1,100 @@
+// Session wiring for the mitigation control plane: installs the
+// actuation seams into a SessionConfig (switchable grant policy,
+// PHY-informed controller at zero mask gain, pacer present but
+// disabled — i.e. behaviour identical to an un-mitigated session until
+// the controller moves a knob), then binds each freshly built session
+// to a fresh LiveEngine + MitigationController pair.
+//
+// The runtime outlives individual driver attempts: under
+// resilience::Supervisor every restart rebuilds the session, and
+// BindSession discards all prior controller state so the
+// replay-from-zero reproduces the decision ledger byte-identically.
+// The stable-address ResettableSink lets callers install one trace sink
+// (RunPlan::trace_sink / ObsSession extra_sink) whose inner engine is
+// swapped per attempt.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "app/session.hpp"
+#include "mitigation/control/controller.hpp"
+#include "mitigation/phy_informed.hpp"
+#include "obs/live/live.hpp"
+#include "obs/trace.hpp"
+#include "ran/grant_policy.hpp"
+
+namespace athena::mitigation::control {
+
+/// A TraceSink with a stable address whose target can be re-pointed per
+/// driver attempt. Null inner = drop (cheap no-op).
+class ResettableSink final : public obs::TraceSink {
+ public:
+  void set_inner(obs::TraceSink* inner) { inner_ = inner; }
+
+  void Emit(const obs::TraceEvent& event) override {
+    if (inner_ != nullptr) inner_->Emit(event);
+  }
+  void EmitBatch(const obs::TraceEvent* events, std::size_t count) override {
+    if (inner_ != nullptr) inner_->EmitBatch(events, count);
+  }
+
+ private:
+  obs::TraceSink* inner_ = nullptr;
+};
+
+class MitigationRuntime {
+ public:
+  struct Options {
+    MitigationController::Config controller;
+    obs::live::LiveEngine::Options live;
+  };
+
+  explicit MitigationRuntime(Options options = {}) : options_(options) {}
+
+  /// Installs the actuation seams on `config`. Call once, before any
+  /// session is built from it. The installed factories capture `this`,
+  /// so the runtime must outlive every session built from the config.
+  void InstallConfigHooks(app::SessionConfig& config);
+
+  /// Binds a freshly constructed (not yet started) session: builds a
+  /// fresh LiveEngine + controller, fans the RAN telemetry stream into
+  /// the PHY-informed CC and the controller's feed watchdog, subscribes
+  /// to anomaly verdicts, and starts the decision tick. Prior state from
+  /// an earlier attempt is discarded.
+  void BindSession(sim::Simulator& sim, app::Session& session);
+
+  /// The stable trace sink to install for the run (RunPlan::trace_sink,
+  /// ObsSession extra_sink, or a ScopedTraceSink).
+  [[nodiscard]] obs::TraceSink* sink() { return &sink_; }
+
+  [[nodiscard]] MitigationController* controller() { return controller_.get(); }
+  [[nodiscard]] const MitigationController* controller() const { return controller_.get(); }
+  [[nodiscard]] const obs::live::LiveEngine* live() const { return live_.get(); }
+
+  /// Per-record interposer on the telemetry feed (chaos: lying
+  /// telemetry). Returning nullopt drops the record — the control plane
+  /// sees a silent feed; the session's own recorded telemetry is
+  /// untouched. Applies only to the mitigation plane's view.
+  using FeedFault = std::function<std::optional<ran::TbRecord>(const ran::TbRecord&)>;
+  void set_feed_fault(FeedFault fault) { feed_fault_ = std::move(fault); }
+
+  /// Renders the decision ledger (empty line-set before any BindSession).
+  void RenderLedger(std::ostream& os) const;
+
+ private:
+  Options options_;
+  ResettableSink sink_;
+  std::unique_ptr<obs::live::LiveEngine> live_;
+  std::unique_ptr<MitigationController> controller_;
+  FeedFault feed_fault_;
+
+  // Raw pointers into the *current* session (owned by it); refreshed by
+  // the config factories each time a session is constructed.
+  ran::TunableGrantPolicy* grant_ = nullptr;
+  PhyInformedController* cc_ = nullptr;
+};
+
+}  // namespace athena::mitigation::control

@@ -1,6 +1,9 @@
 #include "mitigation/phy_informed.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/check.hpp"
 
 namespace athena::mitigation {
 
@@ -98,12 +101,23 @@ void PhyInformedController::OnPacketSent(const net::Packet& p, sim::TimePoint no
   estimator_.OnPacketSent(p.rtp->transport_seq, p.size_bytes, now);
 }
 
+void PhyInformedController::set_mask_gain(double gain) {
+  ATHENA_CHECK(!std::isnan(gain), "PhyInformedController::set_mask_gain: NaN gain");
+  mask_gain_ = std::clamp(gain, 0.0, 1.0);
+}
+
 double PhyInformedController::OnFeedback(std::span<const rtp::PacketReport> reports,
                                          sim::TimePoint now) {
+  if (mask_gain_ == 0.0) {
+    // Fully un-masked: behave exactly like plain GCC, including feeding
+    // reports in their original arrival order.
+    return gcc_.OnFeedback(reports, now);
+  }
   std::vector<rtp::PacketReport> masked(reports.begin(), reports.end());
   for (auto& r : masked) {
     if (const auto extra = estimator_.ExtraDelay(r.transport_seq)) {
-      r.recv_ts -= *extra;
+      r.recv_ts -= sim::Duration{static_cast<std::int64_t>(
+          static_cast<double>(extra->count()) * mask_gain_)};
       ++masked_;
     }
   }

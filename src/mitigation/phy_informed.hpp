@@ -87,6 +87,13 @@ class PhyInformedController final : public app::RateController {
   /// Wire the modem telemetry stream to this.
   void OnTbRecord(const ran::TbRecord& tb) { estimator_.OnTbRecord(tb); }
 
+  /// Runtime actuation knob (mitigation control plane): how much of the
+  /// estimated RAN delay to subtract from reported receive timestamps.
+  /// 0 = plain GCC (feedback passes through untouched, in arrival order);
+  /// 1 = the full §5.3 mask. Clamped to [0, 1]; NaN is rejected.
+  void set_mask_gain(double gain);
+  [[nodiscard]] double mask_gain() const { return mask_gain_; }
+
   [[nodiscard]] cc::GoogCc& gcc() { return gcc_; }
   [[nodiscard]] const cc::GoogCc& gcc() const { return gcc_; }
   [[nodiscard]] const OnlineRanDelayEstimator& estimator() const { return estimator_; }
@@ -95,6 +102,7 @@ class PhyInformedController final : public app::RateController {
  private:
   cc::GoogCc gcc_;
   OnlineRanDelayEstimator estimator_;
+  double mask_gain_ = 1.0;
   std::uint64_t masked_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "mitigation/traffic_predictor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
+
+#include "sim/check.hpp"
 
 namespace athena::mitigation {
 
@@ -9,7 +12,16 @@ TrafficPredictorPolicy::TrafficPredictorPolicy(const ran::RanConfig& cell)
     : TrafficPredictorPolicy(cell, Config{}) {}
 
 TrafficPredictorPolicy::TrafficPredictorPolicy(const ran::RanConfig& cell, Config config)
-    : cell_(cell), config_(config), fallback_(cell) {}
+    : cell_(cell), config_(config), fallback_(cell) {
+  ATHENA_CHECK(std::isfinite(config_.size_margin) && config_.size_margin >= 1.0,
+               "TrafficPredictorPolicy: size_margin must be finite and >= 1");
+  ATHENA_CHECK(config_.burst_gap_slots > 0,
+               "TrafficPredictorPolicy: burst_gap_slots must be positive");
+  ATHENA_CHECK(config_.history > 0 && config_.min_bursts_to_predict > 0,
+               "TrafficPredictorPolicy: history and min_bursts_to_predict must be positive");
+  ATHENA_CHECK(config_.min_period.count() > 0 && config_.max_period >= config_.min_period,
+               "TrafficPredictorPolicy: need 0 < min_period <= max_period");
+}
 
 std::optional<sim::Duration> TrafficPredictorPolicy::learned_period() const {
   if (bursts_.size() < config_.min_bursts_to_predict) return std::nullopt;

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "sim/check.hpp"
 
 namespace athena::net {
 
 void CapacityTrace::Append(sim::TimePoint from, double bits_per_second) {
   assert((steps_.empty() || from >= steps_.back().from) && "steps must be time-ordered");
-  assert(bits_per_second >= 0.0);
+  // Armed in all builds: a NaN or negative capacity sample silently
+  // poisons every downstream mean/At query, so reject it at the boundary.
+  ATHENA_CHECK(std::isfinite(bits_per_second) && bits_per_second >= 0.0,
+               "CapacityTrace::Append: capacity must be finite and non-negative");
   steps_.push_back({from, bits_per_second});
 }
 

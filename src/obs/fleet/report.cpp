@@ -486,6 +486,7 @@ GateResult GateAgainstBaseline(const FleetReport& current,
 
   // 2. Anomaly prevalence must not grow beyond slack.
   for (const auto& [slug, base_count] : baseline.fleet.prevalence) {
+    if (!options.compare_prevalence) break;
     const auto it = current.fleet.prevalence.find(slug);
     if (it == current.fleet.prevalence.end()) continue;
     const double base_frac =

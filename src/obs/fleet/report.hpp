@@ -84,6 +84,13 @@ struct GateOptions {
   /// CDF-dominance slack (probability units) passed to StochasticallyBelow;
   /// absorbs sketch bucketing and seed noise.
   double slack = 0.05;
+  /// Gate the anomaly-prevalence table. Off when comparing a mitigated
+  /// population against an un-mitigated baseline: the closed loop's
+  /// actuations legitimately change what the detectors see (e.g.
+  /// switching to the traffic predictor shifts the over-granting
+  /// signature), so detection-rate deltas are expected there and only the
+  /// QoE/delay dominance + SLO axes are the contract.
+  bool compare_prevalence = true;
 };
 
 struct GateResult {

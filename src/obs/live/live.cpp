@@ -4,7 +4,10 @@ namespace athena::obs::live {
 
 LiveEngine::LiveEngine(Options options)
     : options_(options), bank_(options.detectors), log_(options.log_capacity) {
-  bank_.set_on_anomaly([this](const AnomalyEvent& e) { log_.PushAnomaly(e); });
+  bank_.set_on_anomaly([this](const AnomalyEvent& e) {
+    log_.PushAnomaly(e);
+    if (anomaly_listener_) anomaly_listener_(e);
+  });
 }
 
 namespace {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/live/anomaly.hpp"
@@ -35,6 +36,13 @@ class LiveEngine final : public TraceSink {
   // --- TraceSink: decode and route ---
   void Emit(const TraceEvent& event) override;
 
+  /// Forwards every anomaly verdict (after it is filed into the event
+  /// log) to an online consumer — the mitigation control plane's trigger
+  /// feed. Single slot; replaces any previous listener.
+  void set_anomaly_listener(std::function<void(const AnomalyEvent&)> listener) {
+    anomaly_listener_ = std::move(listener);
+  }
+
   [[nodiscard]] DetectorBank& bank() { return bank_; }
   [[nodiscard]] const DetectorBank& bank() const { return bank_; }
   [[nodiscard]] EventLog& log() { return log_; }
@@ -59,6 +67,7 @@ class LiveEngine final : public TraceSink {
   Options options_;
   DetectorBank bank_;
   EventLog log_;
+  std::function<void(const AnomalyEvent&)> anomaly_listener_;
 
   // TraceAsyncSpan always emits its begin/end pair back-to-back from one
   // call, so a single pending slot suffices to rejoin them.

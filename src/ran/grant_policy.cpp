@@ -1,8 +1,54 @@
 #include "ran/grant_policy.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/check.hpp"
 
 namespace athena::ran {
+
+TunableGrantPolicy::TunableGrantPolicy(std::unique_ptr<GrantPolicy> baseline,
+                                       std::unique_ptr<GrantPolicy> alternate)
+    : baseline_(std::move(baseline)), alternate_(std::move(alternate)) {
+  ATHENA_CHECK(baseline_ != nullptr, "TunableGrantPolicy: baseline policy required");
+}
+
+GrantPolicy::Decision TunableGrantPolicy::OnUplinkSlot(const SlotInfo& slot) {
+  GrantPolicy& active = (use_alternate_ && alternate_) ? *alternate_ : *baseline_;
+  Decision d = active.OnUplinkSlot(slot);
+  if (d.grant == GrantType::kProactive && proactive_scale_ != 1.0) {
+    const double scaled = static_cast<double>(d.tbs_bytes) * proactive_scale_;
+    d.tbs_bytes = std::min(static_cast<std::uint32_t>(scaled), slot.available_bytes);
+  }
+  return d;
+}
+
+void TunableGrantPolicy::OnBsrDecoded(sim::TimePoint decoded_at,
+                                      std::uint32_t reported_bytes) {
+  baseline_->OnBsrDecoded(decoded_at, reported_bytes);
+  if (alternate_) alternate_->OnBsrDecoded(decoded_at, reported_bytes);
+}
+
+void TunableGrantPolicy::OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                                    std::uint32_t used_bytes) {
+  baseline_->OnTbFilled(slot_time, grant, used_bytes);
+  if (alternate_) alternate_->OnTbFilled(slot_time, grant, used_bytes);
+}
+
+bool TunableGrantPolicy::set_use_alternate(bool use_alternate) {
+  if (use_alternate && !alternate_) return false;
+  if (use_alternate_ != use_alternate) ++mode_switches_;
+  use_alternate_ = use_alternate;
+  return true;
+}
+
+double TunableGrantPolicy::set_proactive_scale(double scale) {
+  ATHENA_CHECK(std::isfinite(scale) && scale > 0.0,
+               "TunableGrantPolicy::set_proactive_scale: scale must be finite and positive");
+  proactive_scale_ = std::clamp(scale, kMinProactiveScale, kMaxProactiveScale);
+  return proactive_scale_;
+}
 
 GrantPolicy::Decision BsrGrantPolicy::OnUplinkSlot(const SlotInfo& slot) {
   // Matured requested grants take the slot's PUSCH; otherwise the standing

@@ -76,6 +76,53 @@ class BsrGrantPolicy : public GrantPolicy {
   std::uint32_t outstanding_ = 0;
 };
 
+/// Runtime-switchable policy pair: the actuation seam the mitigation
+/// control plane drives. Wraps a `baseline` and an `alternate` policy;
+/// a mode knob selects which one issues grants, while *both* observe
+/// every BSR decode and TB fill so the inactive policy keeps learning
+/// and a switch takes effect with warm state. A clamped
+/// `proactive_scale` knob additionally shrinks/boosts proactive grant
+/// sizes (the §3.1 over-granting dial).
+///
+/// Switching consumes slot decisions from only the active policy; the
+/// inactive one's pending-grant bookkeeping can go stale across long
+/// active stretches, which is safe (grants are re-clamped to available
+/// capacity every slot) but means a revert resumes conservatively.
+class TunableGrantPolicy final : public GrantPolicy {
+ public:
+  static constexpr double kMinProactiveScale = 0.25;
+  static constexpr double kMaxProactiveScale = 4.0;
+
+  TunableGrantPolicy(std::unique_ptr<GrantPolicy> baseline,
+                     std::unique_ptr<GrantPolicy> alternate);
+
+  Decision OnUplinkSlot(const SlotInfo& slot) override;
+  void OnBsrDecoded(sim::TimePoint decoded_at, std::uint32_t reported_bytes) override;
+  void OnTbFilled(sim::TimePoint slot_time, const Decision& grant,
+                  std::uint32_t used_bytes) override;
+
+  /// Knob: selects the grant-issuing policy. Rejects the switch when no
+  /// alternate was provided (returns false).
+  bool set_use_alternate(bool use_alternate);
+  [[nodiscard]] bool use_alternate() const { return use_alternate_; }
+
+  /// Knob: scales proactive grants, clamped to [0.25, 4]. NaN is rejected
+  /// with ATHENA_CHECK. Returns the value actually applied.
+  double set_proactive_scale(double scale);
+  [[nodiscard]] double proactive_scale() const { return proactive_scale_; }
+
+  [[nodiscard]] GrantPolicy& baseline() { return *baseline_; }
+  [[nodiscard]] GrantPolicy* alternate() { return alternate_.get(); }
+  [[nodiscard]] std::uint64_t mode_switches() const { return mode_switches_; }
+
+ private:
+  std::unique_ptr<GrantPolicy> baseline_;
+  std::unique_ptr<GrantPolicy> alternate_;
+  bool use_alternate_ = false;
+  double proactive_scale_ = 1.0;
+  std::uint64_t mode_switches_ = 0;
+};
+
 /// Multi-UE scheduler: divides one cell's per-slot PUSCH budget among N
 /// contending UEs (the world engine's PRB-contention model). The same
 /// per-UE BSR machinery as GrantPolicy, plus an explicit budget split —

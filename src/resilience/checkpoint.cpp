@@ -2,10 +2,12 @@
 
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "core/report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace athena::resilience {
@@ -462,9 +464,17 @@ std::string DescribeDivergence(const core::CorrelatorInput& replayed,
 }  // namespace
 
 RunOutcome CheckpointingDriver::Drive(const Checkpoint* resume_from) {
+  // Live consumers (the mitigation control plane) see the whole attempt:
+  // the sink covers session construction through teardown, and is
+  // re-installed identically on every restart so replays decode the same
+  // event stream.
+  std::optional<obs::ScopedTraceSink> trace_scope;
+  if (plan_.trace_sink != nullptr) trace_scope.emplace(plan_.trace_sink);
+
   sim::Simulator simulator;
   app::Session session{simulator, plan_.config};
   if (plan_.on_simulator) plan_.on_simulator(simulator);
+  if (plan_.on_session) plan_.on_session(simulator, session);
   session.Start();
 
   RunOutcome outcome;
@@ -535,6 +545,7 @@ RunOutcome CheckpointingDriver::Drive(const Checkpoint* resume_from) {
               session.ran_uplink() ? &session.ran_uplink()->counters() : nullptr,
           .controller_target_bps = session.sender().controller().target_bps(),
       });
+  if (plan_.report_appendix) plan_.report_appendix(report);
   outcome.report = report.str();
 
   StateDigest final_digest;

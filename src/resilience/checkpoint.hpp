@@ -34,6 +34,10 @@
 #include "resilience/overload.hpp"
 #include "sim/time.hpp"
 
+namespace athena::obs {
+class TraceSink;
+}  // namespace athena::obs
+
 namespace athena::resilience {
 
 /// A malformed, truncated, corrupted or mismatched checkpoint. Always a
@@ -120,6 +124,23 @@ struct RunPlan {
   /// and watchdog hooks here; tests plant livelock bombs. The callee must
   /// not advance the simulator.
   std::function<void(sim::Simulator&)> on_simulator;
+
+  /// Invoked once per Run()/Resume() after the session is constructed
+  /// (and after on_simulator), before Start(). The mitigation control
+  /// plane binds its per-attempt state here — each supervisor restart
+  /// gets a fresh controller whose replay-from-zero reproduces the same
+  /// decision ledger. Must not advance the simulator.
+  std::function<void(sim::Simulator&, app::Session&)> on_session;
+
+  /// When non-null, installed as the current thread's trace sink for the
+  /// whole Drive (session construction through teardown). The pointer
+  /// must stay valid across the run; ownership stays with the caller.
+  obs::TraceSink* trace_sink = nullptr;
+
+  /// Appended to the rendered report before the report digest is taken —
+  /// extra per-run text (the mitigation decision ledger) joins the
+  /// byte-identity surface the restore tests pin.
+  std::function<void(std::ostream&)> report_appendix;
 };
 
 /// What a completed run produced. `final_digest`/`report` are the

@@ -267,6 +267,32 @@ TEST(FleetGateTest, SeededRegressionFailsTheGate) {
   EXPECT_NE(gate.failures.front().find("uplink_owd_ms"), std::string::npos);
 }
 
+TEST(FleetGateTest, PrevalenceAxisCanBeSkippedForOnOffComparisons) {
+  // A mitigated population legitimately detects more anomalies than an
+  // un-mitigated baseline (actuations change what the detectors see);
+  // compare_prevalence=false keeps the QoE/delay axes as the contract.
+  FleetAggregator base_agg, loud_agg;
+  SloEngine base_slos{std::vector<SloSpec>{}}, loud_slos{std::vector<SloSpec>{}};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    base_agg.Fold(MakeSummary("a", i, 5.0, 0.01));
+    auto s = MakeSummary("a", i, 5.0, 0.01);
+    s.anomalies[static_cast<std::size_t>(
+        obs::live::AnomalyKind::kOverGranting)] = 3;
+    loud_agg.Fold(s);
+  }
+  const FleetReport current = BuildReport(loud_agg, loud_slos);
+  const FleetReport baseline = BuildReport(base_agg, base_slos);
+  const GateResult strict = GateAgainstBaseline(current, baseline);
+  EXPECT_FALSE(strict.ok);
+  ASSERT_FALSE(strict.failures.empty());
+  EXPECT_NE(strict.failures.front().find("prevalence"), std::string::npos);
+  GateOptions options;
+  options.compare_prevalence = false;
+  const GateResult relaxed = GateAgainstBaseline(current, baseline, options);
+  EXPECT_TRUE(relaxed.ok)
+      << (relaxed.failures.empty() ? "" : relaxed.failures.front());
+}
+
 TEST(FleetGateTest, SloViolationFailsTheGateEvenWithoutCdfRegression) {
   SloSpec spec;
   spec.name = "gap";

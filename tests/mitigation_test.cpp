@@ -1,13 +1,23 @@
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "app/pacer.hpp"
 #include "app/session.hpp"
+#include "cc/gcc.hpp"
 #include "core/analyzer.hpp"
 #include "core/correlator.hpp"
+#include "fault/fault.hpp"
 #include "mitigation/app_aware_policy.hpp"
 #include "mitigation/phy_informed.hpp"
 #include "mitigation/traffic_predictor.hpp"
+#include "net/capacity_trace.hpp"
+#include "ran/grant_policy.hpp"
+#include "rtp/twcc.hpp"
+#include "sim/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace athena::mitigation {
@@ -325,6 +335,218 @@ TEST(PhyInformedTest, MaskedReportsCounted) {
   session.Run(5s);
   EXPECT_GT(ctrl->masked_reports(), 100u);
   EXPECT_GT(ctrl->estimator().resolved_packets(), 100u);
+}
+
+// ---------- input validation: hostile config / sample rejection ----------
+
+TEST(MitigationValidationDeathTest, PredictorRejectsNaNSizeMargin) {
+  sim::ScopedCheckThrow guard;
+  TrafficPredictorPolicy::Config config;
+  config.size_margin = std::nan("");
+  EXPECT_THROW((TrafficPredictorPolicy{ran::RanConfig::PaperCell(), config}),
+               sim::CheckViolation);
+}
+
+TEST(MitigationValidationDeathTest, PredictorRejectsShrinkingMarginAndZeroHistory) {
+  sim::ScopedCheckThrow guard;
+  {
+    TrafficPredictorPolicy::Config config;
+    config.size_margin = 0.5;  // would systematically under-grant
+    EXPECT_THROW((TrafficPredictorPolicy{ran::RanConfig::PaperCell(), config}),
+                 sim::CheckViolation);
+  }
+  {
+    TrafficPredictorPolicy::Config config;
+    config.history = 0;
+    EXPECT_THROW((TrafficPredictorPolicy{ran::RanConfig::PaperCell(), config}),
+                 sim::CheckViolation);
+  }
+  {
+    TrafficPredictorPolicy::Config config;
+    config.min_period = sim::Duration{0};
+    EXPECT_THROW((TrafficPredictorPolicy{ran::RanConfig::PaperCell(), config}),
+                 sim::CheckViolation);
+  }
+}
+
+TEST(MitigationValidationDeathTest, CapacityTraceRejectsNegativeAndNaNSamples) {
+  sim::ScopedCheckThrow guard;
+  net::CapacityTrace trace{1e6};
+  EXPECT_THROW(trace.Append(kEpoch + 1ms, -5.0), sim::CheckViolation);
+  EXPECT_THROW(trace.Append(kEpoch + 1ms, std::nan("")), sim::CheckViolation);
+  EXPECT_THROW(trace.Append(kEpoch + 1ms, std::numeric_limits<double>::infinity()),
+               sim::CheckViolation);
+  trace.Append(kEpoch + 1ms, 2e6);  // a sane sample still lands
+  EXPECT_DOUBLE_EQ(trace.At(kEpoch + 2ms), 2e6);
+}
+
+TEST(MitigationValidationDeathTest, MaskGainRejectsNaNAndClamps) {
+  PhyInformedController controller;
+  {
+    sim::ScopedCheckThrow guard;
+    EXPECT_THROW(controller.set_mask_gain(std::nan("")), sim::CheckViolation);
+  }
+  controller.set_mask_gain(7.0);
+  EXPECT_DOUBLE_EQ(controller.mask_gain(), 1.0);
+  controller.set_mask_gain(-2.0);
+  EXPECT_DOUBLE_EQ(controller.mask_gain(), 0.0);
+}
+
+TEST(MitigationValidationDeathTest, GccRejectsInvertedLossThresholds) {
+  sim::ScopedCheckThrow guard;
+  cc::GoogCc::Config config;
+  config.loss_decrease_threshold = 0.01;
+  config.loss_increase_threshold = 0.5;  // increase > decrease is nonsense
+  EXPECT_THROW((cc::GoogCc{config}), sim::CheckViolation);
+  config.loss_decrease_threshold = std::nan("");
+  config.loss_increase_threshold = 0.02;
+  EXPECT_THROW((cc::GoogCc{config}), sim::CheckViolation);
+}
+
+TEST(MitigationValidationDeathTest, PacerRejectsNaNRateFactorAndClamps) {
+  sim::Simulator sim;
+  app::Pacer pacer{sim, app::Pacer::Config{}};
+  {
+    sim::ScopedCheckThrow guard;
+    EXPECT_THROW(pacer.set_rate_factor(std::nan("")), sim::CheckViolation);
+    EXPECT_THROW(pacer.set_rate_factor(0.0), sim::CheckViolation);
+  }
+  pacer.set_rate_factor(100.0);
+  EXPECT_DOUBLE_EQ(pacer.rate_factor(), 8.0);
+}
+
+TEST(MitigationValidationDeathTest, TunableGrantPolicyRejectsBadScaleAndNullBaseline) {
+  const auto cell = ran::RanConfig::PaperCell();
+  ran::TunableGrantPolicy policy{std::make_unique<ran::BsrGrantPolicy>(cell),
+                                 std::make_unique<TrafficPredictorPolicy>(cell)};
+  {
+    sim::ScopedCheckThrow guard;
+    EXPECT_THROW(policy.set_proactive_scale(std::nan("")), sim::CheckViolation);
+    EXPECT_THROW(policy.set_proactive_scale(-1.0), sim::CheckViolation);
+    EXPECT_THROW((ran::TunableGrantPolicy{nullptr, nullptr}), sim::CheckViolation);
+  }
+  EXPECT_DOUBLE_EQ(policy.set_proactive_scale(100.0), 4.0);  // clamped
+}
+
+// ---------- fault-injected telemetry through the mitigation policies ----------
+
+std::vector<ran::TbRecord> SyntheticBurstyStream(std::size_t slots) {
+  // ~4 kB burst every 16 slots (40 ms), the same shape the predictor
+  // unit tests learn from.
+  std::vector<ran::TbRecord> records;
+  records.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    records.push_back(Tb(static_cast<ran::TbId>(i + 1),
+                         kEpoch + sim::Duration{static_cast<std::int64_t>(i) * 2500},
+                         (i % 16) < 2 ? 2000u : 0u));
+  }
+  return records;
+}
+
+fault::FaultPlan TelemetryFaultPlan(double drop, double corrupt, bool clock_step) {
+  fault::FaultPlan plan;
+  auto& spec = plan.For(fault::Stream::kTelemetry);
+  spec.drop = drop;
+  spec.corrupt = corrupt;
+  if (clock_step) {
+    spec.clock_step = -20ms;
+    spec.clock_step_at = kEpoch + 1s;
+  }
+  return plan;
+}
+
+TEST(MitigationFaultStreamTest, PredictorStaysBoundedUnderFaultedTelemetry) {
+  const auto cell = ran::RanConfig::PaperCell();
+  const TrafficPredictorPolicy::Config config;
+  int variant = 0;
+  for (const auto& plan : {TelemetryFaultPlan(0.4, 0.0, false),
+                           TelemetryFaultPlan(0.0, 0.3, false),
+                           TelemetryFaultPlan(0.0, 0.0, true),
+                           TelemetryFaultPlan(0.3, 0.2, true)}) {
+    auto records = SyntheticBurstyStream(1600);  // 4 s of slots
+    fault::FaultInjector injector{plan, /*seed=*/77 + static_cast<std::uint64_t>(variant)};
+    injector.Apply(fault::Stream::kTelemetry, records);
+    ASSERT_GT(injector.stats().total_faults(), 0u);
+
+    TrafficPredictorPolicy policy{cell, config};
+    for (const auto& tb : records) {
+      policy.OnTbFilled(tb.slot_time, {tb.tbs_bytes, tb.grant}, tb.used_bytes);
+    }
+    // Bounded outputs, whatever the injector did: any learned period is
+    // inside the configured band, and grants never exceed the slot's
+    // available bytes.
+    if (const auto period = policy.learned_period()) {
+      EXPECT_GE(*period, config.min_period) << "variant " << variant;
+      EXPECT_LE(*period, config.max_period) << "variant " << variant;
+    }
+    for (int slot = 1600; slot < 1664; ++slot) {
+      const auto d = policy.OnUplinkSlot(
+          {kEpoch + sim::Duration{slot * 2500}, /*available=*/3000});
+      EXPECT_LE(d.tbs_bytes, 3000u) << "variant " << variant;
+    }
+    ++variant;
+  }
+}
+
+TEST(MitigationFaultStreamTest, EstimatorExtraDelayStaysBoundedUnderCorruption) {
+  OnlineRanDelayEstimator est;
+  fault::FaultPlan plan = TelemetryFaultPlan(0.2, 0.4, true);
+  auto records = SyntheticBurstyStream(1600);
+  fault::FaultInjector injector{plan, /*seed=*/31};
+  injector.Apply(fault::Stream::kTelemetry, records);
+
+  // Register a packet per burst, then feed the impaired telemetry.
+  for (std::uint16_t seq = 0; seq < 100; ++seq) {
+    est.OnPacketSent(seq, 2000, kEpoch + sim::Duration{seq * 40'000});
+  }
+  for (const auto& tb : records) est.OnTbRecord(tb);
+
+  for (std::uint16_t seq = 0; seq < 100; ++seq) {
+    const auto extra = est.ExtraDelay(seq);
+    if (!extra.has_value()) continue;
+    EXPECT_GE(extra->count(), 0) << "seq " << seq;
+    EXPECT_LE(*extra, 10s) << "seq " << seq;
+  }
+}
+
+TEST(MitigationFaultStreamTest, PhyInformedTargetStaysInAimdBandUnderFaults) {
+  cc::GoogCc::Config gcc_config;
+  PhyInformedController controller{gcc_config};
+  controller.set_mask_gain(1.0);
+
+  fault::FaultPlan plan = TelemetryFaultPlan(0.3, 0.3, true);
+  auto records = SyntheticBurstyStream(2400);  // 6 s of slots
+  fault::FaultInjector injector{plan, /*seed=*/13};
+  injector.Apply(fault::Stream::kTelemetry, records);
+
+  // Interleave impaired telemetry with synthetic send + feedback batches.
+  std::size_t next_tb = 0;
+  std::uint16_t seq = 0;
+  for (int batch = 0; batch < 120; ++batch) {
+    const auto now = kEpoch + sim::Duration{(batch + 1) * 50'000};
+    while (next_tb < records.size() && records[next_tb].slot_time <= now) {
+      controller.OnTbRecord(records[next_tb++]);
+    }
+    std::vector<rtp::PacketReport> reports;
+    for (int k = 0; k < 5; ++k) {
+      net::Packet p;
+      p.kind = net::PacketKind::kRtpVideo;
+      p.size_bytes = 1200;
+      p.rtp = net::RtpMeta{.seq = seq, .transport_seq = seq};
+      const auto sent = now - 40ms + sim::Duration{k * 5000};
+      controller.OnPacketSent(p, sent);
+      reports.push_back(rtp::PacketReport{.transport_seq = seq,
+                                          .send_ts = sent,
+                                          .recv_ts = sent + 12ms,
+                                          .size_bytes = 1200});
+      ++seq;
+    }
+    const double target = controller.OnFeedback(reports, now);
+    EXPECT_TRUE(std::isfinite(target)) << "batch " << batch;
+    EXPECT_GE(target, gcc_config.aimd.min_bps) << "batch " << batch;
+    EXPECT_LE(target, gcc_config.aimd.max_bps) << "batch " << batch;
+  }
+  EXPECT_EQ(controller.target_bps(), controller.gcc().target_bps());
 }
 
 }  // namespace

@@ -456,6 +456,11 @@ TEST(Exposition, MatchesGoldenFile) {
   registry.Gauge("edge.nan") = std::nan("");
   registry.Gauge("edge.neg_inf") = -std::numeric_limits<double>::infinity();
   registry.Gauge("edge.pos_inf") = std::numeric_limits<double>::infinity();
+  // The mitigation control plane's counters (CountInc'd by the
+  // MitigationController) ride the same exposition surface.
+  registry.Counter("mitigation.actuations") = 2;
+  registry.Counter("mitigation.reverts") = 1;
+  registry.Counter("mitigation.guardrail_blocks") = 5;
   for (const double v : {1.0, 2.0, 3.0, 4.0}) registry.Stats("owd.ms").Add(v);
   auto& histogram = registry.Histogram("frame.interval-ms", 0.0, 100.0, 4);
   for (const double v : {-5.0, 10.0, 50.0, 1000.0}) histogram.Add(v);
