@@ -27,6 +27,7 @@
 // win that changes the answer is a bug, not a result.
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -34,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "resilience/world_supervisor.hpp"
 #include "world/engine.hpp"
 
 namespace {
@@ -122,6 +124,38 @@ int main(int argc, char** argv) {
               << " s, digest " << HexDigest(r.result.digest) << '\n';
   }
 
+  // Fault-tolerance numbers: one supervised 8-shard run with a mid-run
+  // shard kill. Records the snapshot cost (serialized size + serialize
+  // wall time) and the recovery cost (replay seconds back to the
+  // restore boundary), and asserts the recovered digest matches the
+  // uninterrupted oracle.
+  resilience::WorldSupervisedOutcome supervised;
+  double snapshot_serialize_seconds = 0.0;
+  {
+    world::WorldConfig config = base;
+    config.shards = 8;
+    config.threaded = true;
+    resilience::WorldSupervisorOptions options;
+    options.checkpoint_every_windows = 64;
+    options.on_checkpoint = [&](const resilience::WorldSnapshot& snapshot) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::uint8_t> bytes;
+      snapshot.Serialize(bytes);
+      snapshot_serialize_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    resilience::WorldFaultSpec faults;
+    faults.crash_shard = 1;  // window derived from the seed
+    resilience::WorldSupervisor supervisor{std::move(config), options};
+    supervised = supervisor.Run(faults);
+    std::cout << "  8 shard(s) supervised : crashes " << supervised.crashes
+              << ", checkpoints " << supervised.checkpoints_taken << " ("
+              << supervised.last_snapshot_bytes << " B latest, serialize "
+              << snapshot_serialize_seconds << " s), restore replay "
+              << supervised.restore_replay_seconds << " s, digest "
+              << HexDigest(supervised.result.digest) << '\n';
+  }
+
   const RunRecord& serial = runs.front();
   bool conservation_ok = true;
   bool digest_identical = true;
@@ -153,8 +187,11 @@ int main(int argc, char** argv) {
   };
   const double target = 5.0;
   const double modeled_at_8 = modeled(8);
+  const bool recovered_identical =
+      supervised.completed && supervised.result.digest == serial.result.digest &&
+      supervised.result.fleet_json == serial.result.fleet_json;
   const bool met = digest_identical && fleet_identical && conservation_ok &&
-                   modeled_at_8 >= target;
+                   recovered_identical && modeled_at_8 >= target;
 
   std::ofstream os{out_path};
   if (!os) {
@@ -195,6 +232,19 @@ int main(int argc, char** argv) {
      << (digest_identical ? "true" : "false") << ",\n";
   os << "  \"fleet_report_byte_identical\": "
      << (fleet_identical ? "true" : "false") << ",\n";
+  os << "  \"resilience\": {\n";
+  os << "    \"checkpoint_every_windows\": 64,\n";
+  os << "    \"crashes\": " << supervised.crashes << ",\n";
+  os << "    \"restarts\": " << supervised.restarts << ",\n";
+  os << "    \"checkpoints_taken\": " << supervised.checkpoints_taken << ",\n";
+  os << "    \"checkpoint_bytes\": " << supervised.last_snapshot_bytes << ",\n";
+  os << "    \"checkpoint_serialize_seconds\": " << snapshot_serialize_seconds
+     << ",\n";
+  os << "    \"restore_replay_seconds\": " << supervised.restore_replay_seconds
+     << ",\n";
+  os << "    \"recovered_digest_matches_oracle\": "
+     << (recovered_identical ? "true" : "false") << "\n";
+  os << "  },\n";
   os << "  \"speedup\": {\n";
   for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
     os << "    \"modeled_" << shards << "_shards\": " << modeled(shards)
@@ -216,14 +266,18 @@ int main(int argc, char** argv) {
 
   std::cout << "digest identity: " << (digest_identical ? "PASS" : "FAIL")
             << ", fleet bytes: " << (fleet_identical ? "PASS" : "FAIL")
-            << ", conservation: " << (conservation_ok ? "PASS" : "FAIL") << '\n';
+            << ", conservation: " << (conservation_ok ? "PASS" : "FAIL")
+            << ", kill/restore recovery: " << (recovered_identical ? "PASS" : "FAIL")
+            << '\n';
   std::cout << "modeled speedup at 8 shards: x" << modeled_at_8 << " (target x"
             << target << ", " << (modeled_at_8 >= target ? "met" : "MISSED")
             << ")\n";
   std::cout << "wrote " << out_path << '\n';
 
-  if (!digest_identical || !fleet_identical || !conservation_ok) {
-    std::cerr << "ERROR: sharded runs are not byte-identical to the oracle\n";
+  if (!digest_identical || !fleet_identical || !conservation_ok ||
+      !recovered_identical) {
+    std::cerr << "ERROR: sharded or recovered runs are not byte-identical to "
+                 "the oracle\n";
     return 1;
   }
   return 0;

@@ -4,7 +4,10 @@
 #     and 8 shards: wall / busy / modeled-critical-path timing, digest +
 #     FleetReport byte-identity across shard counts, the conservation
 #     ledger, and the modeled >=5x-at-8-shards acceptance number —
-#     written to BENCH_world.json at the repo root.
+#     written to BENCH_world.json at the repo root. The JSON also
+#     carries a "resilience" block from a supervised kill/restore run:
+#     world-checkpoint size, serialize cost, restore replay latency,
+#     and recovered-digest identity against the uninterrupted oracle.
 #
 # Usage: bench/run_bench_world.sh [build-dir] [--smoke]
 #   (default build dir: ./build; --smoke uses the reduced CI sizing)

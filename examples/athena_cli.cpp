@@ -106,6 +106,27 @@
 //     --world-chaos                     run the world chaos contract
 //                                       (cell outage; see
 //                                       src/fault/world_chaos.hpp)
+//     --world-checkpoint-every=K        snapshot the whole world every K
+//                                       window boundaries (default 64 in
+//                                       supervised mode)
+//     --world-checkpoint-out=FILE       spill the latest world snapshot
+//                                       to FILE (ATHWSNP format)
+//     --world-kill-shard=S              supervised mode: shard S's worker
+//                                       dies once; the supervisor restores
+//                                       from the latest snapshot and the
+//                                       recovered digest must equal an
+//                                       uninterrupted run's
+//     --world-kill-window=W             1-based window of the kill
+//                                       (default: derived from --seed)
+//     --world-kill-cell=C               blame the kills on cell C and keep
+//                                       killing until its restart budget
+//                                       (1) is exhausted — the supervisor
+//                                       quarantines the cell and evacuates
+//                                       its UEs
+//     --world-restore=FILE              resume a world from a snapshot
+//                                       file; the replay is digest-verified
+//                                       at the snapshot's window before
+//                                       the run continues
 //     --fleet-baseline=FILE             stored baseline report to gate
 //                                       against
 //     --fleet-gate                      with --chaos/--sweep: after the run,
@@ -150,6 +171,8 @@
 #include "obs/pipeline/pipeline.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/supervisor.hpp"
+#include "resilience/world_checkpoint.hpp"
+#include "resilience/world_supervisor.hpp"
 #include "sim/runner.hpp"
 #include "world/engine.hpp"
 
@@ -226,7 +249,19 @@ struct Options {
   bool world_crosscheck = false;
   bool world_chaos = false;
 
+  // --- world resilience (src/resilience/world_*) ---
+  std::uint64_t world_checkpoint_every = 64;  ///< snapshot cadence (windows)
+  std::string world_checkpoint_out;           ///< latest-snapshot spill file
+  std::size_t world_kill_shard = world::WorldConfig::kNoCrash;
+  std::uint64_t world_kill_window = 0;  ///< 0 = derived from the seed
+  std::size_t world_kill_cell = world::WorldConfig::kNoCrash;  ///< blame cell
+  std::string world_restore;            ///< resume from this snapshot
+
   [[nodiscard]] bool world() const { return world_ues > 0; }
+  [[nodiscard]] bool world_supervised() const {
+    return world_kill_shard != world::WorldConfig::kNoCrash ||
+           !world_restore.empty() || !world_checkpoint_out.empty();
+  }
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -317,6 +352,18 @@ Options Parse(int argc, char** argv) {
       opt.world_crosscheck = true;
     } else if (arg == "--world-chaos") {
       opt.world_chaos = true;
+    } else if (ParseFlag(arg, "world-checkpoint-every", &value)) {
+      opt.world_checkpoint_every = std::stoull(value);
+    } else if (ParseFlag(arg, "world-checkpoint-out", &value)) {
+      opt.world_checkpoint_out = value;
+    } else if (ParseFlag(arg, "world-kill-shard", &value)) {
+      opt.world_kill_shard = std::stoul(value);
+    } else if (ParseFlag(arg, "world-kill-window", &value)) {
+      opt.world_kill_window = std::stoull(value);
+    } else if (ParseFlag(arg, "world-kill-cell", &value)) {
+      opt.world_kill_cell = std::stoul(value);
+    } else if (ParseFlag(arg, "world-restore", &value)) {
+      opt.world_restore = value;
     } else if (arg == "--fleet-gate") {
       opt.fleet_gate = true;
     } else if (arg == "--supervise") {
@@ -346,7 +393,10 @@ Options Parse(int argc, char** argv) {
                    "[--fleet-expose=FILE] [--fleet-baseline=FILE] [--fleet-gate] "
                    "[--world-ues=N] [--world-cells=C] [--world-shards=S] "
                    "[--world-handover=K] [--world-mode=threads|seq] "
-                   "[--world-crosscheck] [--world-chaos]\n";
+                   "[--world-crosscheck] [--world-chaos] "
+                   "[--world-checkpoint-every=K] [--world-checkpoint-out=FILE] "
+                   "[--world-kill-shard=S] [--world-kill-window=W] "
+                   "[--world-kill-cell=C] [--world-restore=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -822,7 +872,9 @@ world::WorldConfig BuildWorldConfig(const Options& opt) {
   config.seed = opt.seed;
   config.ues = opt.world_ues;
   config.cells = opt.world_cells;
-  config.shards = opt.world_shards;
+  // The engine rejects layouts with empty shards; the CLI keeps its
+  // documented clamp-to-cells behaviour instead of erroring out.
+  config.shards = std::max<std::size_t>(1, std::min(opt.world_shards, opt.world_cells));
   config.threaded = opt.world_mode != "seq";
   config.duration = sim::Duration{std::chrono::seconds{opt.duration_s}};
   config.handover_every = opt.world_handover_every;
@@ -847,6 +899,11 @@ void PrintWorldSummary(const world::WorldResult& result) {
             << "  conservation: " << (result.conservation_ok ? "OK" : "VIOLATED")
             << '\n'
             << "  digest: " << std::hex << result.digest << std::dec << '\n';
+  if (!result.quarantined_cells.empty()) {
+    std::cout << "  quarantine: " << result.quarantined_cells.size()
+              << " cell(s) dark, " << result.evacuated << " UE(s) evacuated, "
+              << result.stranded << " stranded\n";
+  }
   if (!result.conservation_ok) {
     std::cout << "  violation: " << result.conservation_error << '\n';
   }
@@ -883,8 +940,59 @@ int RunWorld(const Options& opt) {
     return outcome.invariants_ok ? 0 : 1;
   }
 
-  world::WorldEngine engine{BuildWorldConfig(opt)};
-  const world::WorldResult result = engine.Run();
+  world::WorldResult result;
+  if (opt.world_supervised()) {
+    resilience::WorldSupervisorOptions options;
+    options.checkpoint_every_windows = opt.world_checkpoint_every;
+    options.on_event = [](const std::string& m) {
+      std::cout << "[world-supervisor] " << m << '\n';
+    };
+    if (!opt.world_checkpoint_out.empty()) {
+      options.on_checkpoint = [&opt](const resilience::WorldSnapshot& snapshot) {
+        snapshot.WriteFile(opt.world_checkpoint_out);
+      };
+    }
+
+    resilience::WorldFaultSpec faults;
+    faults.crash_shard = opt.world_kill_shard;
+    faults.crash_window = opt.world_kill_window;
+    if (opt.world_kill_cell != world::WorldConfig::kNoCrash) {
+      // Blamed-cell mode: keep killing until the cell's restart budget
+      // is exhausted and the supervisor quarantines it.
+      faults.blame_cell = opt.world_kill_cell;
+      faults.max_kills = 8;
+      options.cell_restart_budget = 1;
+      options.max_restarts = 4;
+    }
+
+    resilience::WorldSupervisor supervisor{BuildWorldConfig(opt), options};
+    resilience::WorldSupervisedOutcome outcome;
+    if (!opt.world_restore.empty()) {
+      const resilience::WorldSnapshot start =
+          resilience::WorldSnapshot::LoadFile(opt.world_restore);
+      std::cout << "loaded world snapshot " << opt.world_restore << " @ window "
+                << start.window << "/" << start.windows_total << " ("
+                << start.mailbox.size() << " pending message(s))\n";
+      outcome = supervisor.RunFrom(start, faults);
+    } else {
+      outcome = supervisor.Run(faults);
+    }
+    std::cout << "world supervision: crashes=" << outcome.crashes
+              << " restarts=" << outcome.restarts << " restores=" << outcome.restores
+              << " checkpoints=" << outcome.checkpoints_taken << " ("
+              << outcome.last_snapshot_bytes << " B latest)\n";
+    for (const std::size_t cell : outcome.quarantined_cells) {
+      std::cout << "quarantined: cell " << cell << '\n';
+    }
+    if (!outcome.completed) {
+      std::cerr << "supervised world did not complete: " << outcome.last_error << '\n';
+      return 1;
+    }
+    result = std::move(outcome.result);
+  } else {
+    world::WorldEngine engine{BuildWorldConfig(opt)};
+    result = engine.Run();
+  }
   PrintWorldSummary(result);
   std::cout << "fleet: " << result.report.sessions << " session(s), "
             << result.report.scenarios.size() << " cell group(s)\n";
@@ -899,12 +1007,36 @@ int RunWorld(const Options& opt) {
   int exit_code = result.conservation_ok ? 0 : 1;
   if (opt.world_crosscheck) {
     // The determinism oracle: a 1-shard sequential run of the same
-    // world must produce the exact same digest and report bytes.
+    // world must produce the exact same digest and report bytes. A
+    // crash/restore run is held against an *uninterrupted* oracle —
+    // recovery must be invisible — while a quarantine run legitimately
+    // changes the world, so its oracle replays the same fault plan.
     world::WorldConfig reference = BuildWorldConfig(opt);
     reference.shards = 1;
     reference.threaded = false;
-    world::WorldEngine oracle{std::move(reference)};
-    const world::WorldResult ref = oracle.Run();
+    world::WorldResult ref;
+    if (opt.world_kill_cell != world::WorldConfig::kNoCrash) {
+      resilience::WorldSupervisorOptions oracle_options;
+      oracle_options.checkpoint_every_windows = opt.world_checkpoint_every;
+      oracle_options.cell_restart_budget = 1;
+      oracle_options.max_restarts = 4;
+      resilience::WorldFaultSpec faults;
+      faults.crash_shard = opt.world_kill_shard;
+      faults.crash_window = opt.world_kill_window;
+      faults.blame_cell = opt.world_kill_cell;
+      faults.max_kills = 8;
+      resilience::WorldSupervisor oracle{std::move(reference), oracle_options};
+      resilience::WorldSupervisedOutcome oracle_outcome = oracle.Run(faults);
+      if (!oracle_outcome.completed) {
+        std::cerr << "cross-check oracle did not complete: "
+                  << oracle_outcome.last_error << '\n';
+        return 1;
+      }
+      ref = std::move(oracle_outcome.result);
+    } else {
+      world::WorldEngine oracle{std::move(reference)};
+      ref = oracle.Run();
+    }
     const bool match =
         ref.digest == result.digest && ref.fleet_json == result.fleet_json;
     std::cout << "digest cross-check: " << (match ? "PASS" : "FAIL") << " ("

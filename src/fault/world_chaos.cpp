@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/barrier.hpp"
+
 namespace athena::fault {
 namespace {
 
@@ -69,6 +71,165 @@ WorldChaosOutcome RunWorldChaos(const WorldChaosConfig& config) {
   if (outcome.faulted.report.scenarios.count(faulted_group) == 0) {
     violate("faulted cell's population group missing from the FleetReport: " +
             faulted_group);
+  }
+
+  outcome.invariants_ok = outcome.violations.empty();
+  return outcome;
+}
+
+namespace {
+
+resilience::WorldFaultSpec CrashSpec(const WorldChaosConfig& config, int max_kills) {
+  resilience::WorldFaultSpec faults;
+  faults.crash_shard = config.crash_shard;
+  faults.crash_window = config.crash_window;
+  faults.max_kills = max_kills;
+  return faults;
+}
+
+resilience::WorldSupervisorOptions SupervisionOptions(const WorldChaosConfig& config,
+                                                      int cell_restart_budget) {
+  resilience::WorldSupervisorOptions options;
+  options.checkpoint_every_windows = config.checkpoint_every;
+  options.max_restarts = 4;
+  options.cell_restart_budget = cell_restart_budget;
+  return options;
+}
+
+}  // namespace
+
+WorldSupervisionOutcome RunShardCrashRestore(const WorldChaosConfig& config) {
+  WorldSupervisionOutcome outcome;
+  auto violate = [&outcome](std::string msg) {
+    outcome.violations.push_back(std::move(msg));
+  };
+
+  outcome.clean = RunOnce(BaseWorld(config));
+
+  // One kill: the supervisor restores from the latest snapshot, replays
+  // through the (now disarmed) crash window, and finishes the run.
+  resilience::WorldSupervisor supervisor(BaseWorld(config),
+                                         SupervisionOptions(config, 1 << 20));
+  outcome.supervised = supervisor.Run(CrashSpec(config, /*max_kills=*/1));
+
+  if (!outcome.supervised.completed) {
+    violate("supervised world did not complete: " + outcome.supervised.last_error);
+  }
+  if (outcome.supervised.crashes < 1) violate("crash injection never fired");
+  if (outcome.supervised.restarts < 1) violate("supervisor never restarted");
+  if (outcome.supervised.checkpoints_taken < 1) violate("no world snapshot was taken");
+  if (!outcome.supervised.result.conservation_ok) {
+    violate("recovered world violated conservation: " +
+            outcome.supervised.result.conservation_error);
+  }
+
+  // The recovery contract: crash + restore must be invisible in the
+  // final state — digest and FleetReport byte-identical to a run that
+  // never crashed.
+  if (outcome.supervised.result.digest != outcome.clean.digest) {
+    violate("recovered world digest differs from the uninterrupted run");
+  }
+  if (outcome.supervised.result.fleet_json != outcome.clean.fleet_json) {
+    violate("recovered world FleetReport not byte-identical to the uninterrupted run");
+  }
+
+  // Cross-layout probe: the same kill/restore at 1 sequential shard must
+  // land on the same digest (snapshots are layout-invariant).
+  world::WorldConfig narrow = BaseWorld(config);
+  narrow.shards = 1;
+  narrow.threaded = false;
+  resilience::WorldSupervisor narrow_supervisor(narrow,
+                                                SupervisionOptions(config, 1 << 20));
+  const resilience::WorldSupervisedOutcome narrow_run =
+      narrow_supervisor.Run(CrashSpec(config, /*max_kills=*/1));
+  if (!narrow_run.completed) {
+    violate("1-shard sequential recovery did not complete: " + narrow_run.last_error);
+  } else if (narrow_run.result.digest != outcome.clean.digest) {
+    violate("1-shard sequential recovery digest differs from the uninterrupted run");
+  }
+
+  outcome.invariants_ok = outcome.violations.empty();
+  return outcome;
+}
+
+WorldSupervisionOutcome RunCellQuarantine(const WorldChaosConfig& config) {
+  WorldSupervisionOutcome outcome;
+  auto violate = [&outcome](std::string msg) {
+    outcome.violations.push_back(std::move(msg));
+  };
+
+  outcome.clean = RunOnce(BaseWorld(config));
+
+  // Default the crash (and thus the quarantine) to a window with less
+  // run time left than one 4-message handover, so the blamed cell's UEs
+  // strand and the delivery loss is deterministic — an early quarantine
+  // lets the evacuated UEs drain their backlog on a surviving cell and
+  // the end-state totals can converge with the clean run.
+  WorldChaosConfig local = config;
+  if (local.crash_window == 0) {
+    const world::WorldConfig base = BaseWorld(config);
+    const auto schedule = sim::WindowSchedule::Cover(
+        sim::kEpoch, sim::kEpoch + base.duration, base.link_latency);
+    local.crash_window =
+        schedule.windows > 60 ? schedule.windows - 40 : schedule.windows / 2 + 1;
+  }
+
+  // Budget 1 with kills to spare: the second crash blamed on the same
+  // cell exceeds the budget and triggers quarantine; the third attempt
+  // runs with the cell dark.
+  const auto run_supervised = [&local] {
+    resilience::WorldSupervisor supervisor(BaseWorld(local),
+                                           SupervisionOptions(local, /*budget=*/1));
+    return supervisor.Run(CrashSpec(local, /*max_kills=*/8));
+  };
+  outcome.supervised = run_supervised();
+
+  if (!outcome.supervised.completed) {
+    violate("quarantine run did not complete: " + outcome.supervised.last_error);
+  }
+  if (outcome.supervised.quarantined_cells.empty() ||
+      outcome.supervised.result.quarantined_cells.empty()) {
+    violate("restart budget exhausted but no cell was quarantined");
+  }
+  if (!outcome.supervised.result.conservation_ok) {
+    violate("quarantined world violated conservation: " +
+            outcome.supervised.result.conservation_error);
+  }
+  if (outcome.supervised.result.evacuated + outcome.supervised.result.stranded == 0) {
+    violate("quarantined cell's population was neither evacuated nor stranded");
+  }
+
+  // Degradation contract: a dark cell must cost delivery, never mint
+  // packets, and its population group must be visible to operators.
+  if (outcome.supervised.result.delivered >= outcome.clean.delivered) {
+    violate("cell quarantine did not reduce population delivery (" +
+            std::to_string(outcome.supervised.result.delivered) + " >= " +
+            std::to_string(outcome.clean.delivered) + ")");
+  }
+  if (outcome.supervised.result.lost < outcome.clean.lost) {
+    violate("quarantined world lost fewer packets than the clean one (" +
+            std::to_string(outcome.supervised.result.lost) + " < " +
+            std::to_string(outcome.clean.lost) + ")");
+  }
+  if (!outcome.supervised.result.quarantined_cells.empty()) {
+    const std::string group =
+        "world-chaos/cell" +
+        std::to_string(outcome.supervised.result.quarantined_cells.front()) +
+        "/quarantined";
+    if (outcome.supervised.result.report.scenarios.count(group) == 0) {
+      violate("quarantined population group missing from the FleetReport: " + group);
+    }
+  }
+
+  // Determinism probe: the whole supervised trajectory — crashes,
+  // restores, quarantine, evacuation — is a pure function of (config,
+  // seed).
+  const resilience::WorldSupervisedOutcome repeat = run_supervised();
+  if (repeat.result.digest != outcome.supervised.result.digest) {
+    violate("quarantined world digest not reproducible across same-seed runs");
+  }
+  if (repeat.result.fleet_json != outcome.supervised.result.fleet_json) {
+    violate("quarantined world FleetReport not byte-identical across same-seed runs");
   }
 
   outcome.invariants_ok = outcome.violations.empty();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "resilience/world_supervisor.hpp"
 #include "world/config.hpp"
 #include "world/engine.hpp"
 
@@ -36,6 +37,14 @@ struct WorldChaosConfig {
   /// Every k-th UE also performs a handover during the fault (0 = none):
   /// chaos and mobility interleave.
   std::size_t handover_every = 8;
+
+  // --- shard_crash_restore / cell_quarantine scenario knobs ---
+  /// Shard killed by the supervision scenarios (mod the layout's count).
+  std::size_t crash_shard = 1;
+  /// 1-based window at which it dies; 0 derives one from the seed.
+  std::uint64_t crash_window = 0;
+  /// World-snapshot cadence in window boundaries.
+  std::uint64_t checkpoint_every = 64;
 };
 
 struct WorldChaosOutcome {
@@ -48,5 +57,32 @@ struct WorldChaosOutcome {
 /// Runs the clean world, the faulted world, and a repeat of the faulted
 /// world (the determinism probe), then checks the degradation contract.
 [[nodiscard]] WorldChaosOutcome RunWorldChaos(const WorldChaosConfig& config);
+
+/// Outcome shared by the supervision scenarios: the clean run is the
+/// oracle the supervised (crashed-and-recovered) run is held against.
+struct WorldSupervisionOutcome {
+  world::WorldResult clean;
+  resilience::WorldSupervisedOutcome supervised;
+  bool invariants_ok = false;
+  std::vector<std::string> violations;
+};
+
+/// `shard_crash_restore`: kills one shard mid-run, lets the supervisor
+/// restore from the latest windowed snapshot, and checks the recovery
+/// contract — the supervised run crashes (≥1) and restarts (≥1), yet
+/// finishes with a world digest and FleetReport byte-identical to the
+/// uninterrupted run; a cross-layout probe (1 shard, sequential) must
+/// recover to the same digest.
+[[nodiscard]] WorldSupervisionOutcome RunShardCrashRestore(const WorldChaosConfig& config);
+
+/// `cell_quarantine`: crashes repeatedly blamed on one cell exhaust its
+/// restart budget, so the supervisor quarantines it and the engine
+/// evacuates its population. Contract: the run completes with the cell
+/// quarantined, packet conservation still holds (evacuation drops are
+/// booked as `lost`, stranded UEs keep packets `in_flight`), delivery is
+/// strictly below the clean run, losses are at least the clean run's,
+/// the quarantined population group is visible in the FleetReport, and
+/// a repeat supervised run is byte-identical (determinism probe).
+[[nodiscard]] WorldSupervisionOutcome RunCellQuarantine(const WorldChaosConfig& config);
 
 }  // namespace athena::fault

@@ -73,6 +73,13 @@ class WindowBarrier {
   /// inbound mail. After it returns, outboxes may be written again.
   void CollectDone() { barrier_.arrive_and_wait(); }
 
+  /// Optional phase C rendezvous, used when a window-boundary hook is
+  /// installed (world checkpoints): after CollectDone every worker except
+  /// the hook runner parks here, so one thread can observe all shards'
+  /// state with full memory visibility; the hook runner arrives last and
+  /// releases them. Must be called by every party or by none per window.
+  void Sync() { barrier_.arrive_and_wait(); }
+
  private:
   std::barrier<> barrier_;
 };

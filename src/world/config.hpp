@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "app/receiver.hpp"
 #include "app/sender.hpp"
@@ -36,8 +37,9 @@ struct WorldConfig {
   // --- population & layout ---
   std::size_t ues = 64;
   std::size_t cells = 4;
-  /// Shard count (clamped to `cells`; each cell lives on shard c mod S,
-  /// each session on its initial cell's shard).
+  /// Shard count; must be in [1, cells] — the engine rejects layouts
+  /// with empty shards (each cell lives on shard c mod S, each session
+  /// on its initial cell's shard).
   std::size_t shards = 1;
   /// true: one worker thread per shard, barrier-synchronized.
   /// false: same window loop, round-robin on the calling thread —
@@ -81,6 +83,31 @@ struct WorldConfig {
   std::size_t outage_cell = kNoOutage;
   sim::TimePoint outage_start{};
   sim::TimePoint outage_end{};
+
+  // --- resilience (world-scale fault tolerance) ---
+  /// Deterministic shard-crash point: the worker for shard
+  /// `crash_shard mod S` throws ShardCrash the moment it begins window
+  /// `crash_window` (windows 1..crash_window-1 complete normally; the
+  /// barrier protocol detects the dead shard without deadlocking its
+  /// peers). kNoCrash disables. Driven by resilience::WorldSupervisor,
+  /// which disarms the point once its kill budget is consumed.
+  static constexpr std::size_t kNoCrash = std::numeric_limits<std::size_t>::max();
+  std::size_t crash_shard = kNoCrash;
+  std::uint64_t crash_window = 0;
+
+  /// A quarantined cell: from `at` onward the cell stops transmitting
+  /// (permanent outage) and the engine evacuates its population at every
+  /// window boundary — each attached UE hands over to a surviving cell
+  /// through the normal 4-message dance (in-flight HARQ chains are
+  /// booked as `lost`, exactly like any handover). UEs without enough
+  /// remaining run time to complete the dance are left attached and
+  /// counted as stranded — their queued packets stay `in_flight`, so the
+  /// conservation ledger balances either way.
+  struct QuarantineSpec {
+    std::size_t cell = 0;
+    sim::TimePoint at{};
+  };
+  std::vector<QuarantineSpec> quarantines;
 
   // --- observability ---
   /// Scenario prefix for fleet grouping; sessions report as

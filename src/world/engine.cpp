@@ -48,9 +48,30 @@ struct WorldEngine::Shard {
   /// during the window, swapped into the exchange at publish time.
   std::vector<std::vector<WorldMsg>> outbox;
   std::uint64_t delivered_msgs = 0;
+  std::uint64_t stranded = 0;  ///< UEs this shard marked unreachable (quarantine)
 };
 
-WorldEngine::WorldEngine(WorldConfig config) : config_(std::move(config)) {}
+WorldEngine::WorldEngine(WorldConfig config) : config_(std::move(config)) {
+  // Fail at construction, not first Run(): a config that cannot build a
+  // world should never look like a valid engine.
+  ATHENA_CHECK(config_.ues > 0, "world needs at least one UE");
+  ATHENA_CHECK(config_.cells > 0, "world needs at least one cell");
+  ATHENA_CHECK(config_.shards > 0, "world needs at least one shard");
+  ATHENA_CHECK(config_.shards <= config_.cells,
+               "shards > cells leaves empty shards; clamp before building");
+  ATHENA_CHECK(config_.duration.count() > 0, "world duration must be positive");
+  ATHENA_CHECK(config_.link_latency.count() > 0,
+               "link_latency is the lookahead; it must be positive");
+  ATHENA_CHECK(config_.link_latency <= config_.duration,
+               "lookahead exceeds the run duration: not even one window fits");
+  ATHENA_CHECK(config_.handover_latency.count() >= 0,
+               "handover_latency cannot be negative");
+  ATHENA_CHECK(config_.crash_shard == WorldConfig::kNoCrash || config_.crash_window >= 1,
+               "crash_window is 1-based: the shard dies entering that window");
+  for (const auto& q : config_.quarantines) {
+    ATHENA_CHECK(q.cell < config_.cells, "quarantine names a cell outside the world");
+  }
+}
 WorldEngine::~WorldEngine() = default;
 
 Entity* WorldEngine::EntityFor(EntityId id) {
@@ -60,14 +81,22 @@ Entity* WorldEngine::EntityFor(EntityId id) {
 }
 
 void WorldEngine::Build() {
-  ATHENA_CHECK(config_.ues > 0, "world needs at least one UE");
-  ATHENA_CHECK(config_.cells > 0, "world needs at least one cell");
-  ATHENA_CHECK(config_.link_latency.count() > 0,
-               "link_latency is the lookahead; it must be positive");
   const std::size_t ues = config_.ues;
   const std::size_t cells = config_.cells;
-  shard_count_ = std::min(config_.shards == 0 ? std::size_t{1} : config_.shards, cells);
+  shard_count_ = config_.shards;
   const std::size_t shard_count = shard_count_;
+
+  // Crash points name a logical shard; clamp to the layout so the same
+  // fault spec stays meaningful (and deterministic) at any shard count.
+  if (config_.crash_shard != WorldConfig::kNoCrash) {
+    crash_shard_ = config_.crash_shard % shard_count;
+  }
+
+  quarantine_at_us_.assign(cells, kNeverQuarantined);
+  for (const auto& q : config_.quarantines) {
+    quarantine_at_us_[q.cell] = std::min(quarantine_at_us_[q.cell], q.at.us());
+    earliest_quarantine_us_ = std::min(earliest_quarantine_us_, q.at.us());
+  }
 
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -109,6 +138,12 @@ void WorldEngine::Build() {
     cells_.push_back(MakeNrCell(std::move(ctx), config_.cell));
     if (config_.outage_cell == c) {
       cells_.back()->SetOutage(config_.outage_start, config_.outage_end);
+    }
+    if (quarantine_at_us_[c] != kNeverQuarantined) {
+      // A quarantined cell is permanently dark from its activation time
+      // (this overrides any chaos outage window on the same cell).
+      cells_.back()->SetOutage(sim::TimePoint{sim::Duration{quarantine_at_us_[c]}},
+                               sim::kEpoch + config_.duration + config_.link_latency);
     }
   }
 
@@ -162,7 +197,17 @@ void WorldEngine::Build() {
   }
 }
 
-void WorldEngine::RunShardWindow(std::size_t s, sim::TimePoint window_end) {
+void WorldEngine::RunShardWindow(std::size_t s, std::uint64_t window,
+                                 sim::TimePoint window_end) {
+  // Deterministic crash point: the shard dies the moment it enters the
+  // configured window — before delivering any of that window's mail, so
+  // windows 1..crash_window-1 are exactly what an uninterrupted run saw.
+  if (s == crash_shard_ && window == config_.crash_window) {
+    throw ShardCrash(s, window,
+                     "injected crash: shard " + std::to_string(s) +
+                         " died entering window " + std::to_string(window));
+  }
+
   Shard& shard = *shards_[s];
   // All of last window's delivery events have fired; reclaim the slab.
   shard.delivery.clear();
@@ -184,6 +229,52 @@ void WorldEngine::RunShardWindow(std::size_t s, sim::TimePoint window_end) {
   shard.pending.erase(due, shard.pending.end());
 
   shard.sim->RunUntil(window_end);
+
+  if (window_end.us() >= earliest_quarantine_us_) SweepQuarantined(s, window_end);
+}
+
+void WorldEngine::SweepQuarantined(std::size_t s, sim::TimePoint window_end) {
+  // Evacuation sweep: at every boundary past a quarantine's activation,
+  // each UE still served by (or just handed over into) a quarantined
+  // cell schedules a forced handover to a surviving cell. Runs on the
+  // shard's own worker over its own sessions in UE order — the decisions
+  // depend only on layout-invariant session state, so the schedule (and
+  // therefore the digest) is identical at every shard count.
+  const std::size_t ues = sessions_.size();
+
+  // A forced handover needs the full 4-message dance to finish before
+  // the final barrier, or conservation would see mail in transit.
+  const std::int64_t handover_cost_us =
+      4 * (config_.handover_latency.count() + config_.link_latency.count());
+  const bool time_left =
+      window_end.us() + handover_cost_us + config_.link_latency.count() <=
+      config_.duration.count();
+
+  std::vector<EntityId> survivors;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (quarantine_at_us_[c] == kNeverQuarantined) {
+      survivors.push_back(static_cast<EntityId>(ues + c));
+    }
+  }
+
+  for (std::size_t u = 0; u < ues; ++u) {
+    if (shard_of_[u] != s) continue;
+    UeSession& session = *sessions_[u];
+    if (session.in_handover() || session.evacuation_pending() || session.stranded()) {
+      continue;
+    }
+    const std::size_t serving = session.serving_cell() - ues;
+    if (window_end.us() < quarantine_at_us_[serving]) continue;
+    if (!time_left || survivors.empty()) {
+      // Unreachable: the UE cannot complete a handover before the run
+      // ends (or nowhere is left to go). It stays attached — its queued
+      // packets remain in_flight, so the ledger still balances.
+      session.MarkStranded();
+      ++shards_[s]->stranded;
+      continue;
+    }
+    session.ScheduleEvacuation(survivors[u % survivors.size()], window_end);
+  }
 }
 
 void WorldEngine::Publish(std::size_t s) {
@@ -220,11 +311,12 @@ void WorldEngine::RunSequential(const sim::WindowSchedule& schedule,
     const sim::TimePoint window_end = schedule.WindowEnd(k);
     for (std::size_t s = 0; s < shard_count_; ++s) {
       const auto t0 = std::chrono::steady_clock::now();
-      RunShardWindow(s, window_end);
+      RunShardWindow(s, k, window_end);
       busy.Record(s, k, SecondsSince(t0));
     }
     for (std::size_t s = 0; s < shard_count_; ++s) Publish(s);
     for (std::size_t s = 0; s < shard_count_; ++s) Collect(s);
+    if (window_hook_) window_hook_(k);
   }
   if (config_.pipeline != nullptr) {
     scope.reset();
@@ -255,7 +347,7 @@ void WorldEngine::RunThreaded(const sim::WindowSchedule& schedule,
         if (!failed.load(std::memory_order_relaxed)) {
           try {
             const auto t0 = std::chrono::steady_clock::now();
-            RunShardWindow(s, schedule.WindowEnd(k));
+            RunShardWindow(s, k, schedule.WindowEnd(k));
             busy.Record(s, k, SecondsSince(t0));
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
@@ -269,6 +361,22 @@ void WorldEngine::RunThreaded(const sim::WindowSchedule& schedule,
         barrier.PublishDone();
         Collect(s);
         barrier.CollectDone();
+        if (window_hook_) {
+          // Phase C: every worker is parked past CollectDone, so worker
+          // 0 observes all shards with full memory visibility (the
+          // barriers order the accesses); Sync() releases the others.
+          // Hook failures abort the run like a shard crash.
+          if (s == 0 && !failed.load(std::memory_order_relaxed)) {
+            try {
+              window_hook_(k);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (!first_error) first_error = std::current_exception();
+              failed.store(true, std::memory_order_relaxed);
+            }
+          }
+          barrier.Sync();
+        }
       }
       if (config_.pipeline != nullptr) {
         scope.reset();
@@ -362,6 +470,18 @@ void WorldEngine::CheckConservation(WorldResult& result) {
   result.conservation_ok = result.conservation_error.empty();
 }
 
+std::vector<WorldMsgRecord> WorldEngine::PendingMailRecords() const {
+  std::vector<WorldMsgRecord> records;
+  for (const auto& shard : shards_) {
+    records.reserve(records.size() + shard->pending.size());
+    for (const WorldMsg& m : shard->pending) records.push_back(MakeRecord(m));
+  }
+  // Canonical order: which shard physically held a message is a layout
+  // artifact and must not show through in a snapshot.
+  std::sort(records.begin(), records.end(), MsgRecordOrder{});
+  return records;
+}
+
 std::uint64_t WorldEngine::ComputeDigest() const {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t v) {
@@ -423,6 +543,12 @@ void WorldEngine::BuildFleet(WorldResult& result) {
     inputs.dataset = &dataset;
     inputs.qoe = &sessions_[u]->qoe();
     inputs.scenario = config_.scenario + "/cell" + std::to_string(initial_cell_[u]);
+    // Quarantine visibility: the blamed cell's population reports under
+    // its own fleet group, so the report shows *which* UEs rode out a
+    // quarantine (evacuated or stranded).
+    if (quarantine_at_us_[initial_cell_[u]] != kNeverQuarantined) {
+      inputs.scenario += "/quarantined";
+    }
     inputs.seed = sim::DeriveSeed(config_.seed, u);
     return obs::fleet::SummarizeSession(inputs);
   });
@@ -475,7 +601,12 @@ WorldResult WorldEngine::Run() {
   for (const auto& shard : shards_) {
     result.events_executed += shard->sim->events_executed();
     result.messages_delivered += shard->delivered_msgs;
+    result.stranded += shard->stranded;
   }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (quarantine_at_us_[c] != kNeverQuarantined) result.quarantined_cells.push_back(c);
+  }
+  for (const auto& session : sessions_) result.evacuated += session->forced_handovers();
 
   CheckConservation(result);
   result.digest = ComputeDigest();

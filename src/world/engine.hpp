@@ -35,7 +35,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,6 +50,23 @@
 #include "world/ue_session.hpp"
 
 namespace athena::world {
+
+/// A shard worker died mid-run (deterministic crash injection via
+/// WorldConfig::crash_shard). In threaded mode the surviving workers
+/// keep the barrier protocol alive and the engine rethrows this after
+/// join — the supervisor's cue to restore from the latest snapshot.
+class ShardCrash : public std::runtime_error {
+ public:
+  ShardCrash(std::size_t shard, std::uint64_t window, const std::string& what)
+      : std::runtime_error(what), shard_(shard), window_(window) {}
+
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+  [[nodiscard]] std::uint64_t window() const { return window_; }
+
+ private:
+  std::size_t shard_ = 0;
+  std::uint64_t window_ = 0;
+};
 
 struct WorldResult {
   /// FNV-1a over every session's and cell's deterministic state words,
@@ -81,6 +101,11 @@ struct WorldResult {
   bool conservation_ok = false;
   /// Empty when conservation_ok; otherwise the first violated invariant.
   std::string conservation_error;
+
+  // --- quarantine (populated when WorldConfig::quarantines is set) ---
+  std::vector<std::size_t> quarantined_cells;
+  std::uint64_t evacuated = 0;  ///< forced handovers completed off quarantined cells
+  std::uint64_t stranded = 0;   ///< UEs left on a quarantined cell (no time to move)
 };
 
 class WorldEngine {
@@ -96,12 +121,36 @@ class WorldEngine {
 
   [[nodiscard]] const WorldConfig& config() const { return config_; }
 
+  /// Window-boundary observer, invoked as `hook(k)` after window k's
+  /// collect barrier with every shard parked (worker 0 runs it in
+  /// threaded mode, the driving thread in sequential mode). The hook may
+  /// read the boundary introspection below; an exception it throws
+  /// aborts the run exactly like a shard crash. Install before Run().
+  void set_window_hook(std::function<void(std::uint64_t)> hook) {
+    window_hook_ = std::move(hook);
+  }
+
+  // --- window-boundary introspection (hook context or post-run only) ---
+
+  /// FNV-1a over every session's and cell's deterministic state words —
+  /// the same digest Run() reports, computable at any barrier.
+  [[nodiscard]] std::uint64_t Digest() const { return ComputeDigest(); }
+
+  /// Every pending (posted, not yet delivered) mailbox message across
+  /// all shards, reduced to records in the canonical (arrival, src, seq)
+  /// order. Layout-invariant: the physical shard holding a message never
+  /// shows through.
+  [[nodiscard]] std::vector<WorldMsgRecord> PendingMailRecords() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
  private:
   struct Shard;
 
   [[nodiscard]] Entity* EntityFor(EntityId id);
   void Build();
-  void RunShardWindow(std::size_t s, sim::TimePoint window_end);
+  void RunShardWindow(std::size_t s, std::uint64_t window, sim::TimePoint window_end);
+  void SweepQuarantined(std::size_t s, sim::TimePoint window_end);
   void Publish(std::size_t s);
   void Collect(std::size_t s);
   void RunSequential(const sim::WindowSchedule& schedule, sim::BusyRecorder& busy);
@@ -119,6 +168,13 @@ class WorldEngine {
   std::vector<std::unique_ptr<UeSession>> sessions_;
   std::vector<std::unique_ptr<Cell>> cells_;
   std::vector<EntityId> initial_cell_;  ///< per UE (fleet scenario key)
+  std::function<void(std::uint64_t)> window_hook_;
+  /// Per-cell quarantine activation time (µs); kNeverQuarantined = none.
+  static constexpr std::int64_t kNeverQuarantined =
+      std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> quarantine_at_us_;
+  std::int64_t earliest_quarantine_us_ = kNeverQuarantined;
+  std::size_t crash_shard_ = WorldConfig::kNoCrash;  ///< clamped to the layout
   bool ran_ = false;
 };
 

@@ -73,4 +73,69 @@ class Entity {
   virtual void OnMessage(WorldMsg& msg) = 0;
 };
 
+/// A pending message reduced to its canonical identity words. World
+/// snapshots store these instead of full messages: restore is
+/// replay-based (the engine re-derives every payload from the seed), so
+/// the record only has to *witness* the pending mail — kind, routing,
+/// canonical order and a payload digest — byte-for-byte.
+struct WorldMsgRecord {
+  std::uint8_t kind = 0;
+  EntityId src = 0;
+  EntityId dst = 0;
+  std::uint64_t seq = 0;
+  std::int64_t arrival_us = 0;
+  std::uint32_t ue = 0;
+  EntityId target_cell = 0;
+  std::uint64_t payload_digest = 0;
+
+  bool operator==(const WorldMsgRecord&) const = default;
+};
+
+/// Canonical order over records: the same (arrival, src, seq) total
+/// order MsgOrder imposes on live messages.
+struct MsgRecordOrder {
+  bool operator()(const WorldMsgRecord& a, const WorldMsgRecord& b) const {
+    if (a.arrival_us != b.arrival_us) return a.arrival_us < b.arrival_us;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
+};
+
+/// Reduces a live message to its record. The payload digest folds the
+/// packet identity (kUplink/kCoreDelivery) or the carried radio-state
+/// ledger (kTransfer) into one FNV-1a word.
+[[nodiscard]] inline WorldMsgRecord MakeRecord(const WorldMsg& m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(m.pkt.id);
+  mix(m.pkt.flow);
+  mix(static_cast<std::uint64_t>(m.pkt.kind));
+  mix(m.pkt.size_bytes);
+  mix(static_cast<std::uint64_t>(m.pkt.created_at.us()));
+  if (m.radio != nullptr) {
+    mix(m.radio->offered);
+    mix(m.radio->delivered);
+    mix(m.radio->lost);
+    mix(m.radio->in_flight.size());
+    mix(m.radio->queue.size());
+    mix(m.radio->TotalBufferBytes());
+    mix(m.radio->telemetry.size());
+  }
+  WorldMsgRecord r;
+  r.kind = static_cast<std::uint8_t>(m.kind);
+  r.src = m.src;
+  r.dst = m.dst;
+  r.seq = m.seq;
+  r.arrival_us = m.arrival.us();
+  r.ue = m.ue;
+  r.target_cell = m.target_cell;
+  r.payload_digest = h;
+  return r;
+}
+
 }  // namespace athena::world

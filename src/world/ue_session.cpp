@@ -74,6 +74,23 @@ void UeSession::PostUplink(const net::Packet& p) {
   post_(std::move(msg));
 }
 
+void UeSession::ScheduleEvacuation(EntityId target, sim::TimePoint at) {
+  if (evac_pending_ || stranded_) return;
+  evac_pending_ = true;
+  // One tick after the boundary: the event lands strictly inside the
+  // next window, after any same-boundary slot work, identically at every
+  // shard layout.
+  sim_.ScheduleAt(at + sim::Duration{1}, [this, target] {
+    if (in_handover_ || target == serving_cell_) {
+      // A planned handover raced in (possibly *into* the quarantined
+      // cell). Stand down; the engine's next boundary sweep re-checks.
+      evac_pending_ = false;
+      return;
+    }
+    BeginHandover(target);
+  });
+}
+
 void UeSession::BeginHandover(EntityId target) {
   if (in_handover_ || target == serving_cell_) return;
   in_handover_ = true;
@@ -99,6 +116,10 @@ void UeSession::OnMessage(WorldMsg& msg) {
       serving_cell_ = msg.src;
       in_handover_ = false;
       ++handovers_completed_;
+      if (evac_pending_) {
+        evac_pending_ = false;
+        ++forced_handovers_;
+      }
       // Flush datagrams buffered during the radio-state transfer, in
       // arrival order (the UE-side RRC stall releasing).
       std::vector<net::Packet> pending;
@@ -134,8 +155,11 @@ void UeSession::AppendDigest(std::vector<std::uint64_t>& out) const {
   out.push_back(uplink_posted_);
   out.push_back(core_received_);
   out.push_back(handovers_completed_);
+  out.push_back(forced_handovers_);
   out.push_back(serving_cell_);
   out.push_back(static_cast<std::uint64_t>(in_handover_));
+  out.push_back(static_cast<std::uint64_t>(evac_pending_));
+  out.push_back(static_cast<std::uint64_t>(stranded_));
   out.push_back(buffer_.size());
   out.push_back(sender_->media_packets_sent());
   out.push_back(receiver_->packets_received());

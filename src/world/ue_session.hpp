@@ -65,6 +65,16 @@ class UeSession final : public Entity {
   void Stop();
   void OnMessage(WorldMsg& msg) override;
 
+  /// Quarantine evacuation (engine-driven, at a window boundary `at`):
+  /// schedules a forced handover to `target` just after `at`. If a
+  /// planned handover races in first the attempt stands down and the
+  /// engine's next boundary sweep retries. Idempotent while pending.
+  void ScheduleEvacuation(EntityId target, sim::TimePoint at);
+
+  /// Marks this UE as unable to leave its quarantined cell before the
+  /// run ends (the engine books it stranded; its packets stay in_flight).
+  void MarkStranded() { stranded_ = true; }
+
   /// Builds the correlator input for this session: captures ①②④ plus
   /// the UE's (cross-cell) telemetry stream. `cell` is adjusted for the
   /// mailbox hops so the correlator's slot-eligibility replay matches
@@ -79,6 +89,9 @@ class UeSession final : public Entity {
   [[nodiscard]] std::uint64_t handovers_completed() const { return handovers_completed_; }
   [[nodiscard]] std::size_t buffered_pending() const { return buffer_.size(); }
   [[nodiscard]] bool in_handover() const { return in_handover_; }
+  [[nodiscard]] bool evacuation_pending() const { return evac_pending_; }
+  [[nodiscard]] bool stranded() const { return stranded_; }
+  [[nodiscard]] std::uint64_t forced_handovers() const { return forced_handovers_; }
   [[nodiscard]] std::uint64_t media_packets_sent() const {
     return sender_->media_packets_sent();
   }
@@ -109,11 +122,14 @@ class UeSession final : public Entity {
 
   EntityId serving_cell_ = 0;
   bool in_handover_ = false;
+  bool evac_pending_ = false;  ///< a forced (quarantine) handover is underway
+  bool stranded_ = false;      ///< left on a quarantined cell (no time to move)
   std::vector<net::Packet> buffer_;  ///< uplink datagrams held during handover
   std::uint64_t next_seq_ = 0;
   std::uint64_t uplink_posted_ = 0;
   std::uint64_t core_received_ = 0;
   std::uint64_t handovers_completed_ = 0;
+  std::uint64_t forced_handovers_ = 0;
 };
 
 }  // namespace athena::world

@@ -461,6 +461,11 @@ TEST(Exposition, MatchesGoldenFile) {
   registry.Counter("mitigation.actuations") = 2;
   registry.Counter("mitigation.reverts") = 1;
   registry.Counter("mitigation.guardrail_blocks") = 5;
+  // World fault-tolerance counters (CountInc'd by the WorldSupervisor)
+  // share the surface too.
+  registry.Counter("resilience.world.checkpoints") = 9;
+  registry.Counter("resilience.world.restores") = 2;
+  registry.Counter("resilience.world.quarantines") = 1;
   for (const double v : {1.0, 2.0, 3.0, 4.0}) registry.Stats("owd.ms").Add(v);
   auto& histogram = registry.Histogram("frame.interval-ms", 0.0, 100.0, 4);
   for (const double v : {-5.0, 10.0, 50.0, 1000.0}) histogram.Add(v);

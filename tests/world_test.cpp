@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "fault/world_chaos.hpp"
+#include "sim/check.hpp"
 #include "world/engine.hpp"
 
 namespace athena::world {
@@ -140,6 +141,46 @@ TEST(WorldEngineTest, FleetReportCoversThePopulation) {
   EXPECT_GT(result.busy_seconds, 0.0);
   EXPECT_GT(result.critical_path_seconds, 0.0);
   EXPECT_LE(result.critical_path_seconds, result.busy_seconds + 1e-9);
+}
+
+TEST(WorldValidationTest, RejectsUnbuildableWorlds) {
+  sim::ScopedCheckThrow guard;
+  const auto build = [](auto mutate) {
+    WorldConfig config = SmallWorld();
+    mutate(config);
+    WorldEngine engine{std::move(config)};
+  };
+  EXPECT_THROW(build([](WorldConfig& c) { c.ues = 0; }), sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) { c.cells = 0; }), sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) { c.shards = 0; }), sim::CheckViolation);
+  // More shards than cells leaves shards with no entities to run.
+  EXPECT_THROW(build([](WorldConfig& c) { c.shards = c.cells + 1; }),
+               sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) { c.duration = sim::Duration{0}; }),
+               sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) { c.link_latency = sim::Duration{0}; }),
+               sim::CheckViolation);
+  // Lookahead longer than the run: not even one window fits.
+  EXPECT_THROW(build([](WorldConfig& c) { c.link_latency = c.duration * 2; }),
+               sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) { c.handover_latency = sim::Duration{-1}; }),
+               sim::CheckViolation);
+  // A crash point needs a 1-based window.
+  EXPECT_THROW(build([](WorldConfig& c) { c.crash_shard = 0; c.crash_window = 0; }),
+               sim::CheckViolation);
+  EXPECT_THROW(build([](WorldConfig& c) {
+                 c.quarantines.push_back({c.cells, sim::kEpoch});
+               }),
+               sim::CheckViolation);
+}
+
+TEST(WorldValidationTest, RunIsSingleShot) {
+  sim::ScopedCheckThrow guard;
+  WorldConfig config = SmallWorld();
+  config.duration = sim::Duration{50ms};
+  WorldEngine engine{std::move(config)};
+  (void)engine.Run();
+  EXPECT_THROW((void)engine.Run(), sim::CheckViolation);
 }
 
 TEST(WorldChaosTest, CellOutageContractHolds) {
